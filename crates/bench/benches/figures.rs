@@ -1,0 +1,73 @@
+//! Criterion bench: one representative measurement per paper figure
+//! family, so `cargo bench` regenerates every figure's machinery.
+//! The full sweeps (all levels / all apps) live in the `fig*`
+//! binaries; here each family runs a single representative point and
+//! asserts the headline direction (S-Fence never loses) while
+//! Criterion measures harness cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sfence_sim::FenceConfig;
+use sfence_workloads::ScopeMode;
+
+fn fig12_point(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12");
+    g.sample_size(10);
+    g.bench_function("wsq_level3_speedup", |b| {
+        let w = sfence_bench::build_wsq(3, ScopeMode::Class);
+        b.iter(|| {
+            let t = w.run(sfence_bench::machine().with_fence(FenceConfig::TRADITIONAL));
+            let s = w.run(sfence_bench::machine().with_fence(FenceConfig::SFENCE));
+            assert!(s.cycles <= t.cycles);
+            t.cycles as f64 / s.cycles as f64
+        });
+    });
+    g.finish();
+}
+
+fn fig13_point(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig13");
+    g.sample_size(10);
+    g.bench_function("radiosity_T_vs_S", |b| {
+        let w = sfence_bench::build_radiosity();
+        b.iter(|| {
+            let t = w.run(sfence_bench::machine().with_fence(FenceConfig::TRADITIONAL));
+            let s = w.run(sfence_bench::machine().with_fence(FenceConfig::SFENCE));
+            assert!(s.total_fence_stalls() < t.total_fence_stalls());
+            (t.cycles, s.cycles)
+        });
+    });
+    g.finish();
+}
+
+fn fig15_point(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig15");
+    g.sample_size(10);
+    g.bench_function("radiosity_latency500", |b| {
+        let w = sfence_bench::build_radiosity();
+        b.iter(|| {
+            let cfg = sfence_bench::machine()
+                .with_mem_latency(500)
+                .with_fence(FenceConfig::SFENCE);
+            w.run(cfg).cycles
+        });
+    });
+    g.finish();
+}
+
+fn fig16_point(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig16");
+    g.sample_size(10);
+    g.bench_function("barnes_rob256", |b| {
+        let w = sfence_bench::build_barnes();
+        b.iter(|| {
+            let cfg = sfence_bench::machine()
+                .with_rob(256)
+                .with_fence(FenceConfig::SFENCE);
+            w.run(cfg).cycles
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, fig12_point, fig13_point, fig15_point, fig16_point);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion bench: raw simulator throughput (host time per simulated
+//! workload) for the lock-free benchmarks under T and S.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sfence_sim::FenceConfig;
+use sfence_workloads::ScopeMode;
+
+fn simulator_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+    for (name, fence) in [("wsq_T", FenceConfig::TRADITIONAL), ("wsq_S", FenceConfig::SFENCE)] {
+        g.bench_function(name, |b| {
+            let w = sfence_bench::build_wsq(2, ScopeMode::Class);
+            b.iter(|| w.run(sfence_bench::machine().with_fence(fence)).cycles);
+        });
+    }
+    g.bench_function("dekker_S", |b| {
+        let w = sfence_bench::build_dekker(2);
+        b.iter(|| w.run(sfence_bench::machine().with_fence(FenceConfig::SFENCE)).cycles);
+    });
+    g.finish();
+}
+
+criterion_group!(benches, simulator_throughput);
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! Regenerates Figure 12: impact of workload on the lock-free
+//! algorithms (speedup of S-Fence over traditional fences).
+fn main() {
+    let rows = sfence_bench::fig12_data();
+    sfence_bench::print_fig12(&rows);
+    println!("\npaper: peak speedups range 1.13x..1.34x; rise-then-fall with workload");
+}

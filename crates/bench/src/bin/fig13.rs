@@ -1,0 +1,11 @@
+//! Regenerates Figure 13: normalized execution time of the full
+//! applications under T, S, T+ and S+.
+fn main() {
+    let data = sfence_bench::fig13_data();
+    sfence_bench::print_bars(
+        "Figure 13: normalized execution time (T / S / T+ / S+), split into fence stalls and others",
+        &data,
+    );
+    println!("\npaper: S reduces fence stalls; pst limited by its internal full fence;");
+    println!("       in-window speculation (+) reduces stalls for both T and S");
+}

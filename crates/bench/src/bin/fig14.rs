@@ -1,0 +1,9 @@
+//! Regenerates Figure 14: class scope vs set scope.
+fn main() {
+    let data = sfence_bench::fig14_data();
+    sfence_bench::print_bars(
+        "Figure 14: class scope (C.S.) vs set scope (S.S.), normalized to class scope",
+        &data,
+    );
+    println!("\npaper: set scope slightly better, difference not significant");
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 15: memory access latency sweep (200/300/500).
+fn main() {
+    let data = sfence_bench::fig15_data();
+    sfence_bench::print_bars(
+        "Figure 15: varying memory latency; bars <latency><config>, normalized to default T",
+        &data,
+    );
+    println!("\npaper: barnes/radiosity gains grow with latency; pst does not (full fence offsets)");
+}

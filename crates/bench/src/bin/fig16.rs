@@ -1,0 +1,9 @@
+//! Regenerates Figure 16: ROB size sweep (64/128/256).
+fn main() {
+    let data = sfence_bench::fig16_data();
+    sfence_bench::print_bars(
+        "Figure 16: varying ROB size; bars <rob><config>, normalized to default T",
+        &data,
+    );
+    println!("\npaper: barnes improves with bigger ROB; radiosity/pst/ptc saturate");
+}

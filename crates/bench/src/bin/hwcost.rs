@@ -1,0 +1,4 @@
+//! Prints the §VI-E hardware cost accounting.
+fn main() {
+    print!("{}", sfence_bench::hwcost_report());
+}

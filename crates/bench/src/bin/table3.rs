@@ -1,0 +1,4 @@
+//! Prints Table III (architectural parameters actually used).
+fn main() {
+    print!("{}", sfence_bench::table3());
+}

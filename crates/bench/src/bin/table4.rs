@@ -1,0 +1,4 @@
+//! Prints Table IV (benchmark inventory).
+fn main() {
+    print!("{}", sfence_bench::table4());
+}

@@ -1,0 +1,403 @@
+//! # sfence-bench
+//!
+//! The experiment harness: one function per table/figure of the
+//! paper's evaluation, shared by the `fig*`/`table*` binaries, the
+//! Criterion benches and the integration tests. Every run validates
+//! its workload's invariants before its timing is used.
+
+use sfence_core::{hw_cost, ScopeConfig};
+use sfence_isa::passes::ScStyle;
+use sfence_sim::{FenceConfig, MachineConfig};
+use sfence_workloads::support::BuiltWorkload;
+use sfence_workloads::{barnes, dekker, harris, msn, pst, ptc, radiosity, wsq, ScopeMode};
+
+/// The four fence configurations in paper order.
+pub const CONFIGS: [FenceConfig; 4] = [
+    FenceConfig::TRADITIONAL,
+    FenceConfig::SFENCE,
+    FenceConfig::TRADITIONAL_SPEC,
+    FenceConfig::SFENCE_SPEC,
+];
+
+/// Machine used by all experiments (Table III), with an optional
+/// memory-latency / ROB override.
+pub fn machine() -> MachineConfig {
+    let mut m = MachineConfig::paper_default();
+    m.max_cycles = 2_000_000_000;
+    m
+}
+
+// ---------------------------------------------------------------------
+// Benchmark builders at evaluation scale
+
+pub fn build_dekker(workload: u32) -> BuiltWorkload {
+    dekker::build(dekker::DekkerParams {
+        iters: 40,
+        workload,
+    })
+}
+
+pub fn build_wsq(workload: u32, scope: ScopeMode) -> BuiltWorkload {
+    wsq::build(wsq::WsqParams {
+        tasks: 120,
+        thieves: 7,
+        workload,
+        scope,
+    })
+}
+
+pub fn build_msn(workload: u32, scope: ScopeMode) -> BuiltWorkload {
+    msn::build(msn::MsnParams {
+        items: 30,
+        producers: 4,
+        consumers: 4,
+        workload,
+        scope,
+    })
+}
+
+pub fn build_harris(workload: u32, scope: ScopeMode) -> BuiltWorkload {
+    harris::build(harris::HarrisParams {
+        ops: 30,
+        threads: 8,
+        key_range: 48,
+        workload,
+        scope,
+    })
+}
+
+pub fn build_pst(scope: ScopeMode) -> BuiltWorkload {
+    pst::build(pst::PstParams {
+        nodes: 1000,
+        extra_edges: 1000,
+        threads: 8,
+        seed: 42,
+        scope,
+    })
+}
+
+pub fn build_ptc(scope: ScopeMode) -> BuiltWorkload {
+    ptc::build(ptc::PtcParams {
+        nodes: 1000,
+        edges: 3000,
+        threads: 8,
+        seed: 43,
+        task_work: 12,
+        scope,
+    })
+}
+
+pub fn build_barnes() -> BuiltWorkload {
+    barnes::build(barnes::BarnesParams {
+        bodies_per_thread: 96,
+        cells_per_thread: 4,
+        samples: 4,
+        steps: 2,
+        threads: 8,
+        style: ScStyle::SetScope,
+    })
+}
+
+pub fn build_radiosity() -> BuiltWorkload {
+    radiosity::build(radiosity::RadiosityParams {
+        patches: 24,
+        interactions: 200,
+        rounds: 2,
+        threads: 8,
+        seed: 44,
+        scratch_work: 6,
+        style: ScStyle::SetScope,
+    })
+}
+
+/// The four full applications of Fig. 13, in paper order.
+pub fn full_apps() -> Vec<BuiltWorkload> {
+    vec![
+        build_pst(ScopeMode::Class),
+        build_ptc(ScopeMode::Class),
+        build_barnes(),
+        build_radiosity(),
+    ]
+}
+
+// ---------------------------------------------------------------------
+// Figure 12: impact of workload on the lock-free algorithms
+
+#[derive(Debug, Clone)]
+pub struct Fig12Row {
+    pub algo: &'static str,
+    /// speedup of S over T at workload levels 1..=6.
+    pub speedups: Vec<f64>,
+}
+
+pub fn fig12_data() -> Vec<Fig12Row> {
+    let algos: Vec<(&'static str, Box<dyn Fn(u32) -> BuiltWorkload>)> = vec![
+        ("dekker", Box::new(build_dekker)),
+        ("wsq", Box::new(|w| build_wsq(w, ScopeMode::Class))),
+        ("msn", Box::new(|w| build_msn(w, ScopeMode::Class))),
+        ("harris", Box::new(|w| build_harris(w, ScopeMode::Class))),
+    ];
+    algos
+        .into_iter()
+        .map(|(algo, build)| {
+            let speedups = (1..=6u32)
+                .map(|level| {
+                    let w = build(level);
+                    let t = w.run(machine().with_fence(FenceConfig::TRADITIONAL));
+                    let s = w.run(machine().with_fence(FenceConfig::SFENCE));
+                    t.cycles as f64 / s.cycles as f64
+                })
+                .collect();
+            Fig12Row { algo, speedups }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Figure 13: full applications under T, S, T+, S+
+
+#[derive(Debug, Clone)]
+pub struct StackedBar {
+    pub label: String,
+    /// Total time normalized to the app's T run.
+    pub norm_time: f64,
+    /// Fence-stall component of the normalized bar.
+    pub fence_part: f64,
+}
+
+#[derive(Debug, Clone)]
+pub struct AppBars {
+    pub app: &'static str,
+    pub bars: Vec<StackedBar>,
+}
+
+fn bars_for(w: &BuiltWorkload, configs: &[(String, MachineConfig)]) -> Vec<StackedBar> {
+    let baseline = w.run(configs[0].1.clone()).cycles as f64;
+    configs
+        .iter()
+        .map(|(label, cfg)| {
+            let s = w.run(cfg.clone());
+            let norm = s.cycles as f64 / baseline;
+            StackedBar {
+                label: label.clone(),
+                norm_time: norm,
+                fence_part: s.fence_stall_fraction() * norm,
+            }
+        })
+        .collect()
+}
+
+pub fn fig13_data() -> Vec<AppBars> {
+    let configs: Vec<(String, MachineConfig)> = CONFIGS
+        .iter()
+        .map(|&f| (f.label().to_string(), machine().with_fence(f)))
+        .collect();
+    full_apps()
+        .iter()
+        .map(|w| AppBars {
+            app: w.name,
+            bars: bars_for(w, &configs),
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Figure 14: class scope vs set scope
+
+pub fn fig14_data() -> Vec<AppBars> {
+    let apps: Vec<(&'static str, BuiltWorkload, BuiltWorkload)> = vec![
+        (
+            "msn",
+            build_msn(3, ScopeMode::Class),
+            build_msn(3, ScopeMode::Set),
+        ),
+        (
+            "harris",
+            build_harris(3, ScopeMode::Class),
+            build_harris(3, ScopeMode::Set),
+        ),
+        ("pst", build_pst(ScopeMode::Class), build_pst(ScopeMode::Set)),
+        ("ptc", build_ptc(ScopeMode::Class), build_ptc(ScopeMode::Set)),
+    ];
+    let cfg = machine().with_fence(FenceConfig::SFENCE);
+    apps.into_iter()
+        .map(|(app, class_w, set_w)| {
+            let base = class_w.run(cfg.clone());
+            let baseline = base.cycles as f64;
+            let set = set_w.run(cfg.clone());
+            AppBars {
+                app,
+                bars: vec![
+                    StackedBar {
+                        label: "C.S.".into(),
+                        norm_time: 1.0,
+                        fence_part: base.fence_stall_fraction(),
+                    },
+                    StackedBar {
+                        label: "S.S.".into(),
+                        norm_time: set.cycles as f64 / baseline,
+                        fence_part: set.fence_stall_fraction() * set.cycles as f64 / baseline,
+                    },
+                ],
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Figure 15: memory latency sweep (200/300/500), T vs S
+
+pub fn fig15_data() -> Vec<AppBars> {
+    sweep(|lat| machine().with_mem_latency(lat), &[200, 300, 500])
+}
+
+// ---------------------------------------------------------------------
+// Figure 16: ROB sweep (64/128/256), T vs S
+
+pub fn fig16_data() -> Vec<AppBars> {
+    sweep(|rob| machine().with_rob(rob as usize), &[64, 128, 256])
+}
+
+fn sweep(mk: impl Fn(u64) -> MachineConfig, points: &[u64]) -> Vec<AppBars> {
+    full_apps()
+        .iter()
+        .map(|w| {
+            // Normalized to the default-parameter T run, like the
+            // paper ("normalized to the total execution time with
+            // traditional fence").
+            let baseline = w
+                .run(machine().with_fence(FenceConfig::TRADITIONAL))
+                .cycles as f64;
+            let mut bars = Vec::new();
+            for &x in points {
+                for fence in [FenceConfig::TRADITIONAL, FenceConfig::SFENCE] {
+                    let s = w.run(mk(x).with_fence(fence));
+                    let norm = s.cycles as f64 / baseline;
+                    bars.push(StackedBar {
+                        label: format!("{x}{}", fence.label()),
+                        norm_time: norm,
+                        fence_part: s.fence_stall_fraction() * norm,
+                    });
+                }
+            }
+            AppBars { app: w.name, bars }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Tables
+
+/// Table III: architectural parameters.
+pub fn table3() -> String {
+    let m = machine();
+    let mut out = String::from("Table III: architectural parameters\n");
+    out += &format!("  Processor        {} core CMP, out-of-order\n", m.num_cores);
+    out += &format!("  ROB size         {}\n", m.core.rob_size);
+    out += &format!(
+        "  L1 Cache         private {} KB, {} way, {}-cycle latency\n",
+        m.mem.l1_size / 1024,
+        m.mem.l1_ways,
+        m.mem.l1_latency
+    );
+    out += &format!(
+        "  L2 Cache         shared {} MB, {} way, {}-cycle latency\n",
+        m.mem.l2_size / (1024 * 1024),
+        m.mem.l2_ways,
+        m.mem.l2_latency
+    );
+    out += &format!("  Memory           {}-cycle latency\n", m.mem.mem_latency);
+    out += &format!("  # of FSB entries {}\n", m.core.scope.fsb_entries);
+    out += &format!("  # of FSS entries {}\n", m.core.scope.fss_entries);
+    out
+}
+
+/// Table IV: benchmark descriptions.
+pub fn table4() -> String {
+    let mut out = String::from("Table IV: benchmark description\n");
+    for b in sfence_workloads::catalog::TABLE_IV {
+        out += &format!(
+            "  {:<10} {:<6} {}\n",
+            b.name,
+            format!("{:?}", b.ty).to_lowercase(),
+            b.description
+        );
+    }
+    out
+}
+
+/// §VI-E hardware cost.
+pub fn hwcost_report() -> String {
+    let cfg = ScopeConfig::default();
+    let m = machine();
+    let cost = hw_cost(&cfg, m.core.rob_size, m.core.sb_size, 8);
+    format!(
+        "Hardware cost (per core, {} ROB / {} SB entries / {} FSB bits):\n\
+         \x20 FSB over ROB     {:>5} bits\n\
+         \x20 FSB over SB      {:>5} bits\n\
+         \x20 FSS + FSS'       {:>5} bits\n\
+         \x20 mapping table    {:>5} bits\n\
+         \x20 total            {:>5} bits = {} bytes (paper: < 80 bytes)\n",
+        m.core.rob_size,
+        m.core.sb_size,
+        cfg.fsb_entries,
+        cost.fsb_rob_bits,
+        cost.fsb_sb_bits,
+        cost.fss_bits,
+        cost.mapping_bits,
+        cost.total_bits(),
+        cost.total_bytes()
+    )
+}
+
+// ---------------------------------------------------------------------
+// Pretty-printing
+
+pub fn print_fig12(rows: &[Fig12Row]) {
+    println!("Figure 12: speedup of S-Fence over traditional fence vs workload");
+    println!(
+        "{:<8} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}  peak",
+        "algo", 1, 2, 3, 4, 5, 6
+    );
+    for r in rows {
+        let peak = r.speedups.iter().cloned().fold(f64::MIN, f64::max);
+        print!("{:<8}", r.algo);
+        for s in &r.speedups {
+            print!(" {s:>6.3}");
+        }
+        println!("  {peak:.3}x");
+    }
+}
+
+pub fn print_bars(title: &str, data: &[AppBars]) {
+    println!("{title}");
+    for app in data {
+        println!("  {}:", app.app);
+        for b in &app.bars {
+            println!(
+                "    {:<6} total {:>6.3}  fence stalls {:>6.3}  others {:>6.3}",
+                b.label,
+                b.norm_time,
+                b.fence_part,
+                b.norm_time - b.fence_part
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_render() {
+        let t3 = table3();
+        assert!(t3.contains("8 core CMP"));
+        assert!(t3.contains("300-cycle"));
+        let t4 = table4();
+        assert!(t4.contains("dekker"));
+        assert!(t4.contains("Parallel transitive closure"));
+        let hc = hwcost_report();
+        assert!(hc.contains("bytes"));
+    }
+}

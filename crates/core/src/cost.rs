@@ -1,0 +1,90 @@
+//! Hardware cost model (paper §VI-E).
+//!
+//! The paper argues the total overhead is "less than 80 bytes for each
+//! core" for a 128-entry ROB, an 8-entry store buffer and 4 FSB bits.
+//! This module computes the same accounting from a configuration so
+//! the claim can be regenerated (the `hwcost` bench binary prints the
+//! table).
+
+use crate::unit::ScopeConfig;
+
+/// Per-core storage overhead of the S-Fence hardware, in bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HwCost {
+    /// FSB bits across all ROB entries.
+    pub fsb_rob_bits: usize,
+    /// FSB bits across all store-buffer entries.
+    pub fsb_sb_bits: usize,
+    /// FSS storage (each entry holds an FSB column index) plus the
+    /// shadow copy FSS′ and the overflow counter.
+    pub fss_bits: usize,
+    /// Mapping table rows (cid + column index per row).
+    pub mapping_bits: usize,
+}
+
+impl HwCost {
+    pub fn total_bits(&self) -> usize {
+        self.fsb_rob_bits + self.fsb_sb_bits + self.fss_bits + self.mapping_bits
+    }
+
+    pub fn total_bytes(&self) -> usize {
+        self.total_bits().div_ceil(8)
+    }
+}
+
+fn log2_ceil(n: usize) -> usize {
+    if n <= 1 {
+        1
+    } else {
+        (usize::BITS - (n - 1).leading_zeros()) as usize
+    }
+}
+
+/// Compute the per-core cost for a scope configuration and pipeline
+/// geometry. `cid_bits` is the width of the class-id field carried by
+/// `fs_start`/`fs_end` (the paper does not fix it; 16 is generous).
+pub fn hw_cost(cfg: &ScopeConfig, rob_entries: usize, sb_entries: usize, cid_bits: usize) -> HwCost {
+    let col_bits = log2_ceil(cfg.fsb_entries);
+    let overflow_counter_bits = 16;
+    HwCost {
+        fsb_rob_bits: rob_entries * cfg.fsb_entries,
+        fsb_sb_bits: sb_entries * cfg.fsb_entries,
+        fss_bits: 2 * (cfg.fss_entries * col_bits) + overflow_counter_bits,
+        mapping_bits: cfg.mapping_entries * (cid_bits + col_bits),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configuration_is_under_80_bytes() {
+        // 128-entry ROB, 8-entry SB, 4 FSB bits (paper §VI-E).
+        let cost = hw_cost(&ScopeConfig::default(), 128, 8, 8);
+        assert_eq!(cost.fsb_rob_bits, 512);
+        assert_eq!(cost.fsb_sb_bits, 32);
+        assert!(
+            cost.total_bytes() < 80,
+            "paper claims < 80 bytes; got {}",
+            cost.total_bytes()
+        );
+    }
+
+    #[test]
+    fn cost_scales_with_rob() {
+        let small = hw_cost(&ScopeConfig::default(), 64, 8, 16);
+        let large = hw_cost(&ScopeConfig::default(), 256, 8, 16);
+        assert!(large.total_bits() > small.total_bits());
+        assert_eq!(large.fsb_rob_bits, 4 * small.fsb_rob_bits);
+    }
+
+    #[test]
+    fn log2_ceil_sane() {
+        assert_eq!(log2_ceil(1), 1);
+        assert_eq!(log2_ceil(2), 1);
+        assert_eq!(log2_ceil(4), 2);
+        assert_eq!(log2_ceil(5), 3);
+        assert_eq!(log2_ceil(16), 4);
+    }
+}

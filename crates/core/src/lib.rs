@@ -1,0 +1,32 @@
+//! # sfence-core
+//!
+//! The paper's primary contribution: the **scoped fence (S-Fence)**
+//! mechanism.
+//!
+//! - [`mask`] — fence scope bits (FSB) attached to every ROB and
+//!   store-buffer entry, with per-column outstanding counters.
+//! - [`stack`] — the fence scope stack (FSS) with bounded capacity and
+//!   the overflow counter that degrades fences when scopes exceed the
+//!   hardware.
+//! - [`mapping`] — the cid → FSB-column mapping table, including the
+//!   shared fallback column.
+//! - [`unit`] — the per-core scope unit tying the above together,
+//!   including the shadow stack FSS′ for branch-misprediction recovery
+//!   and a precise checkpoint ablation.
+//! - [`semantics`] — the executable operational semantics of class
+//!   scope (paper Fig. 5) plus a trace conformance checker used to
+//!   validate the CPU model against the definition of S-Fence.
+//! - [`cost`] — the §VI-E hardware cost accounting.
+
+pub mod cost;
+pub mod mapping;
+pub mod mask;
+pub mod semantics;
+pub mod stack;
+pub mod unit;
+
+pub use cost::{hw_cost, HwCost};
+pub use mask::{ColumnCounters, ScopeMask, MAX_FSB_ENTRIES};
+pub use semantics::{check_trace, ClassScopeModel, ConformanceStats, RetiredEvent, Violation};
+pub use sfence_isa::ClassId;
+pub use unit::{FenceWait, ScopeConfig, ScopeRecovery, ScopeUnit, ScopeUnitStats};

@@ -1,0 +1,373 @@
+//! Executable operational semantics of class scope (paper Fig. 5) and
+//! a trace conformance checker.
+//!
+//! The paper defines class scope with four inference rules over the
+//! state `<FSeq, Scope, pc>`:
+//!
+//! - **SCOPEENT** / **SCOPEEX**: entering/leaving a method appends to /
+//!   removes from the method sequence `FSeq`;
+//! - **MEMOP**: a memory operation is added to `Scope(C(f))` for every
+//!   method `f` currently in `FSeq`;
+//! - **FENCE**: a fence may complete only when `Scope(C(f))` of the
+//!   enclosing method is empty.
+//!
+//! [`ClassScopeModel`] implements these rules directly. On top of it,
+//! [`check_trace`] verifies a *hardware* execution against the S-Fence
+//! definition: for every retired fence, every prior in-scope memory
+//! access must have completed no later than the cycle at which the
+//! fence allowed issue to resume. The hardware is allowed to be more
+//! conservative (e.g. shared fallback columns), never less.
+
+use sfence_isa::{ClassId, FenceKind};
+use std::collections::{HashMap, HashSet};
+
+/// Direct implementation of the Fig. 5 rules.
+#[derive(Debug, Clone, Default)]
+pub struct ClassScopeModel {
+    fseq: Vec<ClassId>,
+    scope: HashMap<ClassId, HashSet<u64>>,
+}
+
+impl ClassScopeModel {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// SCOPEENT: `FSeq' = s · f`.
+    pub fn enter(&mut self, class: ClassId) {
+        self.fseq.push(class);
+    }
+
+    /// SCOPEEX: `FSeq = s · f  =>  FSeq' = s`.
+    pub fn exit(&mut self) {
+        self.fseq.pop();
+    }
+
+    /// MEMOP: add `mop` to the scope of every class in `[[FSeq]]`.
+    pub fn mem_op(&mut self, op: u64) {
+        let distinct: HashSet<ClassId> = self.fseq.iter().copied().collect();
+        for class in distinct {
+            self.scope.entry(class).or_default().insert(op);
+        }
+    }
+
+    /// Completion (handled by the memory subsystem in the paper):
+    /// remove the operation from every scope.
+    pub fn complete(&mut self, op: u64) {
+        for set in self.scope.values_mut() {
+            set.remove(&op);
+        }
+    }
+
+    /// FENCE: may the fence in the current innermost method complete?
+    /// (`Scope(C(f)) = ∅`). With an empty `FSeq` the rule does not
+    /// apply; we answer conservatively by requiring *all* scopes empty.
+    pub fn fence_allowed(&self) -> bool {
+        match self.fseq.last() {
+            Some(class) => self.scope.get(class).map_or(true, HashSet::is_empty),
+            None => self.scope.values().all(HashSet::is_empty),
+        }
+    }
+
+    /// Outstanding operations in the scope of `class`.
+    pub fn scope_size(&self, class: ClassId) -> usize {
+        self.scope.get(&class).map_or(0, HashSet::len)
+    }
+
+    pub fn depth(&self) -> usize {
+        self.fseq.len()
+    }
+}
+
+/// One retired (architectural) event of a single thread, in program
+/// order. Squashed wrong-path instructions never appear.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetiredEvent {
+    FsStart(ClassId),
+    FsEnd,
+    /// A memory access with its issue and completion cycles.
+    Mem {
+        id: u64,
+        flagged: bool,
+        issue: u64,
+        complete: u64,
+    },
+    /// A fence and the cycle at which it allowed younger instructions
+    /// to issue.
+    Fence { kind: FenceKind, issue: u64 },
+}
+
+/// A conformance violation: a fence let execution proceed before an
+/// in-scope prior access completed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    pub event_index: usize,
+    pub kind: FenceKind,
+    pub fence_issue: u64,
+    pub latest_in_scope_complete: u64,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "fence ({:?}) at event {} issued at cycle {} but an in-scope access completed at {}",
+            self.kind, self.event_index, self.fence_issue, self.latest_in_scope_complete
+        )
+    }
+}
+
+/// Summary statistics from a successful conformance check.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConformanceStats {
+    pub mem_ops: u64,
+    pub fences_checked: u64,
+    pub max_scope_depth: usize,
+}
+
+/// Check one thread's retired trace against the S-Fence semantics.
+///
+/// For each fence, the set of *prior in-scope* accesses is derived
+/// from the Fig. 5 rules (class), the flag bits (set), or everything
+/// (global); the check is `max(complete of in-scope prior) <= issue`.
+pub fn check_trace(events: &[RetiredEvent]) -> Result<ConformanceStats, Violation> {
+    let mut stats = ConformanceStats::default();
+    let mut fseq: Vec<ClassId> = Vec::new();
+    // Running maxima of completion cycles.
+    let mut max_all: u64 = 0;
+    let mut max_flagged: u64 = 0;
+    let mut max_per_class: HashMap<ClassId, u64> = HashMap::new();
+
+    for (i, ev) in events.iter().enumerate() {
+        match *ev {
+            RetiredEvent::FsStart(cid) => {
+                fseq.push(cid);
+                stats.max_scope_depth = stats.max_scope_depth.max(fseq.len());
+            }
+            RetiredEvent::FsEnd => {
+                fseq.pop();
+            }
+            RetiredEvent::Mem {
+                flagged, complete, ..
+            } => {
+                stats.mem_ops += 1;
+                max_all = max_all.max(complete);
+                if flagged {
+                    max_flagged = max_flagged.max(complete);
+                }
+                let mut seen: HashSet<ClassId> = HashSet::new();
+                for &cid in &fseq {
+                    if seen.insert(cid) {
+                        let slot = max_per_class.entry(cid).or_insert(0);
+                        *slot = (*slot).max(complete);
+                    }
+                }
+            }
+            RetiredEvent::Fence { kind, issue } => {
+                stats.fences_checked += 1;
+                let bound = match kind {
+                    FenceKind::Global => max_all,
+                    FenceKind::Set => max_flagged,
+                    FenceKind::Class => match fseq.last() {
+                        Some(cid) => max_per_class.get(cid).copied().unwrap_or(0),
+                        // Class fence outside any scope: hardware
+                        // degrades to a full fence; the semantic scope
+                        // is empty, so nothing to check.
+                        None => 0,
+                    },
+                };
+                if bound > issue {
+                    return Err(Violation {
+                        event_index: i,
+                        kind,
+                        fence_issue: issue,
+                        latest_in_scope_complete: bound,
+                    });
+                }
+            }
+        }
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_follows_fig5_rules() {
+        let mut m = ClassScopeModel::new();
+        let a = ClassId(0);
+        let b = ClassId(1);
+        m.enter(a);
+        m.mem_op(1);
+        m.enter(b);
+        m.mem_op(2); // joins scopes of both A and B
+        assert_eq!(m.scope_size(a), 2);
+        assert_eq!(m.scope_size(b), 1);
+        assert!(!m.fence_allowed(), "B's scope holds op 2");
+        m.complete(2);
+        assert!(m.fence_allowed(), "B's scope now empty");
+        assert_eq!(m.scope_size(a), 1, "A still holds op 1");
+        m.exit();
+        assert!(!m.fence_allowed(), "back in A; op 1 outstanding");
+        m.complete(1);
+        assert!(m.fence_allowed());
+        m.exit();
+        assert_eq!(m.depth(), 0);
+    }
+
+    #[test]
+    fn fence_with_empty_fseq_requires_everything_quiet() {
+        let mut m = ClassScopeModel::new();
+        m.enter(ClassId(0));
+        m.mem_op(7);
+        m.exit();
+        assert!(!m.fence_allowed());
+        m.complete(7);
+        assert!(m.fence_allowed());
+    }
+
+    #[test]
+    fn trace_check_accepts_correct_class_fence() {
+        let a = ClassId(0);
+        let events = [
+            RetiredEvent::FsStart(a),
+            RetiredEvent::Mem {
+                id: 1,
+                flagged: false,
+                issue: 10,
+                complete: 50,
+            },
+            RetiredEvent::Fence {
+                kind: FenceKind::Class,
+                issue: 50,
+            },
+            RetiredEvent::FsEnd,
+        ];
+        let stats = check_trace(&events).expect("conformant");
+        assert_eq!(stats.fences_checked, 1);
+        assert_eq!(stats.mem_ops, 1);
+        assert_eq!(stats.max_scope_depth, 1);
+    }
+
+    #[test]
+    fn trace_check_rejects_early_class_fence() {
+        let a = ClassId(0);
+        let events = [
+            RetiredEvent::FsStart(a),
+            RetiredEvent::Mem {
+                id: 1,
+                flagged: false,
+                issue: 10,
+                complete: 100,
+            },
+            RetiredEvent::Fence {
+                kind: FenceKind::Class,
+                issue: 60, // before completion at 100!
+            },
+            RetiredEvent::FsEnd,
+        ];
+        let v = check_trace(&events).unwrap_err();
+        assert_eq!(v.latest_in_scope_complete, 100);
+        assert_eq!(v.fence_issue, 60);
+    }
+
+    #[test]
+    fn out_of_scope_ops_do_not_constrain_class_fence() {
+        let a = ClassId(0);
+        let events = [
+            // Slow access *outside* the class scope:
+            RetiredEvent::Mem {
+                id: 1,
+                flagged: false,
+                issue: 0,
+                complete: 1000,
+            },
+            RetiredEvent::FsStart(a),
+            RetiredEvent::Mem {
+                id: 2,
+                flagged: false,
+                issue: 5,
+                complete: 20,
+            },
+            RetiredEvent::Fence {
+                kind: FenceKind::Class,
+                issue: 20, // fine: op 1 is out of scope
+            },
+            RetiredEvent::FsEnd,
+        ];
+        assert!(check_trace(&events).is_ok());
+        // The same trace with a *global* fence violates:
+        let mut g = events.to_vec();
+        g[3] = RetiredEvent::Fence {
+            kind: FenceKind::Global,
+            issue: 20,
+        };
+        assert!(check_trace(&g).is_err());
+    }
+
+    #[test]
+    fn set_fence_constrained_only_by_flagged_ops() {
+        let events = [
+            RetiredEvent::Mem {
+                id: 1,
+                flagged: false,
+                issue: 0,
+                complete: 500,
+            },
+            RetiredEvent::Mem {
+                id: 2,
+                flagged: true,
+                issue: 0,
+                complete: 30,
+            },
+            RetiredEvent::Fence {
+                kind: FenceKind::Set,
+                issue: 30,
+            },
+        ];
+        assert!(check_trace(&events).is_ok());
+        let mut bad = events.to_vec();
+        bad[1] = RetiredEvent::Mem {
+            id: 2,
+            flagged: true,
+            issue: 0,
+            complete: 31,
+        };
+        assert!(check_trace(&bad).is_err());
+    }
+
+    #[test]
+    fn nested_scopes_inner_fence_ignores_outer_only_ops() {
+        let a = ClassId(0);
+        let b = ClassId(1);
+        let events = [
+            RetiredEvent::FsStart(a),
+            RetiredEvent::Mem {
+                id: 1,
+                flagged: false,
+                issue: 0,
+                complete: 900,
+            }, // in A only
+            RetiredEvent::FsStart(b),
+            RetiredEvent::Mem {
+                id: 2,
+                flagged: false,
+                issue: 0,
+                complete: 10,
+            }, // in A and B
+            RetiredEvent::Fence {
+                kind: FenceKind::Class,
+                issue: 10,
+            }, // B's fence: ok
+            RetiredEvent::FsEnd,
+            RetiredEvent::Fence {
+                kind: FenceKind::Class,
+                issue: 10,
+            }, // A's fence: op 1 incomplete -> violation
+        ];
+        let v = check_trace(&events).unwrap_err();
+        assert_eq!(v.event_index, 6);
+    }
+}

@@ -1,0 +1,194 @@
+//! The fence scope stack (FSS) and its branch-misprediction shadow.
+//!
+//! The FSS records the nested active scopes: the outermost scope at
+//! the bottom, the innermost on top (paper §IV-A-3). `fs_start` pushes
+//! the scope's FSB column, `fs_end` pops. When either the stack or the
+//! mapping table cannot accommodate a new scope, an *overflow counter*
+//! takes over: it counts unbalanced `fs_start`s, and while it is
+//! nonzero every fence degrades to a traditional fence (paper's
+//! "handling excessive scopes").
+//!
+//! Branch misprediction (paper §IV-A-3, "handling branch prediction")
+//! is handled one level up, in [`crate::unit::ScopeUnit`], which keeps
+//! a shadow stack FSS′ plus a queue of scope operations pending behind
+//! unconfirmed branches.
+
+use crate::mask::ScopeMask;
+
+/// A scope operation, recorded for deferred replay on the shadow
+/// stack. `Push(None)` is an `fs_start` that could not be tracked
+/// (mapping table full at issue time); each stack interprets it
+/// through its own overflow counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScopeOp {
+    Push(Option<u8>),
+    Pop,
+}
+
+/// One fence scope stack of bounded capacity with an overflow counter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScopeStack {
+    stack: Vec<u8>,
+    cap: usize,
+    /// Number of `fs_start`s seen since the structure filled, not yet
+    /// balanced by `fs_end`s. While nonzero, fences degrade.
+    overflow: u32,
+}
+
+impl ScopeStack {
+    pub fn new(cap: usize) -> Self {
+        assert!(cap >= 1, "FSS needs at least one entry");
+        Self {
+            stack: Vec::with_capacity(cap),
+            cap,
+            overflow: 0,
+        }
+    }
+
+    /// Apply a scope operation.
+    pub fn apply(&mut self, op: ScopeOp) {
+        match op {
+            ScopeOp::Push(col) => self.push(col),
+            ScopeOp::Pop => self.pop(),
+        }
+    }
+
+    fn push(&mut self, col: Option<u8>) {
+        if self.overflow > 0 {
+            // Nested inside an untracked region: stay untracked so the
+            // matching fs_end pairs up.
+            self.overflow += 1;
+            return;
+        }
+        match col {
+            Some(c) if self.stack.len() < self.cap => self.stack.push(c),
+            _ => self.overflow = 1,
+        }
+    }
+
+    fn pop(&mut self) {
+        if self.overflow > 0 {
+            self.overflow -= 1;
+            return;
+        }
+        debug_assert!(!self.stack.is_empty(), "FSS pop on empty stack");
+        self.stack.pop();
+    }
+
+    /// The column of the innermost tracked scope, if any.
+    pub fn top(&self) -> Option<u8> {
+        self.stack.last().copied()
+    }
+
+    /// Is a column anywhere on the stack?
+    pub fn contains(&self, col: u8) -> bool {
+        self.stack.contains(&col)
+    }
+
+    /// FSB mask a newly issued memory operation must set: all columns
+    /// currently on the stack (inner scopes flag outer scopes too —
+    /// paper §IV-A-3).
+    pub fn mask(&self) -> ScopeMask {
+        let mut m = ScopeMask::EMPTY;
+        for &c in &self.stack {
+            m = m.union(ScopeMask::column(c));
+        }
+        m
+    }
+
+    /// While true, fences must behave as traditional fences.
+    pub fn degraded(&self) -> bool {
+        self.overflow > 0
+    }
+
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.stack.is_empty() && self.overflow == 0
+    }
+
+    /// Restore this stack from another (misprediction recovery:
+    /// `FSS <- FSS'`).
+    pub fn restore_from(&mut self, other: &ScopeStack) {
+        self.stack.clear();
+        self.stack.extend_from_slice(&other.stack);
+        self.overflow = other.overflow;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_nesting() {
+        let mut s = ScopeStack::new(4);
+        s.apply(ScopeOp::Push(Some(0)));
+        s.apply(ScopeOp::Push(Some(1)));
+        assert_eq!(s.top(), Some(1));
+        assert_eq!(s.mask(), ScopeMask(0b11));
+        s.apply(ScopeOp::Pop);
+        assert_eq!(s.top(), Some(0));
+        s.apply(ScopeOp::Pop);
+        assert!(s.is_empty());
+        assert_eq!(s.mask(), ScopeMask::EMPTY);
+    }
+
+    #[test]
+    fn duplicate_columns_allowed() {
+        // Nested invocations of the same class push the same column.
+        let mut s = ScopeStack::new(4);
+        s.apply(ScopeOp::Push(Some(2)));
+        s.apply(ScopeOp::Push(Some(2)));
+        assert_eq!(s.mask(), ScopeMask::column(2));
+        s.apply(ScopeOp::Pop);
+        assert!(s.contains(2));
+        s.apply(ScopeOp::Pop);
+        assert!(!s.contains(2));
+    }
+
+    #[test]
+    fn capacity_overflow_degrades_and_recovers() {
+        let mut s = ScopeStack::new(2);
+        s.apply(ScopeOp::Push(Some(0)));
+        s.apply(ScopeOp::Push(Some(1)));
+        assert!(!s.degraded());
+        s.apply(ScopeOp::Push(Some(2))); // no room -> overflow
+        assert!(s.degraded());
+        s.apply(ScopeOp::Push(Some(0))); // nested inside untracked
+        assert!(s.degraded());
+        s.apply(ScopeOp::Pop);
+        assert!(s.degraded()); // counter 1
+        s.apply(ScopeOp::Pop);
+        assert!(!s.degraded()); // recovered
+        assert_eq!(s.depth(), 2); // outer tracked scopes intact
+        s.apply(ScopeOp::Pop);
+        s.apply(ScopeOp::Pop);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn untracked_push_always_overflows() {
+        let mut s = ScopeStack::new(4);
+        s.apply(ScopeOp::Push(None)); // mapping table was full
+        assert!(s.degraded());
+        assert_eq!(s.depth(), 0);
+        s.apply(ScopeOp::Pop);
+        assert!(!s.degraded());
+    }
+
+    #[test]
+    fn restore_from_copies_state() {
+        let mut a = ScopeStack::new(4);
+        let mut b = ScopeStack::new(4);
+        b.apply(ScopeOp::Push(Some(3)));
+        a.apply(ScopeOp::Push(Some(0)));
+        a.apply(ScopeOp::Push(Some(1)));
+        a.restore_from(&b);
+        assert_eq!(a.top(), Some(3));
+        assert_eq!(a.depth(), 1);
+        assert!(!a.degraded());
+    }
+}

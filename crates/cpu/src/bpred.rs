@@ -1,0 +1,86 @@
+//! Branch direction predictor: a table of 2-bit saturating counters
+//! indexed by a PC hash. Branch targets are static in this ISA, so no
+//! BTB is needed.
+
+/// 2-bit-counter branch predictor.
+#[derive(Debug, Clone)]
+pub struct BranchPredictor {
+    counters: Vec<u8>,
+    mask: usize,
+    pub predictions: u64,
+    pub mispredictions: u64,
+}
+
+impl BranchPredictor {
+    /// `entries` must be a power of two.
+    pub fn new(entries: usize) -> Self {
+        assert!(entries.is_power_of_two());
+        Self {
+            // Weakly taken: loop branches warm up fast.
+            counters: vec![2; entries],
+            mask: entries - 1,
+            predictions: 0,
+            mispredictions: 0,
+        }
+    }
+
+    #[inline]
+    fn index(&self, pc: usize) -> usize {
+        // Cheap avalanche; PCs are small and dense.
+        (pc.wrapping_mul(0x9E37_79B9)) >> 4 & self.mask
+    }
+
+    /// Predict the direction of the branch at `pc`.
+    pub fn predict(&mut self, pc: usize) -> bool {
+        self.predictions += 1;
+        self.counters[self.index(pc)] >= 2
+    }
+
+    /// Train with the actual outcome; call once per resolved branch.
+    pub fn update(&mut self, pc: usize, taken: bool, mispredicted: bool) {
+        if mispredicted {
+            self.mispredictions += 1;
+        }
+        let idx = self.index(pc);
+        let c = &mut self.counters[idx];
+        if taken {
+            *c = (*c + 1).min(3);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_a_biased_branch() {
+        let mut p = BranchPredictor::new(64);
+        for _ in 0..4 {
+            let pred = p.predict(100);
+            p.update(100, true, pred != true);
+        }
+        assert!(p.predict(100), "saturated taken");
+        for _ in 0..4 {
+            let pred = p.predict(100);
+            p.update(100, false, pred);
+        }
+        assert!(!p.predict(100), "re-learned not-taken");
+        assert!(p.mispredictions > 0);
+    }
+
+    #[test]
+    fn distinct_pcs_do_not_interfere_much() {
+        let mut p = BranchPredictor::new(1024);
+        for _ in 0..8 {
+            let t = p.predict(8);
+            p.update(8, true, !t);
+            let n = p.predict(9);
+            p.update(9, false, n);
+        }
+        assert!(p.predict(8));
+        assert!(!p.predict(9));
+    }
+}

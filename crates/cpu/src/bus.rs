@@ -1,0 +1,56 @@
+//! The interface between a core and the shared machine: timing
+//! queries against the cache hierarchy and functional reads/writes of
+//! the flat word memory. The machine (sfence-sim) implements this; the
+//! cpu crate's unit tests use a trivial fixed-latency implementation.
+
+/// Shared-machine services used by a core.
+pub trait MemBus {
+    /// Resolve the timing of an access *dispatched this cycle* (tag
+    /// lookup, coherence, LRU — all charged instantly; the data moves
+    /// at completion time).
+    fn access_latency(&mut self, core: usize, addr: usize, write: bool) -> u64;
+
+    /// Functional read at completion time.
+    fn read(&mut self, addr: usize) -> i64;
+
+    /// Functional write at store-drain (or CAS) completion time.
+    fn write(&mut self, core: usize, addr: usize, val: i64);
+}
+
+/// A flat, fixed-latency bus for unit tests: every access costs
+/// `latency` cycles (no caches).
+#[derive(Debug, Clone)]
+pub struct FlatBus {
+    pub mem: Vec<i64>,
+    pub latency: u64,
+    /// Optional per-address latency overrides (simulating misses).
+    pub slow_addrs: Vec<(usize, u64)>,
+}
+
+impl FlatBus {
+    pub fn new(words: usize, latency: u64) -> Self {
+        Self {
+            mem: vec![0; words],
+            latency,
+            slow_addrs: Vec::new(),
+        }
+    }
+}
+
+impl MemBus for FlatBus {
+    fn access_latency(&mut self, _core: usize, addr: usize, _write: bool) -> u64 {
+        self.slow_addrs
+            .iter()
+            .find(|&&(a, _)| a == addr)
+            .map(|&(_, l)| l)
+            .unwrap_or(self.latency)
+    }
+
+    fn read(&mut self, addr: usize) -> i64 {
+        self.mem[addr]
+    }
+
+    fn write(&mut self, _core: usize, addr: usize, val: i64) {
+        self.mem[addr] = val;
+    }
+}

@@ -1,0 +1,113 @@
+//! Core configuration: pipeline geometry and the four fence
+//! configurations of the paper's evaluation (T, S, T+, S+).
+
+use sfence_core::ScopeConfig;
+
+/// The four fence configurations of Fig. 13.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FenceConfig {
+    /// `true` = S-Fence hardware enabled (scoped fences honoured);
+    /// `false` = every fence behaves as a traditional full fence.
+    pub honor_scopes: bool,
+    /// In-window speculation [Gharachorloo et al.]: fences issue
+    /// speculatively and hold only retirement.
+    pub in_window_speculation: bool,
+}
+
+impl FenceConfig {
+    /// `T` — traditional fences.
+    pub const TRADITIONAL: FenceConfig = FenceConfig {
+        honor_scopes: false,
+        in_window_speculation: false,
+    };
+    /// `S` — scoped fences.
+    pub const SFENCE: FenceConfig = FenceConfig {
+        honor_scopes: true,
+        in_window_speculation: false,
+    };
+    /// `T+` — traditional fences with in-window speculation.
+    pub const TRADITIONAL_SPEC: FenceConfig = FenceConfig {
+        honor_scopes: false,
+        in_window_speculation: true,
+    };
+    /// `S+` — scoped fences with in-window speculation.
+    pub const SFENCE_SPEC: FenceConfig = FenceConfig {
+        honor_scopes: true,
+        in_window_speculation: true,
+    };
+
+    /// The paper's label for this configuration.
+    pub fn label(&self) -> &'static str {
+        match (self.honor_scopes, self.in_window_speculation) {
+            (false, false) => "T",
+            (true, false) => "S",
+            (false, true) => "T+",
+            (true, true) => "S+",
+        }
+    }
+}
+
+/// Per-core microarchitectural parameters (paper Table III defaults).
+#[derive(Debug, Clone)]
+pub struct CoreConfig {
+    /// Reorder buffer entries (Fig. 16 sweeps 64/128/256).
+    pub rob_size: usize,
+    /// Store buffer entries.
+    pub sb_size: usize,
+    /// Instructions issued into the ROB per cycle.
+    pub issue_width: usize,
+    /// Instructions retired per cycle.
+    pub retire_width: usize,
+    /// Redirect bubble after a branch misprediction.
+    pub mispredict_penalty: u64,
+    /// Branch predictor table entries (power of two).
+    pub bpred_entries: usize,
+    /// Maximum store-buffer drains in flight (out-of-order drain).
+    pub max_outstanding_stores: usize,
+    /// Drain the store buffer in FIFO order (TSO-ish) instead of the
+    /// default out-of-order drain (RMO, the paper's memory model).
+    pub sb_drain_in_order: bool,
+    /// Make CAS drain the store buffer before executing (x86
+    /// lock-prefix semantics). Off by default: under RMO a CAS orders
+    /// prior *loads* (it executes at the ROB head) but not prior
+    /// stores — explicit fences must do that, which is exactly what
+    /// the paper's benchmarks exercise. Same-address stores are always
+    /// ordered regardless.
+    pub cas_drains_sb: bool,
+    pub fence: FenceConfig,
+    pub scope: ScopeConfig,
+    /// Record retired-event traces for conformance checking.
+    pub trace: bool,
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        Self {
+            rob_size: 128,
+            sb_size: 8,
+            issue_width: 2,
+            retire_width: 2,
+            mispredict_penalty: 8,
+            bpred_entries: 512,
+            max_outstanding_stores: 4,
+            sb_drain_in_order: false,
+            cas_drains_sb: false,
+            fence: FenceConfig::SFENCE,
+            scope: ScopeConfig::default(),
+            trace: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(FenceConfig::TRADITIONAL.label(), "T");
+        assert_eq!(FenceConfig::SFENCE.label(), "S");
+        assert_eq!(FenceConfig::TRADITIONAL_SPEC.label(), "T+");
+        assert_eq!(FenceConfig::SFENCE_SPEC.label(), "S+");
+    }
+}

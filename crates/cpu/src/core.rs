@@ -1,0 +1,1042 @@
+//! The out-of-order core model.
+//!
+//! One [`Core`] executes one thread's instruction stream with:
+//!
+//! - **in-order issue** along the *predicted* path into a bounded ROB
+//!   (wrong-path instructions are genuinely fetched and squashed at
+//!   branch resolution — this is what exercises FSS′);
+//! - **dataflow execution**: an instruction dispatches once its source
+//!   operands' producers have completed (Tomasulo-style wakeup;
+//!   operands are captured as values or producer tags at issue);
+//! - **in-order retirement** from the ROB head; stores move to a
+//!   bounded store buffer at retire and drain out of order (RMO) or
+//!   FIFO, writing shared memory at drain completion;
+//! - **load values bound at completion time** from shared memory (or
+//!   forwarded from the youngest older matching store), so cross-core
+//!   interleavings are physically meaningful;
+//! - **CAS** executing non-speculatively at the ROB head after
+//!   draining the local store buffer;
+//! - **fences** that either block the issue stage until their
+//!   condition holds (`T`/`S`) or issue speculatively and hold only
+//!   retirement (`T+`/`S+`, in-window speculation), with the condition
+//!   supplied by the S-Fence scope unit when scopes are honoured.
+//!
+//! The register file holds *committed* state only (updated at retire);
+//! squash recovery therefore needs no register checkpoints — the
+//! producer map is rebuilt by rescanning the surviving ROB entries.
+
+use crate::bpred::BranchPredictor;
+use crate::bus::MemBus;
+use crate::config::CoreConfig;
+use crate::stats::CoreStats;
+use sfence_core::{
+    ColumnCounters, FenceWait, RetiredEvent, ScopeMask, ScopeUnit,
+};
+use sfence_isa::{FenceKind, Instr, Operand, Reg, NUM_REGS};
+use std::collections::{BinaryHeap, VecDeque};
+use std::cmp::Reverse;
+
+/// A source operand captured at issue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Src {
+    Ready(i64),
+    /// Waiting on the ROB entry with this sequence number.
+    Wait(u64),
+    /// Operand slot unused by this instruction.
+    None,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EState {
+    /// Waiting for source operands.
+    Waiting,
+    /// Operands ready; awaiting dispatch (or blocked on
+    /// disambiguation / CAS head condition).
+    Ready,
+    /// In an execution unit or the memory system.
+    Executing,
+    /// Finished; may retire when it reaches the ROB head.
+    Done,
+}
+
+#[derive(Debug, Clone)]
+struct RobEntry {
+    seq: u64,
+    pc: usize,
+    instr: Instr,
+    ops: [Src; 3],
+    state: EState,
+    result: i64,
+    addr: usize,
+    mask: ScopeMask,
+    /// Still counted in `mem_in_flight` / scope-unit counters.
+    counted: bool,
+    fence_wait: Option<FenceWait>,
+    predicted_taken: bool,
+    issued_at: u64,
+    dispatched_at: u64,
+    completed_at: u64,
+    waiters: Vec<u64>,
+}
+
+#[derive(Debug, Clone)]
+struct SbEntry {
+    id: u64,
+    addr: usize,
+    val: i64,
+    mask: ScopeMask,
+    counted: bool,
+    issued: bool,
+    /// Index into the trace buffer to patch with the drain cycle.
+    trace_idx: Option<usize>,
+}
+
+/// Timed completion events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Ev {
+    Rob(u64),
+    Sb(u64),
+}
+
+/// One simulated core.
+pub struct Core {
+    pub cfg: CoreConfig,
+    id: usize,
+    code: Vec<Instr>,
+
+    regs: [i64; NUM_REGS],
+    reg_producer: [Option<u64>; NUM_REGS],
+
+    rob: VecDeque<RobEntry>,
+    next_seq: u64,
+    sb: VecDeque<SbEntry>,
+    next_store_id: u64,
+    sb_inflight: usize,
+    sb_counts: ColumnCounters,
+
+    fetch_pc: usize,
+    fetch_resume: u64,
+    fetch_done: bool,
+    halted: bool,
+    /// A fence blocking the issue stage (non-speculative mode).
+    blocked_fence: Option<(FenceKind, FenceWait, usize)>,
+
+    events: BinaryHeap<Reverse<(u64, Ev)>>,
+    ready_q: Vec<u64>,
+    blocked_loads: Vec<u64>,
+
+    scope: ScopeUnit,
+    bpred: BranchPredictor,
+    mem_in_flight: usize,
+
+    pub stats: CoreStats,
+    /// Retired-event trace (when `cfg.trace`).
+    pub trace: Vec<RetiredEvent>,
+}
+
+impl Core {
+    pub fn new(id: usize, code: Vec<Instr>, cfg: CoreConfig) -> Self {
+        let scope = ScopeUnit::new(cfg.scope);
+        let bpred = BranchPredictor::new(cfg.bpred_entries);
+        let halted = code.is_empty();
+        Self {
+            id,
+            code,
+            regs: [0; NUM_REGS],
+            reg_producer: [None; NUM_REGS],
+            rob: VecDeque::with_capacity(cfg.rob_size),
+            next_seq: 0,
+            sb: VecDeque::with_capacity(cfg.sb_size),
+            next_store_id: 0,
+            sb_inflight: 0,
+            sb_counts: ColumnCounters::new(),
+            fetch_pc: 0,
+            fetch_resume: 0,
+            fetch_done: halted,
+            halted,
+            blocked_fence: None,
+            events: BinaryHeap::new(),
+            ready_q: Vec::new(),
+            blocked_loads: Vec::new(),
+            scope,
+            bpred,
+            mem_in_flight: 0,
+            stats: CoreStats::default(),
+            trace: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// Has this core retired its `halt` and drained all buffers?
+    pub fn finished(&self) -> bool {
+        self.halted && self.sb.is_empty() && self.rob.is_empty()
+    }
+
+    /// Scope-unit statistics (diagnostics).
+    pub fn scope_stats(&self) -> sfence_core::ScopeUnitStats {
+        self.scope.stats
+    }
+
+    pub fn branch_stats(&self) -> (u64, u64) {
+        (self.bpred.predictions, self.bpred.mispredictions)
+    }
+
+    fn honor_scopes(&self) -> bool {
+        self.cfg.fence.honor_scopes
+    }
+
+    // ------------------------------------------------------------------
+    // ROB access helpers
+
+    fn head_seq(&self) -> Option<u64> {
+        self.rob.front().map(|e| e.seq)
+    }
+
+    /// Locate an entry by sequence number. Sequence numbers are unique
+    /// and monotonically increasing but *not* contiguous after a
+    /// squash (we never roll `next_seq` back, so stale completion
+    /// events can never alias a new entry), hence the binary search.
+    fn rob_index(&self, seq: u64) -> Option<usize> {
+        let idx = self.rob.partition_point(|e| e.seq < seq);
+        (idx < self.rob.len() && self.rob[idx].seq == seq).then_some(idx)
+    }
+
+    fn entry(&self, seq: u64) -> Option<&RobEntry> {
+        self.rob_index(seq).map(|i| &self.rob[i])
+    }
+
+    fn entry_mut(&mut self, seq: u64) -> Option<&mut RobEntry> {
+        let i = self.rob_index(seq)?;
+        self.rob.get_mut(i)
+    }
+
+    // ------------------------------------------------------------------
+    // The per-cycle pipeline
+
+    /// Advance the core by one cycle.
+    pub fn cycle(&mut self, now: u64, bus: &mut impl MemBus) {
+        if self.finished() {
+            return;
+        }
+        let mut fence_stalled = false;
+        self.process_completions(now, bus);
+        self.drain_store_buffer(now, bus);
+        self.retire(now, &mut fence_stalled);
+        self.execute(now, bus);
+        self.issue(now, &mut fence_stalled);
+        if fence_stalled {
+            self.stats.fence_stall_cycles += 1;
+        }
+        if self.finished() && self.stats.finished_at.is_none() {
+            self.stats.finished_at = Some(now);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Completion
+
+    fn process_completions(&mut self, now: u64, bus: &mut impl MemBus) {
+        while let Some(&Reverse((t, ev))) = self.events.peek() {
+            if t > now {
+                break;
+            }
+            self.events.pop();
+            match ev {
+                Ev::Rob(seq) => self.complete_rob(seq, now, bus),
+                Ev::Sb(id) => self.complete_drain(id, now, bus),
+            }
+        }
+    }
+
+    fn complete_rob(&mut self, seq: u64, now: u64, bus: &mut impl MemBus) {
+        let Some(e) = self.entry(seq) else {
+            return; // squashed while its event was in flight
+        };
+        if e.state != EState::Executing {
+            return; // stale event after a squash reused nothing (seq is unique)
+        }
+        let instr = e.instr;
+        match instr {
+            Instr::Load { .. } => {
+                let addr = e.addr;
+                // A forwarded load bound its value at dispatch (addr
+                // == usize::MAX marks forwarding); otherwise bind from
+                // shared memory now, at completion time.
+                let val = if addr == usize::MAX {
+                    self.entry(seq).unwrap().result
+                } else {
+                    bus.read(addr)
+                };
+                self.finish_mem(seq, val, now);
+            }
+            Instr::Cas { .. } => {
+                let (addr, expected, new) = {
+                    let e = self.entry(seq).unwrap();
+                    (e.addr, src_val(e.ops[1]), src_val(e.ops[2]))
+                };
+                let old = bus.read(addr);
+                let ok = old == expected;
+                if ok {
+                    bus.write(self.id, addr, new);
+                }
+                self.finish_mem(seq, ok as i64, now);
+            }
+            Instr::Branch { op, a, b, target } => {
+                let (va, vb, predicted) = {
+                    let e = self.entry(seq).unwrap();
+                    (
+                        operand_val(a, &e.ops, 0),
+                        operand_val(b, &e.ops, 1),
+                        e.predicted_taken,
+                    )
+                };
+                let taken = op.apply(va, vb);
+                self.stats.branches_resolved += 1;
+                let pc = self.entry(seq).unwrap().pc;
+                self.mark_done(seq, 0, now);
+                if taken != predicted {
+                    self.stats.mispredictions += 1;
+                    self.bpred.update(pc, taken, true);
+                    let next = if taken { target } else { pc + 1 };
+                    self.squash_after(seq, next, now);
+                } else {
+                    self.bpred.update(pc, taken, false);
+                    if self.honor_scopes() {
+                        self.scope.branch_resolved(seq, false);
+                    }
+                }
+            }
+            _ => {
+                // ALU-class instruction: result was computed at dispatch.
+                let r = self.entry(seq).unwrap().result;
+                self.mark_done(seq, r, now);
+            }
+        }
+    }
+
+    /// Mark a load/CAS complete: value, counters, wakeup.
+    fn finish_mem(&mut self, seq: u64, val: i64, now: u64) {
+        let mask = {
+            let e = self.entry_mut(seq).unwrap();
+            debug_assert!(e.counted);
+            e.counted = false;
+            e.mask
+        };
+        self.mem_in_flight -= 1;
+        if self.honor_scopes() {
+            self.scope.mem_completed(mask);
+        }
+        self.mark_done(seq, val, now);
+    }
+
+    /// Transition to Done, record result, wake consumers.
+    fn mark_done(&mut self, seq: u64, result: i64, now: u64) {
+        let waiters = {
+            let e = self.entry_mut(seq).unwrap();
+            e.state = EState::Done;
+            e.result = result;
+            e.completed_at = now;
+            std::mem::take(&mut e.waiters)
+        };
+        for w in waiters {
+            self.wake(w, seq, result);
+        }
+    }
+
+    fn wake(&mut self, waiter: u64, producer: u64, value: i64) {
+        let Some(e) = self.entry_mut(waiter) else {
+            return; // squashed
+        };
+        for op in e.ops.iter_mut() {
+            if *op == Src::Wait(producer) {
+                *op = Src::Ready(value);
+            }
+        }
+        if e.state == EState::Waiting && e.ops.iter().all(|o| !matches!(o, Src::Wait(_))) {
+            e.state = EState::Ready;
+            self.ready_q.push(waiter);
+        }
+    }
+
+    fn complete_drain(&mut self, id: u64, _now: u64, bus: &mut impl MemBus) {
+        let Some(pos) = self.sb.iter().position(|s| s.id == id) else {
+            unreachable!("store-buffer drains are never squashed");
+        };
+        let entry = self.sb.remove(pos).unwrap();
+        bus.write(self.id, entry.addr, entry.val);
+        self.sb_inflight -= 1;
+        self.sb_counts.remove(entry.mask);
+        if entry.counted {
+            self.mem_in_flight -= 1;
+            if self.honor_scopes() {
+                self.scope.mem_completed(entry.mask);
+            }
+        }
+        if let Some(idx) = entry.trace_idx {
+            if let RetiredEvent::Mem { complete, .. } = &mut self.trace[idx] {
+                *complete = _now;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Store buffer drain
+
+    fn drain_store_buffer(&mut self, now: u64, bus: &mut impl MemBus) {
+        if self.sb.is_empty() {
+            return;
+        }
+        let max = self.cfg.max_outstanding_stores;
+        if self.cfg.sb_drain_in_order {
+            // FIFO drain: only the head, one at a time.
+            if self.sb_inflight == 0 {
+                let head = self.sb.front_mut().unwrap();
+                if !head.issued {
+                    head.issued = true;
+                    let (id, addr) = (head.id, head.addr);
+                    let lat = bus.access_latency(self.id, addr, true).max(1);
+                    self.events.push(Reverse((now + lat, Ev::Sb(id))));
+                    self.sb_inflight += 1;
+                }
+            }
+            return;
+        }
+        // RMO: drain any entry, but same-address stores stay ordered.
+        let mut candidates: Vec<u64> = Vec::new();
+        for i in 0..self.sb.len() {
+            if self.sb_inflight + candidates.len() >= max {
+                break;
+            }
+            let e = &self.sb[i];
+            if e.issued {
+                continue;
+            }
+            let addr = e.addr;
+            let blocked = self.sb.iter().take(i).any(|older| older.addr == addr);
+            if !blocked {
+                candidates.push(e.id);
+            }
+        }
+        for id in candidates {
+            let pos = self.sb.iter().position(|s| s.id == id).unwrap();
+            let addr = self.sb[pos].addr;
+            self.sb[pos].issued = true;
+            let lat = bus.access_latency(self.id, addr, true).max(1);
+            self.events.push(Reverse((now + lat, Ev::Sb(id))));
+            self.sb_inflight += 1;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Retire
+
+    fn retire(&mut self, now: u64, fence_stalled: &mut bool) {
+        for _ in 0..self.cfg.retire_width {
+            let Some(head) = self.rob.front() else {
+                return;
+            };
+            if head.state != EState::Done {
+                // CAS parks Ready at the head until the SB drains; all
+                // other kinds are simply not finished yet.
+                return;
+            }
+            let instr = head.instr;
+            // Fences under in-window speculation hold retirement until
+            // their (captured) condition is satisfied by the SB.
+            if let Instr::Fence { .. } = instr {
+                if self.cfg.fence.in_window_speculation {
+                    let ok = match head.fence_wait {
+                        Some(FenceWait::All) | None => self.sb.is_empty(),
+                        Some(FenceWait::Mask(m)) => self.sb_counts.clear_in(m),
+                    };
+                    if !ok {
+                        *fence_stalled = true;
+                        return;
+                    }
+                }
+                self.stats.fences_retired += 1;
+            }
+            // Stores need a store-buffer slot.
+            if let Instr::Store { .. } = instr {
+                if self.sb.len() == self.cfg.sb_size {
+                    self.stats.sb_full_stall_cycles += 1;
+                    return;
+                }
+            }
+            let e = self.rob.pop_front().unwrap();
+            self.stats.instrs_retired += 1;
+            // Commit the register value.
+            if let Some(rd) = e.instr.dest() {
+                self.regs[rd.0 as usize] = e.result;
+                if self.reg_producer[rd.0 as usize] == Some(e.seq) {
+                    self.reg_producer[rd.0 as usize] = None;
+                }
+            }
+            match e.instr {
+                Instr::Store { set_flagged, .. } => {
+                    self.stats.stores += 1;
+                    let trace_idx = if self.cfg.trace {
+                        self.trace.push(RetiredEvent::Mem {
+                            id: e.seq,
+                            flagged: set_flagged,
+                            issue: e.dispatched_at,
+                            complete: u64::MAX, // patched at drain
+                        });
+                        Some(self.trace.len() - 1)
+                    } else {
+                        None
+                    };
+                    let id = self.next_store_id;
+                    self.next_store_id += 1;
+                    self.sb_counts.add(e.mask);
+                    self.sb.push_back(SbEntry {
+                        id,
+                        addr: e.addr,
+                        val: e.result,
+                        mask: e.mask,
+                        counted: e.counted,
+                        issued: false,
+                        trace_idx,
+                    });
+                }
+                Instr::Load { set_flagged, .. } => {
+                    self.stats.loads += 1;
+                    if self.cfg.trace {
+                        self.trace.push(RetiredEvent::Mem {
+                            id: e.seq,
+                            flagged: set_flagged,
+                            issue: e.dispatched_at,
+                            complete: e.completed_at,
+                        });
+                    }
+                }
+                Instr::Cas { set_flagged, .. } => {
+                    self.stats.cas_ops += 1;
+                    if self.cfg.trace {
+                        self.trace.push(RetiredEvent::Mem {
+                            id: e.seq,
+                            flagged: set_flagged,
+                            issue: e.dispatched_at,
+                            complete: e.completed_at,
+                        });
+                    }
+                }
+                Instr::Fence { kind } => {
+                    if self.cfg.trace {
+                        let kind_eff = if self.honor_scopes() { kind } else { FenceKind::Global };
+                        self.trace.push(RetiredEvent::Fence {
+                            kind: kind_eff,
+                            issue: e.issued_at,
+                        });
+                    }
+                }
+                Instr::FsStart { cid } => {
+                    if self.honor_scopes() {
+                        self.scope.fs_retired();
+                    }
+                    if self.cfg.trace {
+                        self.trace.push(RetiredEvent::FsStart(cid));
+                    }
+                }
+                Instr::FsEnd { .. } => {
+                    if self.honor_scopes() {
+                        self.scope.fs_retired();
+                    }
+                    if self.cfg.trace {
+                        self.trace.push(RetiredEvent::FsEnd);
+                    }
+                }
+                Instr::Halt => {
+                    self.halted = true;
+                    self.stats.halted_at = Some(now);
+                    return;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Execute
+
+    fn execute(&mut self, now: u64, bus: &mut impl MemBus) {
+        // Re-examine loads blocked on disambiguation and a CAS parked
+        // at the head, then dispatch the newly ready instructions.
+        let mut work: Vec<u64> = std::mem::take(&mut self.blocked_loads);
+        work.extend(std::mem::take(&mut self.ready_q));
+        // Also: a Ready CAS at the head re-checks every cycle.
+        if let Some(head) = self.rob.front() {
+            if matches!(head.instr, Instr::Cas { .. })
+                && head.state == EState::Ready
+                && !work.contains(&head.seq)
+            {
+                work.push(head.seq);
+            }
+        }
+        work.sort_unstable();
+        work.dedup();
+        for seq in work {
+            self.dispatch(seq, now, bus);
+        }
+    }
+
+    fn dispatch(&mut self, seq: u64, now: u64, bus: &mut impl MemBus) {
+        let Some(e) = self.entry(seq) else {
+            return;
+        };
+        if e.state != EState::Ready {
+            return;
+        }
+        let instr = e.instr;
+        match instr {
+            Instr::Imm { value, .. } => self.start_exec(seq, value, 1, now),
+            Instr::Mov { a, .. } => {
+                let v = operand_val(a, &self.entry(seq).unwrap().ops, 0);
+                self.start_exec(seq, v, 1, now);
+            }
+            Instr::Alu { op, a, b, .. } => {
+                let ops = self.entry(seq).unwrap().ops;
+                let v = op.apply(operand_val(a, &ops, 0), operand_val(b, &ops, 1));
+                self.start_exec(seq, v, 1, now);
+            }
+            Instr::Cmp { op, a, b, .. } => {
+                let ops = self.entry(seq).unwrap().ops;
+                let v = op.apply(operand_val(a, &ops, 0), operand_val(b, &ops, 1)) as i64;
+                self.start_exec(seq, v, 1, now);
+            }
+            Instr::Branch { .. } => {
+                // Resolution happens at the completion event.
+                self.start_exec(seq, 0, 1, now);
+            }
+            Instr::Load { base, offset, .. } => {
+                self.dispatch_load(seq, base, offset, now, bus);
+            }
+            Instr::Store { src, base, offset, .. } => {
+                let ops = self.entry(seq).unwrap().ops;
+                let addr = mem_addr(operand_val(base, &ops, 1), offset);
+                let val = operand_val(src, &ops, 0);
+                let e = self.entry_mut(seq).unwrap();
+                e.addr = addr;
+                e.dispatched_at = now;
+                // Address generation: Done next cycle; the store's
+                // memory effect happens after retire, from the SB.
+                self.start_exec(seq, val, 1, now);
+            }
+            Instr::Cas { base, offset, .. } => {
+                // Non-speculative: only at the ROB head. Prior loads
+                // are thus complete; prior stores are ordered only if
+                // `cas_drains_sb` (or when they target the same
+                // address, preserving single-thread semantics).
+                if self.head_seq() != Some(seq) {
+                    return; // stays Ready; retried next cycle
+                }
+                let ops = self.entry(seq).unwrap().ops;
+                let addr = mem_addr(operand_val(base, &ops, 0), offset);
+                let blocked = if self.cfg.cas_drains_sb {
+                    !self.sb.is_empty() || self.sb_inflight > 0
+                } else {
+                    self.sb.iter().any(|s| s.addr == addr)
+                };
+                if blocked {
+                    return; // wait for the store buffer to make progress
+                }
+                let lat = bus.access_latency(self.id, addr, true).max(1);
+                let e = self.entry_mut(seq).unwrap();
+                e.addr = addr;
+                e.dispatched_at = now;
+                e.state = EState::Executing;
+                self.events.push(Reverse((now + lat, Ev::Rob(seq))));
+            }
+            // Scope markers, fences, jumps, nops and halts are Done at
+            // issue and never reach dispatch.
+            other => unreachable!("dispatch of non-executing instruction {other:?}"),
+        }
+    }
+
+    fn start_exec(&mut self, seq: u64, result: i64, latency: u64, now: u64) {
+        let e = self.entry_mut(seq).unwrap();
+        e.state = EState::Executing;
+        e.result = result;
+        if e.dispatched_at == 0 {
+            e.dispatched_at = now;
+        }
+        self.events.push(Reverse((now + latency, Ev::Rob(seq))));
+    }
+
+    fn dispatch_load(
+        &mut self,
+        seq: u64,
+        base: Operand,
+        offset: i64,
+        now: u64,
+        bus: &mut impl MemBus,
+    ) {
+        // Conservative disambiguation: every older store must have a
+        // resolved address, and every older CAS must have completed
+        // (its memory effect lands only at completion), before a load
+        // may dispatch. Applied identically under all fence configs.
+        let unresolved_older_store = self.rob.iter().any(|e| {
+            e.seq < seq
+                && match e.instr {
+                    Instr::Store { .. } => {
+                        !matches!(e.state, EState::Done | EState::Executing)
+                    }
+                    Instr::Cas { .. } => e.state != EState::Done,
+                    _ => false,
+                }
+        });
+        if unresolved_older_store {
+            self.stats.load_disambiguation_blocks += 1;
+            self.blocked_loads.push(seq);
+            return;
+        }
+        let ops = self.entry(seq).unwrap().ops;
+        let addr = mem_addr(operand_val(base, &ops, 0), offset);
+
+        // Store-to-load forwarding: youngest older matching store in
+        // the ROB, then the youngest in the store buffer.
+        let mut fwd: Option<i64> = None;
+        for e in self.rob.iter().rev() {
+            if e.seq >= seq {
+                continue;
+            }
+            if let Instr::Store { .. } = e.instr {
+                if matches!(e.state, EState::Done | EState::Executing) && e.addr == addr {
+                    // An Executing store has computed addr/result
+                    // already (start_exec stored them).
+                    fwd = Some(e.result);
+                    break;
+                }
+            }
+        }
+        if fwd.is_none() {
+            fwd = self.sb.iter().rev().find(|s| s.addr == addr).map(|s| s.val);
+        }
+
+        let e = self.entry_mut(seq).unwrap();
+        e.dispatched_at = now;
+        e.state = EState::Executing;
+        if let Some(v) = fwd {
+            self.stats.forwarded_loads += 1;
+            let e = self.entry_mut(seq).unwrap();
+            e.addr = usize::MAX; // marks "value already bound"
+            e.result = v;
+            self.events.push(Reverse((now + 1, Ev::Rob(seq))));
+        } else {
+            let lat = bus.access_latency(self.id, addr, false).max(1);
+            let e = self.entry_mut(seq).unwrap();
+            e.addr = addr;
+            self.events.push(Reverse((now + lat, Ev::Rob(seq))));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Squash (branch misprediction)
+
+    fn squash_after(&mut self, branch_seq: u64, next_pc: usize, now: u64) {
+        self.squash_tail(branch_seq, next_pc, now);
+        if self.honor_scopes() {
+            self.scope.branch_resolved(branch_seq, true);
+        }
+    }
+
+    /// Remove every entry younger than `keep_upto` (exclusive) and
+    /// redirect fetch. Scope-unit recovery is the caller's business.
+    fn squash_tail(&mut self, keep_upto: u64, next_pc: usize, now: u64) {
+        while let Some(back) = self.rob.back() {
+            if back.seq <= keep_upto {
+                break;
+            }
+            let e = self.rob.pop_back().unwrap();
+            if e.counted {
+                self.mem_in_flight -= 1;
+                if self.honor_scopes() {
+                    self.scope.mem_squashed(e.mask);
+                }
+            }
+        }
+        // Rebuild the producer map from the survivors.
+        self.reg_producer = [None; NUM_REGS];
+        let producers: Vec<(Reg, u64)> = self
+            .rob
+            .iter()
+            .filter_map(|e| e.instr.dest().map(|rd| (rd, e.seq)))
+            .collect();
+        for (rd, seq) in producers {
+            self.reg_producer[rd.0 as usize] = Some(seq);
+        }
+        self.ready_q.retain(|&s| s <= keep_upto);
+        self.blocked_loads.retain(|&s| s <= keep_upto);
+        self.blocked_fence = None;
+        self.fetch_done = false;
+        self.fetch_pc = next_pc;
+        self.fetch_resume = now + self.cfg.mispredict_penalty;
+    }
+
+    /// In-window speculation violation replay (Gharachorloo): a remote
+    /// write to `addr` just became visible. Any load of `addr` that
+    /// completed but has not retired, and that sits behind a
+    /// still-unretired speculatively-issued fence, may have bound a
+    /// stale value; squash from the oldest such load and re-execute.
+    /// Without in-window speculation fences block issue, so no load
+    /// ever crosses a fence and plain load-load reordering is legal
+    /// RMO behaviour.
+    pub fn coherence_probe(&mut self, addr: usize, now: u64) {
+        if !self.cfg.fence.in_window_speculation {
+            return;
+        }
+        let mut fence_seen = false;
+        let mut victim: Option<(u64, usize)> = None;
+        for e in &self.rob {
+            if matches!(e.instr, Instr::Fence { .. }) {
+                fence_seen = true;
+                continue;
+            }
+            if fence_seen
+                && e.state == EState::Done
+                && matches!(e.instr, Instr::Load { .. })
+                && e.addr == addr
+            {
+                victim = Some((e.seq, e.pc));
+                break;
+            }
+        }
+        let Some((seq, pc)) = victim else {
+            return;
+        };
+        self.stats.speculation_replays += 1;
+        self.squash_tail(seq.saturating_sub(1), pc, now);
+        if self.honor_scopes() {
+            self.scope.squash_from(seq);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Issue
+
+    fn issue(&mut self, now: u64, fence_stalled: &mut bool) {
+        for _ in 0..self.cfg.issue_width {
+            if self.fetch_done || now < self.fetch_resume {
+                return;
+            }
+            if self.rob.len() >= self.cfg.rob_size {
+                self.stats.rob_full_stall_cycles += 1;
+                return;
+            }
+            // A fence blocking the issue stage (T/S mode).
+            if let Some((kind, wait, pc)) = self.blocked_fence {
+                if !self.fence_satisfied(wait) {
+                    *fence_stalled = true;
+                    return;
+                }
+                self.blocked_fence = None;
+                self.push_entry(pc, Instr::Fence { kind }, now, |_| {});
+                continue;
+            }
+            let pc = self.fetch_pc;
+            let instr = self.code[pc];
+            match instr {
+                Instr::Fence { kind } => {
+                    let kind_eff = if self.honor_scopes() { kind } else { FenceKind::Global };
+                    let wait = if self.honor_scopes() {
+                        self.scope.fence_request(kind_eff)
+                    } else {
+                        FenceWait::All
+                    };
+                    if self.cfg.fence.in_window_speculation {
+                        self.fetch_pc += 1;
+                        self.push_entry(pc, instr, now, |e| {
+                            e.fence_wait = Some(wait);
+                        });
+                    } else if self.fence_satisfied(wait) {
+                        self.fetch_pc += 1;
+                        self.push_entry(pc, instr, now, |_| {});
+                    } else {
+                        self.fetch_pc += 1;
+                        self.blocked_fence = Some((kind, wait, pc));
+                        *fence_stalled = true;
+                        return;
+                    }
+                }
+                Instr::FsStart { cid } => {
+                    let seq = self.next_seq;
+                    if self.honor_scopes() {
+                        self.scope.fs_start(cid, seq);
+                    }
+                    self.fetch_pc += 1;
+                    self.push_entry(pc, instr, now, |_| {});
+                }
+                Instr::FsEnd { .. } => {
+                    let seq = self.next_seq;
+                    if self.honor_scopes() {
+                        self.scope.fs_end(seq);
+                    }
+                    self.fetch_pc += 1;
+                    self.push_entry(pc, instr, now, |_| {});
+                }
+                Instr::Jump { target } => {
+                    self.fetch_pc = target;
+                    self.push_entry(pc, instr, now, |_| {});
+                }
+                Instr::Halt => {
+                    self.fetch_done = true;
+                    self.push_entry(pc, instr, now, |_| {});
+                }
+                Instr::Branch { target, .. } => {
+                    let predicted = self.bpred.predict(pc);
+                    let seq = self.next_seq;
+                    if self.honor_scopes() {
+                        self.scope.branch_issued(seq);
+                    }
+                    self.fetch_pc = if predicted { target } else { pc + 1 };
+                    self.push_entry(pc, instr, now, |e| {
+                        e.predicted_taken = predicted;
+                    });
+                }
+                Instr::Load { set_flagged, .. }
+                | Instr::Store { set_flagged, .. }
+                | Instr::Cas { set_flagged, .. } => {
+                    let mask = if self.honor_scopes() {
+                        self.scope.mem_issued(set_flagged)
+                    } else {
+                        ScopeMask::EMPTY
+                    };
+                    self.mem_in_flight += 1;
+                    self.fetch_pc += 1;
+                    self.push_entry(pc, instr, now, |e| {
+                        e.mask = mask;
+                        e.counted = true;
+                    });
+                }
+                _ => {
+                    self.fetch_pc += 1;
+                    self.push_entry(pc, instr, now, |_| {});
+                }
+            }
+        }
+    }
+
+    fn fence_satisfied(&self, wait: FenceWait) -> bool {
+        match wait {
+            FenceWait::All => self.mem_in_flight == 0,
+            FenceWait::Mask(m) => self.scope.mask_clear(m),
+        }
+    }
+
+    /// Allocate a ROB entry for the instruction at `pc`, resolving its
+    /// source operands.
+    fn push_entry(&mut self, pc: usize, instr: Instr, now: u64, fixup: impl FnOnce(&mut RobEntry)) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.stats.instrs_issued += 1;
+
+        let mut ops = [Src::None; 3];
+        let slots: [(usize, Option<Operand>); 3] = match instr {
+            Instr::Mov { a, .. } => [(0, Some(a)), (1, None), (2, None)],
+            Instr::Alu { a, b, .. } | Instr::Cmp { a, b, .. } | Instr::Branch { a, b, .. } => {
+                [(0, Some(a)), (1, Some(b)), (2, None)]
+            }
+            Instr::Load { base, .. } => [(0, Some(base)), (1, None), (2, None)],
+            Instr::Store { src, base, .. } => [(0, Some(src)), (1, Some(base)), (2, None)],
+            Instr::Cas {
+                base,
+                expected,
+                new,
+                ..
+            } => [(0, Some(base)), (1, Some(expected)), (2, Some(new))],
+            _ => [(0, None), (1, None), (2, None)],
+        };
+        for (slot, op) in slots {
+            if let Some(op) = op {
+                ops[slot] = self.resolve_src(op, seq);
+            }
+        }
+        let executes = matches!(
+            instr,
+            Instr::Imm { .. }
+                | Instr::Mov { .. }
+                | Instr::Alu { .. }
+                | Instr::Cmp { .. }
+                | Instr::Load { .. }
+                | Instr::Store { .. }
+                | Instr::Cas { .. }
+                | Instr::Branch { .. }
+        );
+        let waiting = ops.iter().any(|o| matches!(o, Src::Wait(_)));
+        let state = if !executes {
+            EState::Done
+        } else if waiting {
+            EState::Waiting
+        } else {
+            EState::Ready
+        };
+        let mut e = RobEntry {
+            seq,
+            pc,
+            instr,
+            ops,
+            state,
+            result: 0,
+            addr: 0,
+            mask: ScopeMask::EMPTY,
+            counted: false,
+            fence_wait: None,
+            predicted_taken: false,
+            issued_at: now,
+            dispatched_at: 0,
+            completed_at: now,
+            waiters: Vec::new(),
+        };
+        fixup(&mut e);
+        if let Some(rd) = instr.dest() {
+            self.reg_producer[rd.0 as usize] = Some(seq);
+        }
+        if state == EState::Ready {
+            self.ready_q.push(seq);
+        }
+        self.rob.push_back(e);
+    }
+
+    fn resolve_src(&mut self, op: Operand, consumer: u64) -> Src {
+        match op {
+            Operand::Imm(v) => Src::Ready(v),
+            Operand::Reg(r) => match self.reg_producer[r.0 as usize] {
+                None => Src::Ready(self.regs[r.0 as usize]),
+                Some(p) => {
+                    let e = self.entry_mut(p).expect("producer must be in ROB");
+                    if e.state == EState::Done {
+                        Src::Ready(e.result)
+                    } else {
+                        e.waiters.push(consumer);
+                        Src::Wait(p)
+                    }
+                }
+            },
+        }
+    }
+}
+
+#[inline]
+fn src_val(s: Src) -> i64 {
+    match s {
+        Src::Ready(v) => v,
+        other => panic!("operand not ready at use: {other:?}"),
+    }
+}
+
+/// Value of an instruction operand, taking immediates directly and
+/// register operands from the captured slot.
+#[inline]
+fn operand_val(op: Operand, ops: &[Src; 3], slot: usize) -> i64 {
+    match op {
+        Operand::Imm(v) => v,
+        Operand::Reg(_) => src_val(ops[slot]),
+    }
+}
+
+#[inline]
+fn mem_addr(base: i64, offset: i64) -> usize {
+    let a = base.wrapping_add(offset);
+    debug_assert!(a >= 0, "negative address {a}");
+    a as usize
+}

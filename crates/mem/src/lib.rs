@@ -1,0 +1,68 @@
+//! # sfence-mem
+//!
+//! The memory-system substrate of the Fence Scoping simulator: private
+//! L1 tag arrays, a shared inclusive L2, a full-map invalidation
+//! directory (MESI-lite), and the Table III latency model. Timing
+//! only — functional data lives in the machine's flat word memory.
+
+pub mod cache;
+pub mod hierarchy;
+
+pub use cache::{CacheGeometry, TagArray};
+pub use hierarchy::{AccessOutcome, CoreMemStats, MemConfig, MemorySystem};
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Invariants survive arbitrary access sequences.
+        #[test]
+        fn invariants_hold_under_random_traffic(
+            ops in proptest::collection::vec((0usize..4, 0usize..4096, any::<bool>()), 1..200)
+        ) {
+            let mut m = MemorySystem::new(4, MemConfig {
+                l1_size: 512,
+                l1_ways: 2,
+                l2_size: 4096,
+                l2_ways: 4,
+                ..MemConfig::default()
+            });
+            for (core, addr, write) in ops {
+                m.access(core, addr, write);
+                prop_assert!(m.check_invariants().is_ok());
+            }
+        }
+
+        /// Latency is always one of the architectural patterns.
+        #[test]
+        fn latencies_come_from_the_model(
+            ops in proptest::collection::vec((0usize..2, 0usize..512, any::<bool>()), 1..100)
+        ) {
+            let cfg = MemConfig::default();
+            let mut m = MemorySystem::new(2, cfg);
+            let allowed = [
+                cfg.l1_latency,
+                cfg.l1_latency + cfg.l2_latency,
+                cfg.l1_latency + cfg.l2_latency + cfg.remote_dirty_penalty,
+                cfg.l1_latency + cfg.l2_latency + cfg.mem_latency,
+            ];
+            for (core, addr, write) in ops {
+                let (lat, _) = m.access(core, addr, write);
+                prop_assert!(allowed.contains(&lat), "unexpected latency {}", lat);
+            }
+        }
+
+        /// Re-touching the same line from the same core is always an
+        /// L1 hit for reads.
+        #[test]
+        fn second_read_hits(addr in 0usize..100_000) {
+            let mut m = MemorySystem::new(1, MemConfig::default());
+            m.access(0, addr, false);
+            let (lat, out) = m.access(0, addr, false);
+            prop_assert_eq!(out, AccessOutcome::L1Hit);
+            prop_assert_eq!(lat, MemConfig::default().l1_latency);
+        }
+    }
+}

@@ -1,0 +1,288 @@
+//! The multicore machine: N cores over a shared cache hierarchy and a
+//! flat functional memory, advanced one cycle at a time in
+//! deterministic core order.
+
+use sfence_cpu::{Core, CoreConfig, FenceConfig, MemBus};
+use sfence_isa::Program;
+use sfence_mem::{CoreMemStats, MemConfig, MemorySystem};
+use std::collections::HashSet;
+
+/// Whole-machine configuration. Defaults reproduce the paper's
+/// Table III: 8-core CMP, 128-entry ROB, 32 KB/4-way L1, 1 MB/8-way
+/// L2, 300-cycle memory, 4 FSB entries, 4 FSS entries.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    pub num_cores: usize,
+    pub core: CoreConfig,
+    pub mem: MemConfig,
+    /// Abort a run after this many cycles (deadlock/livelock guard).
+    pub max_cycles: u64,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+impl MachineConfig {
+    /// The paper's Table III parameters.
+    pub fn paper_default() -> Self {
+        Self {
+            num_cores: 8,
+            core: CoreConfig::default(),
+            mem: MemConfig::default(),
+            max_cycles: 200_000_000,
+        }
+    }
+
+    /// Convenience: set the fence configuration (T, S, T+, S+).
+    pub fn with_fence(mut self, fence: FenceConfig) -> Self {
+        self.core.fence = fence;
+        self
+    }
+
+    /// Convenience: set memory latency (Fig. 15 sweep).
+    pub fn with_mem_latency(mut self, lat: u64) -> Self {
+        self.mem.mem_latency = lat;
+        self
+    }
+
+    /// Convenience: set ROB size (Fig. 16 sweep).
+    pub fn with_rob(mut self, rob: usize) -> Self {
+        self.core.rob_size = rob;
+        self
+    }
+
+    /// Convenience: enable retired-event tracing on every core.
+    pub fn with_trace(mut self) -> Self {
+        self.core.trace = true;
+        self
+    }
+}
+
+/// A watched write, recorded when a store/CAS to a watched address
+/// completes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchEvent {
+    pub cycle: u64,
+    pub core: usize,
+    pub addr: usize,
+    pub old: i64,
+    pub new: i64,
+}
+
+struct MachineBus<'a> {
+    memsys: &'a mut MemorySystem,
+    mem: &'a mut [i64],
+    watch_addrs: &'a HashSet<usize>,
+    watch_log: &'a mut Vec<WatchEvent>,
+    /// Writes performed this cycle, for in-window-speculation
+    /// coherence probes.
+    write_probes: &'a mut Vec<(usize, usize)>,
+    now: u64,
+}
+
+impl MemBus for MachineBus<'_> {
+    fn access_latency(&mut self, core: usize, addr: usize, write: bool) -> u64 {
+        self.memsys.access(core, addr, write).0
+    }
+
+    fn read(&mut self, addr: usize) -> i64 {
+        self.mem[addr]
+    }
+
+    fn write(&mut self, core: usize, addr: usize, val: i64) {
+        let old = self.mem[addr];
+        self.mem[addr] = val;
+        self.write_probes.push((core, addr));
+        if self.watch_addrs.contains(&addr) {
+            self.watch_log.push(WatchEvent {
+                cycle: self.now,
+                core,
+                addr,
+                old,
+                new: val,
+            });
+        }
+    }
+}
+
+/// Why a run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunExit {
+    /// Every core retired its `halt` and drained.
+    Completed,
+    /// `max_cycles` elapsed first.
+    CycleLimit,
+}
+
+/// Results of a run.
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    pub exit: RunExit,
+    /// Total execution time: the cycle at which the last core drained.
+    pub cycles: u64,
+    pub core_stats: Vec<sfence_cpu::CoreStats>,
+    pub mem_stats: CoreMemStats,
+    pub scope_stats: Vec<sfence_core::ScopeUnitStats>,
+}
+
+impl RunSummary {
+    /// Average across cores of the fraction of cycles stalled on
+    /// fences (the paper's "Fence Stalls" bar component).
+    pub fn fence_stall_fraction(&self) -> f64 {
+        let active: Vec<&sfence_cpu::CoreStats> = self
+            .core_stats
+            .iter()
+            .filter(|s| s.instrs_retired > 0)
+            .collect();
+        if active.is_empty() || self.cycles == 0 {
+            return 0.0;
+        }
+        active
+            .iter()
+            .map(|s| s.fence_stall_cycles as f64 / self.cycles as f64)
+            .sum::<f64>()
+            / active.len() as f64
+    }
+
+    /// Aggregate fence stall cycles.
+    pub fn total_fence_stalls(&self) -> u64 {
+        self.core_stats.iter().map(|s| s.fence_stall_cycles).sum()
+    }
+
+    pub fn total_retired(&self) -> u64 {
+        self.core_stats.iter().map(|s| s.instrs_retired).sum()
+    }
+}
+
+/// The machine.
+pub struct Machine {
+    cores: Vec<Core>,
+    memsys: MemorySystem,
+    pub mem: Vec<i64>,
+    watch_addrs: HashSet<usize>,
+    pub watch_log: Vec<WatchEvent>,
+    write_probes: Vec<(usize, usize)>,
+    now: u64,
+    cfg: MachineConfig,
+}
+
+impl Machine {
+    /// Build a machine for a compiled program. The program may use at
+    /// most `cfg.num_cores` threads.
+    pub fn new(program: &Program, cfg: MachineConfig) -> Self {
+        assert!(
+            program.num_threads() <= cfg.num_cores,
+            "program has {} threads but the machine has {} cores",
+            program.num_threads(),
+            cfg.num_cores
+        );
+        let cores = (0..cfg.num_cores)
+            .map(|i| {
+                let code = program.threads.get(i).cloned().unwrap_or_default();
+                Core::new(i, code, cfg.core.clone())
+            })
+            .collect();
+        Self {
+            cores,
+            memsys: MemorySystem::new(cfg.num_cores, cfg.mem),
+            mem: program.initial_memory(),
+            watch_addrs: HashSet::new(),
+            watch_log: Vec::new(),
+            write_probes: Vec::new(),
+            now: 0,
+            cfg,
+        }
+    }
+
+    /// Watch writes to an address (mutual-exclusion checks etc.).
+    pub fn watch(&mut self, addr: usize) {
+        self.watch_addrs.insert(addr);
+    }
+
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Advance one cycle (all cores, in core order), then deliver
+    /// coherence probes for this cycle's writes (in-window speculation
+    /// violation replay — no-ops unless speculation is enabled).
+    pub fn step(&mut self) {
+        let now = self.now;
+        for core in &mut self.cores {
+            let mut bus = MachineBus {
+                memsys: &mut self.memsys,
+                mem: &mut self.mem,
+                watch_addrs: &self.watch_addrs,
+                watch_log: &mut self.watch_log,
+                write_probes: &mut self.write_probes,
+                now,
+            };
+            core.cycle(now, &mut bus);
+        }
+        if !self.write_probes.is_empty() {
+            let probes = std::mem::take(&mut self.write_probes);
+            for &(writer, addr) in &probes {
+                for (i, core) in self.cores.iter_mut().enumerate() {
+                    if i != writer {
+                        core.coherence_probe(addr, now);
+                    }
+                }
+            }
+            self.write_probes = probes;
+            self.write_probes.clear();
+        }
+        self.now += 1;
+    }
+
+    pub fn finished(&self) -> bool {
+        self.cores.iter().all(Core::finished)
+    }
+
+    /// Run to completion (or the cycle limit) and summarise.
+    pub fn run(&mut self) -> RunSummary {
+        while !self.finished() && self.now < self.cfg.max_cycles {
+            self.step();
+        }
+        let exit = if self.finished() {
+            RunExit::Completed
+        } else {
+            RunExit::CycleLimit
+        };
+        RunSummary {
+            exit,
+            cycles: self
+                .cores
+                .iter()
+                .filter_map(|c| c.stats.finished_at)
+                .max()
+                .unwrap_or(self.now),
+            core_stats: self.cores.iter().map(|c| c.stats.clone()).collect(),
+            mem_stats: self.memsys.total_stats(),
+            scope_stats: self.cores.iter().map(|c| c.scope_stats()).collect(),
+        }
+    }
+
+    /// Per-core retired-event traces (requires `core.trace`).
+    pub fn traces(&self) -> Vec<&[sfence_core::RetiredEvent]> {
+        self.cores.iter().map(|c| c.trace.as_slice()).collect()
+    }
+
+    /// Read a word of the final memory by symbol, via the program.
+    pub fn read_word(&self, addr: usize) -> i64 {
+        self.mem[addr]
+    }
+
+    pub fn mem_system(&self) -> &MemorySystem {
+        &self.memsys
+    }
+}
+
+/// Run `program` under `cfg` and return (summary, final memory).
+pub fn run_program(program: &Program, cfg: MachineConfig) -> (RunSummary, Vec<i64>) {
+    let mut m = Machine::new(program, cfg);
+    let summary = m.run();
+    (summary, m.mem)
+}

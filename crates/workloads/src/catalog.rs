@@ -1,0 +1,86 @@
+//! Table IV of the paper: the benchmark inventory.
+
+/// Scope type used by a benchmark (Table IV "Type" column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BenchType {
+    Set,
+    Class,
+}
+
+/// One Table IV row.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchInfo {
+    pub name: &'static str,
+    pub ty: BenchType,
+    pub description: &'static str,
+    /// Lock-free algorithm (Fig. 12 group) or full application
+    /// (Fig. 13 group)?
+    pub full_app: bool,
+}
+
+/// The eight benchmarks of Table IV.
+pub const TABLE_IV: [BenchInfo; 8] = [
+    BenchInfo {
+        name: "dekker",
+        ty: BenchType::Set,
+        description: "Dekker algorithm [12]",
+        full_app: false,
+    },
+    BenchInfo {
+        name: "wsq",
+        ty: BenchType::Class,
+        description: "Work-stealing queue [10]",
+        full_app: false,
+    },
+    BenchInfo {
+        name: "msn",
+        ty: BenchType::Class,
+        description: "Non-blocking Queue [33]",
+        full_app: false,
+    },
+    BenchInfo {
+        name: "harris",
+        ty: BenchType::Class,
+        description: "Harris's set [20]",
+        full_app: false,
+    },
+    BenchInfo {
+        name: "barnes",
+        ty: BenchType::Set,
+        description: "Barnes-Hut n-body [43]",
+        full_app: true,
+    },
+    BenchInfo {
+        name: "radiosity",
+        ty: BenchType::Set,
+        description: "Diffuse radiosity method [43]",
+        full_app: true,
+    },
+    BenchInfo {
+        name: "pst",
+        ty: BenchType::Class,
+        description: "Parallel spanning tree [5]",
+        full_app: true,
+    },
+    BenchInfo {
+        name: "ptc",
+        ty: BenchType::Class,
+        description: "Parallel transitive closure [15]",
+        full_app: true,
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iv_matches_paper() {
+        assert_eq!(TABLE_IV.len(), 8);
+        // Class scope: wsq, msn, harris, pst, ptc. Set: dekker,
+        // barnes, radiosity.
+        let class_count = TABLE_IV.iter().filter(|b| b.ty == BenchType::Class).count();
+        assert_eq!(class_count, 5);
+        assert_eq!(TABLE_IV.iter().filter(|b| b.full_app).count(), 4);
+    }
+}

@@ -1,0 +1,30 @@
+//! # sfence-workloads
+//!
+//! The paper's eight benchmarks (Table IV), written in the `sfence-isa`
+//! IR and compiled onto the simulator:
+//!
+//! - **Lock-free algorithms** (Fig. 12 group, with the workload knob):
+//!   [`dekker`] (set scope), [`wsq`] (Chase–Lev deque, class scope),
+//!   [`msn`] (Michael–Scott queue, class scope), [`harris`]
+//!   (lock-free sorted-list set, class scope).
+//! - **Full applications** (Fig. 13 group): [`pst`] and [`ptc`]
+//!   (work-stealing graph algorithms over the wsq class), [`barnes`]
+//!   and [`radiosity`] (SC-enforced kernels via the delay-set pass,
+//!   set scope).
+//!
+//! Every workload carries an invariant checker that runs on the final
+//! memory image: timing comparisons are made only between runs whose
+//! semantics have been validated.
+
+pub mod barnes;
+pub mod catalog;
+pub mod dekker;
+pub mod harris;
+pub mod msn;
+pub mod pst;
+pub mod ptc;
+pub mod radiosity;
+pub mod support;
+pub mod wsq;
+
+pub use support::{BuiltWorkload, ScopeMode};

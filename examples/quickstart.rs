@@ -1,0 +1,60 @@
+//! Quickstart: write a tiny two-class program in the IR, compile it,
+//! and watch a scoped fence skip a stall that a traditional fence
+//! pays.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use fence_scoping::prelude::*;
+
+fn main() {
+    // A "logger" class whose methods guard their own two stores with a
+    // class-scope fence, used by an application that also writes a
+    // big, cache-missing private buffer.
+    let mut p = IrProgram::new();
+    let buf = p.array("scratch", 64 * 1024);
+    let head = p.shared_line("LOG_HEAD");
+    let log = p.shared_array("LOG", 512);
+    let cls = p.class("Log");
+    p.method(cls, "append", &["v"], move |b| {
+        b.let_("h", ld(head.cell()));
+        b.store(log.at(l("h").bitand(c(511))), l("v"));
+        b.fence_class(); // publish entry before moving the head
+        b.store(head.cell(), l("h").add(c(1)));
+    });
+    p.thread(move |b| {
+        b.let_("i", c(0));
+        b.while_(l("i").lt(c(64)), move |w| {
+            // Long-latency private stores (scattered lines).
+            w.store(buf.at(l("i").mul(c(1024)).bitand(c(65535))), l("i"));
+            // The log append should not wait for them.
+            w.call("Log::append", &[l("i")]);
+            w.assign("i", l("i").add(c(1)));
+        });
+        b.halt();
+    });
+    let prog = p.compile(&CompileOpts::default()).expect("compiles");
+
+    println!("compiled {} instructions\n", prog.total_instrs());
+    let mut cfg = MachineConfig::paper_default();
+    cfg.num_cores = 1;
+
+    for fence in [
+        FenceConfig::TRADITIONAL,
+        FenceConfig::SFENCE,
+        FenceConfig::TRADITIONAL_SPEC,
+        FenceConfig::SFENCE_SPEC,
+    ] {
+        let (summary, mem) = run_program(&prog, cfg.clone().with_fence(fence));
+        assert_eq!(mem[prog.addr_of("LOG_HEAD")], 64);
+        println!(
+            "{:<3} {:>8} cycles   fence stalls {:>8} ({:>5.1}%)",
+            fence.label(),
+            summary.cycles,
+            summary.total_fence_stalls(),
+            100.0 * summary.fence_stall_fraction()
+        );
+    }
+    println!("\nS-Fence skips the out-of-scope scratch stores; a traditional fence drains them.");
+}

@@ -1,0 +1,72 @@
+//! # fence-scoping
+//!
+//! A from-scratch Rust reproduction of **"Fence Scoping"** (Lin,
+//! Nagarajan, Gupta — SC '14): *scoped fences* (S-Fence) whose memory
+//! ordering effect is limited to a programmer-specified scope, plus
+//! the entire substrate the paper evaluates them on — a cycle-level,
+//! execution-driven, out-of-order multicore simulator, a mini ISA and
+//! compiler, and the paper's eight benchmarks.
+//!
+//! This crate is an umbrella that re-exports the workspace members:
+//!
+//! - [`isa`] — the mini ISA, structured IR, and compiler passes
+//!   (scope instrumentation, set-scope flagging, SC enforcement).
+//! - [`core`] — the paper's contribution: fence scope bits (FSB), the
+//!   fence scope stack (FSS) with its branch-misprediction shadow, the
+//!   cid→FSB mapping table, and the executable operational semantics
+//!   of class scope (paper Fig. 5).
+//! - [`mem`] — caches, coherence and the latency model.
+//! - [`cpu`] — the out-of-order core (ROB, store buffer, branch
+//!   prediction, fence stall logic, in-window speculation).
+//! - [`sim`] — the multicore machine and stats.
+//! - [`workloads`] — dekker, wsq, msn, harris, pst, ptc, barnes,
+//!   radiosity.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fence_scoping::prelude::*;
+//!
+//! // A class whose fence only orders its own traffic; a slow
+//! // out-of-scope store before the call must not stall it.
+//! let mut p = IrProgram::new();
+//! let slow = p.global_line("slow");
+//! let fast = p.shared_line("fast");
+//! let cls = p.class("Mailbox");
+//! p.method(cls, "send", &["v"], move |b| {
+//!     b.store(fast.cell(), l("v"));
+//!     b.fence_class();
+//!     b.store(fast.cell(), l("v").add(c(1)));
+//! });
+//! p.thread(move |b| {
+//!     b.store(slow.cell(), c(9)); // out of scope
+//!     b.call("Mailbox::send", &[c(7)]);
+//!     b.halt();
+//! });
+//! let prog = p.compile(&CompileOpts::default()).unwrap();
+//!
+//! let mut cfg = MachineConfig::paper_default();
+//! cfg.num_cores = 1;
+//! let (t, _) = run_program(&prog, cfg.clone().with_fence(FenceConfig::TRADITIONAL));
+//! let (s, _) = run_program(&prog, cfg.with_fence(FenceConfig::SFENCE));
+//! assert!(s.cycles <= t.cycles, "a scoped fence never loses");
+//! ```
+
+pub use sfence_core as core;
+pub use sfence_cpu as cpu;
+pub use sfence_isa as isa;
+pub use sfence_mem as mem;
+pub use sfence_sim as sim;
+pub use sfence_workloads as workloads;
+
+/// Convenience re-exports for examples and downstream users.
+pub mod prelude {
+    pub use sfence_core::{ClassId, ScopeConfig, ScopeRecovery};
+    pub use sfence_isa::ir::*;
+    pub use sfence_isa::passes::{enforce_sc, ScStyle};
+    pub use sfence_isa::{CompileOpts, FenceKind, Program};
+    pub use sfence_sim::{
+        run_program, FenceConfig, Machine, MachineConfig, RunExit, RunSummary,
+    };
+    pub use sfence_workloads::{catalog, ScopeMode};
+}

@@ -1,0 +1,180 @@
+//! Cross-crate integration: every benchmark validates its invariants
+//! under every fence configuration and under the ablation knobs
+//! (FIFO store buffer, CAS-drains-SB, checkpoint scope recovery,
+//! tiny scope hardware that forces overflow degradation).
+
+use fence_scoping::prelude::*;
+use fence_scoping::workloads::*;
+
+fn all_fences() -> [FenceConfig; 4] {
+    [
+        FenceConfig::TRADITIONAL,
+        FenceConfig::SFENCE,
+        FenceConfig::TRADITIONAL_SPEC,
+        FenceConfig::SFENCE_SPEC,
+    ]
+}
+
+fn small_suite() -> Vec<support::BuiltWorkload> {
+    vec![
+        dekker::build(dekker::DekkerParams {
+            iters: 20,
+            workload: 2,
+        }),
+        wsq::build(wsq::WsqParams {
+            tasks: 40,
+            thieves: 3,
+            workload: 2,
+            scope: ScopeMode::Class,
+        }),
+        msn::build(msn::MsnParams {
+            items: 15,
+            producers: 2,
+            consumers: 2,
+            workload: 2,
+            scope: ScopeMode::Class,
+        }),
+        harris::build(harris::HarrisParams {
+            ops: 15,
+            threads: 4,
+            key_range: 12,
+            workload: 2,
+            scope: ScopeMode::Class,
+        }),
+        pst::build(pst::PstParams {
+            nodes: 120,
+            extra_edges: 120,
+            threads: 4,
+            seed: 9,
+            scope: ScopeMode::Class,
+        }),
+        ptc::build(ptc::PtcParams {
+            nodes: 120,
+            edges: 360,
+            threads: 4,
+            seed: 10,
+            task_work: 4,
+            scope: ScopeMode::Class,
+        }),
+        barnes::build(barnes::BarnesParams {
+            bodies_per_thread: 16,
+            cells_per_thread: 2,
+            samples: 3,
+            steps: 2,
+            threads: 4,
+            style: ScStyle::SetScope,
+        }),
+        radiosity::build(radiosity::RadiosityParams {
+            patches: 8,
+            interactions: 40,
+            rounds: 2,
+            threads: 4,
+            seed: 3,
+            scratch_work: 2,
+            style: ScStyle::SetScope,
+        }),
+    ]
+}
+
+fn cfg() -> MachineConfig {
+    let mut cfg = MachineConfig::paper_default();
+    cfg.num_cores = 4;
+    cfg.max_cycles = 500_000_000;
+    cfg
+}
+
+#[test]
+fn every_workload_correct_under_every_fence_config() {
+    for w in small_suite() {
+        for fence in all_fences() {
+            w.run(cfg().with_fence(fence)); // panics on violation
+        }
+    }
+}
+
+#[test]
+fn correct_with_fifo_store_buffer() {
+    // TSO-ish drain: strictly stronger ordering must stay correct.
+    for w in small_suite() {
+        let mut c = cfg().with_fence(FenceConfig::SFENCE);
+        c.core.sb_drain_in_order = true;
+        w.run(c);
+    }
+}
+
+#[test]
+fn correct_with_cas_draining_sb() {
+    // x86-lock-prefix-style CAS: strictly stronger, must stay correct.
+    for w in small_suite() {
+        let mut c = cfg().with_fence(FenceConfig::SFENCE);
+        c.core.cas_drains_sb = true;
+        w.run(c);
+    }
+}
+
+#[test]
+fn correct_with_checkpoint_scope_recovery() {
+    for w in small_suite() {
+        let mut c = cfg().with_fence(FenceConfig::SFENCE);
+        c.core.scope.recovery = ScopeRecovery::Checkpoint;
+        w.run(c);
+    }
+}
+
+#[test]
+fn correct_when_scope_hardware_overflows() {
+    // One-entry FSS and mapping table: scopes constantly exceed the
+    // hardware; fences must degrade to full fences, never lose
+    // ordering. pst nests Wsq scopes inside its own calls, so this
+    // exercises the overflow counter heavily.
+    for w in small_suite() {
+        let mut c = cfg().with_fence(FenceConfig::SFENCE);
+        c.core.scope = ScopeConfig {
+            fss_entries: 1,
+            mapping_entries: 1,
+            ..ScopeConfig::default()
+        };
+        w.run(c);
+    }
+}
+
+#[test]
+fn rob_sweep_preserves_correctness_and_monotone_pressure() {
+    let w = wsq::build(wsq::WsqParams {
+        tasks: 40,
+        thieves: 3,
+        workload: 2,
+        scope: ScopeMode::Class,
+    });
+    for rob in [16, 64, 128, 256] {
+        w.run(cfg().with_rob(rob).with_fence(FenceConfig::SFENCE));
+    }
+}
+
+#[test]
+fn latency_sweep_preserves_correctness() {
+    let w = msn::build(msn::MsnParams {
+        items: 15,
+        producers: 2,
+        consumers: 2,
+        workload: 2,
+        scope: ScopeMode::Class,
+    });
+    for lat in [200, 300, 500] {
+        w.run(cfg().with_mem_latency(lat).with_fence(FenceConfig::SFENCE));
+    }
+}
+
+#[test]
+fn set_scope_variants_of_class_benchmarks_correct() {
+    for scope in [ScopeMode::Class, ScopeMode::Set] {
+        let w = pst::build(pst::PstParams {
+            nodes: 100,
+            extra_edges: 100,
+            threads: 4,
+            seed: 5,
+            scope,
+        });
+        w.run(cfg().with_fence(FenceConfig::SFENCE));
+    }
+}
