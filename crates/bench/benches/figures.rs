@@ -1,73 +1,92 @@
-//! Criterion bench: one representative measurement per paper figure
-//! family, so `cargo bench` regenerates every figure's machinery.
-//! The full sweeps (all levels / all apps) live in the `fig*`
-//! binaries; here each family runs a single representative point and
-//! asserts the headline direction (S-Fence never loses) while
-//! Criterion measures harness cost.
+//! Plain timing harness (`cargo bench`): one representative
+//! measurement per paper figure family, so the figure machinery is
+//! exercised and its host cost visible without any external bench
+//! framework. Each family runs a single representative point and
+//! asserts the headline direction (S-Fence never loses).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use sfence_harness::Session;
 use sfence_sim::FenceConfig;
-use sfence_workloads::ScopeMode;
+use sfence_workloads::{catalog, ScopeMode, WorkloadParams};
+use std::time::Instant;
 
-fn fig12_point(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig12");
-    g.sample_size(10);
-    g.bench_function("wsq_level3_speedup", |b| {
-        let w = sfence_bench::build_wsq(3, ScopeMode::Class);
-        b.iter(|| {
-            let t = w.run(sfence_bench::machine().with_fence(FenceConfig::TRADITIONAL));
-            let s = w.run(sfence_bench::machine().with_fence(FenceConfig::SFENCE));
-            assert!(s.cycles <= t.cycles);
-            t.cycles as f64 / s.cycles as f64
-        });
-    });
-    g.finish();
+fn timed<T>(label: &str, iters: u32, mut f: impl FnMut() -> T) {
+    // One warmup, then the timed iterations.
+    let _ = f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        let _ = f();
+    }
+    let per_iter = start.elapsed() / iters;
+    println!("{label:<28} {per_iter:>12.2?}/iter ({iters} iters)");
 }
 
-fn fig13_point(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig13");
-    g.sample_size(10);
-    g.bench_function("radiosity_T_vs_S", |b| {
-        let w = sfence_bench::build_radiosity();
-        b.iter(|| {
-            let t = w.run(sfence_bench::machine().with_fence(FenceConfig::TRADITIONAL));
-            let s = w.run(sfence_bench::machine().with_fence(FenceConfig::SFENCE));
-            assert!(s.total_fence_stalls() < t.total_fence_stalls());
-            (t.cycles, s.cycles)
-        });
-    });
-    g.finish();
-}
+fn main() {
+    let params = WorkloadParams::default().level(3);
 
-fn fig15_point(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig15");
-    g.sample_size(10);
-    g.bench_function("radiosity_latency500", |b| {
-        let w = sfence_bench::build_radiosity();
-        b.iter(|| {
-            let cfg = sfence_bench::machine()
-                .with_mem_latency(500)
-                .with_fence(FenceConfig::SFENCE);
-            w.run(cfg).cycles
-        });
+    timed("fig12/wsq_level3_speedup", 3, || {
+        let w = catalog::build("wsq", &params);
+        let t = Session::for_workload(&w)
+            .config(sfence_bench::machine())
+            .fence(FenceConfig::TRADITIONAL)
+            .run();
+        let s = Session::for_workload(&w)
+            .config(sfence_bench::machine())
+            .fence(FenceConfig::SFENCE)
+            .run();
+        assert!(s.cycles <= t.cycles);
+        t.cycles as f64 / s.cycles as f64
     });
-    g.finish();
-}
 
-fn fig16_point(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig16");
-    g.sample_size(10);
-    g.bench_function("barnes_rob256", |b| {
-        let w = sfence_bench::build_barnes();
-        b.iter(|| {
-            let cfg = sfence_bench::machine()
-                .with_rob(256)
-                .with_fence(FenceConfig::SFENCE);
-            w.run(cfg).cycles
-        });
+    timed("fig13/radiosity_T_vs_S", 3, || {
+        let w = catalog::build("radiosity", &params);
+        let t = Session::for_workload(&w)
+            .config(sfence_bench::machine())
+            .fence(FenceConfig::TRADITIONAL)
+            .run();
+        let s = Session::for_workload(&w)
+            .config(sfence_bench::machine())
+            .fence(FenceConfig::SFENCE)
+            .run();
+        assert!(s.cycles <= t.cycles);
+        t.cycles as f64 / s.cycles as f64
     });
-    g.finish();
-}
 
-criterion_group!(benches, fig12_point, fig13_point, fig15_point, fig16_point);
-criterion_main!(benches);
+    timed("fig14/msn_class_vs_set", 3, || {
+        let class = catalog::build("msn", &params.scope(ScopeMode::Class));
+        let set = catalog::build("msn", &params.scope(ScopeMode::Set));
+        let c = Session::for_workload(&class)
+            .config(sfence_bench::machine())
+            .fence(FenceConfig::SFENCE)
+            .run();
+        let s = Session::for_workload(&set)
+            .config(sfence_bench::machine())
+            .fence(FenceConfig::SFENCE)
+            .run();
+        (c.cycles, s.cycles)
+    });
+
+    timed("fig15/barnes_latency500", 3, || {
+        let w = catalog::build("barnes", &params);
+        let mut cfg = sfence_bench::machine().with_mem_latency(500);
+        cfg = cfg.with_fence(FenceConfig::TRADITIONAL);
+        let t = Session::for_workload(&w).config(cfg.clone()).run();
+        let s = Session::for_workload(&w)
+            .config(cfg.with_fence(FenceConfig::SFENCE))
+            .run();
+        assert!(s.cycles <= t.cycles);
+        t.cycles as f64 / s.cycles as f64
+    });
+
+    timed("fig16/wsq_rob256", 3, || {
+        let w = catalog::build("wsq", &params);
+        let base = sfence_bench::machine().with_rob(256);
+        let t = Session::for_workload(&w)
+            .config(base.clone().with_fence(FenceConfig::TRADITIONAL))
+            .run();
+        let s = Session::for_workload(&w)
+            .config(base.with_fence(FenceConfig::SFENCE))
+            .run();
+        assert!(s.cycles <= t.cycles);
+        t.cycles as f64 / s.cycles as f64
+    });
+}

@@ -1,25 +1,37 @@
-//! Criterion bench: raw simulator throughput (host time per simulated
-//! workload) for the lock-free benchmarks under T and S.
+//! Plain timing harness (`cargo bench`): raw simulator throughput
+//! (host time per simulated workload) for the lock-free benchmarks
+//! under T and S.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use sfence_harness::Session;
 use sfence_sim::FenceConfig;
-use sfence_workloads::ScopeMode;
+use sfence_workloads::{catalog, WorkloadParams};
+use std::time::Instant;
 
-fn simulator_throughput(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulator");
-    g.sample_size(10);
-    for (name, fence) in [("wsq_T", FenceConfig::TRADITIONAL), ("wsq_S", FenceConfig::SFENCE)] {
-        g.bench_function(name, |b| {
-            let w = sfence_bench::build_wsq(2, ScopeMode::Class);
-            b.iter(|| w.run(sfence_bench::machine().with_fence(fence)).cycles);
-        });
+fn main() {
+    let params = WorkloadParams::default().level(2);
+    for (label, name, fence) in [
+        ("simulator/wsq_T", "wsq", FenceConfig::TRADITIONAL),
+        ("simulator/wsq_S", "wsq", FenceConfig::SFENCE),
+        ("simulator/dekker_S", "dekker", FenceConfig::SFENCE),
+    ] {
+        let w = catalog::build(name, &params);
+        // One warmup, then timed iterations.
+        let run = || {
+            Session::for_workload(&w)
+                .config(sfence_bench::machine())
+                .fence(fence)
+                .run()
+        };
+        let report = run();
+        let iters = 3u32;
+        let start = Instant::now();
+        for _ in 0..iters {
+            let _ = run();
+        }
+        let per_iter = start.elapsed() / iters;
+        println!(
+            "{label:<22} {per_iter:>12.2?}/iter   {} simulated cycles",
+            report.cycles
+        );
     }
-    g.bench_function("dekker_S", |b| {
-        let w = sfence_bench::build_dekker(2);
-        b.iter(|| w.run(sfence_bench::machine().with_fence(FenceConfig::SFENCE)).cycles);
-    });
-    g.finish();
 }
-
-criterion_group!(benches, simulator_throughput);
-criterion_main!(benches);

@@ -1,7 +1,10 @@
 //! Regenerates Figure 12: impact of workload on the lock-free
 //! algorithms (speedup of S-Fence over traditional fences).
+//! Pass `--json` for the structured sweep rows.
 fn main() {
-    let rows = sfence_bench::fig12_data();
-    sfence_bench::print_fig12(&rows);
-    println!("\npaper: peak speedups range 1.13x..1.34x; rise-then-fall with workload");
+    sfence_bench::figure_main(
+        sfence_bench::fig12_experiment(),
+        |result| sfence_bench::print_fig12(&sfence_bench::fig12_data_from(result)),
+        &["paper: peak speedups range 1.13x..1.34x; rise-then-fall with workload"],
+    );
 }

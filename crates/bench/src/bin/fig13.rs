@@ -1,11 +1,18 @@
 //! Regenerates Figure 13: normalized execution time of the full
 //! applications under T, S, T+ and S+.
+//! Pass `--json` for the structured sweep rows.
 fn main() {
-    let data = sfence_bench::fig13_data();
-    sfence_bench::print_bars(
-        "Figure 13: normalized execution time (T / S / T+ / S+), split into fence stalls and others",
-        &data,
+    sfence_bench::figure_main(
+        sfence_bench::fig13_experiment(),
+        |result| {
+            sfence_bench::print_bars(
+                "Figure 13: normalized execution time (T / S / T+ / S+), split into fence stalls and others",
+                &sfence_bench::fig13_data_from(result),
+            )
+        },
+        &[
+            "paper: S reduces fence stalls; pst limited by its internal full fence;",
+            "       in-window speculation (+) reduces stalls for both T and S",
+        ],
     );
-    println!("\npaper: S reduces fence stalls; pst limited by its internal full fence;");
-    println!("       in-window speculation (+) reduces stalls for both T and S");
 }

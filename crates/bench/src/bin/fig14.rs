@@ -1,9 +1,14 @@
 //! Regenerates Figure 14: class scope vs set scope.
+//! Pass `--json` for the structured sweep rows.
 fn main() {
-    let data = sfence_bench::fig14_data();
-    sfence_bench::print_bars(
-        "Figure 14: class scope (C.S.) vs set scope (S.S.), normalized to class scope",
-        &data,
+    sfence_bench::figure_main(
+        sfence_bench::fig14_experiment(),
+        |result| {
+            sfence_bench::print_bars(
+                "Figure 14: class scope (C.S.) vs set scope (S.S.), normalized to class scope",
+                &sfence_bench::fig14_data_from(result),
+            )
+        },
+        &["paper: set scope slightly better, difference not significant"],
     );
-    println!("\npaper: set scope slightly better, difference not significant");
 }

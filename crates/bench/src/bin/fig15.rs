@@ -1,9 +1,14 @@
 //! Regenerates Figure 15: memory access latency sweep (200/300/500).
+//! Pass `--json` for the structured sweep rows.
 fn main() {
-    let data = sfence_bench::fig15_data();
-    sfence_bench::print_bars(
-        "Figure 15: varying memory latency; bars <latency><config>, normalized to default T",
-        &data,
+    sfence_bench::figure_main(
+        sfence_bench::fig15_experiment(),
+        |result| {
+            sfence_bench::print_bars(
+                "Figure 15: varying memory latency; bars <latency><config>, normalized to default T",
+                &sfence_bench::fig15_data_from(result),
+            )
+        },
+        &["paper: barnes/radiosity gains grow with latency; pst does not (full fence offsets)"],
     );
-    println!("\npaper: barnes/radiosity gains grow with latency; pst does not (full fence offsets)");
 }

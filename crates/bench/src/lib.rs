@@ -1,15 +1,21 @@
 //! # sfence-bench
 //!
-//! The experiment harness: one function per table/figure of the
-//! paper's evaluation, shared by the `fig*`/`table*` binaries, the
-//! Criterion benches and the integration tests. Every run validates
-//! its workload's invariants before its timing is used.
+//! The paper's evaluation, written as thin [`Experiment`]
+//! descriptions over the workload registry: one declarative sweep per
+//! figure, shared by the `fig*`/`table*` binaries, the benches and
+//! the integration tests. Every run validates its workload's
+//! invariants before its timing is used (the harness `Session` does
+//! this on every job).
+//!
+//! Each `figN_experiment()` *describes* the sweep; `figN_data_from()`
+//! maps its structured rows onto the figure's presentation
+//! (normalized stacked bars, speedup curves); `figN_data()` is the
+//! one-shot convenience that runs the sweep in parallel.
 
 use sfence_core::{hw_cost, ScopeConfig};
-use sfence_isa::passes::ScStyle;
+use sfence_harness::{Axis, Experiment, SweepResult};
 use sfence_sim::{FenceConfig, MachineConfig};
-use sfence_workloads::support::BuiltWorkload;
-use sfence_workloads::{barnes, dekker, harris, msn, pst, ptc, radiosity, wsq, ScopeMode};
+use sfence_workloads::{catalog, ScopeMode, WorkloadParams};
 
 /// The four fence configurations in paper order.
 pub const CONFIGS: [FenceConfig; 4] = [
@@ -19,105 +25,12 @@ pub const CONFIGS: [FenceConfig; 4] = [
     FenceConfig::SFENCE_SPEC,
 ];
 
-/// Machine used by all experiments (Table III), with an optional
-/// memory-latency / ROB override.
+/// Machine used by all experiments (Table III), with a raised cycle
+/// guard for the evaluation-scale runs.
 pub fn machine() -> MachineConfig {
     let mut m = MachineConfig::paper_default();
     m.max_cycles = 2_000_000_000;
     m
-}
-
-// ---------------------------------------------------------------------
-// Benchmark builders at evaluation scale
-
-pub fn build_dekker(workload: u32) -> BuiltWorkload {
-    dekker::build(dekker::DekkerParams {
-        iters: 40,
-        workload,
-    })
-}
-
-pub fn build_wsq(workload: u32, scope: ScopeMode) -> BuiltWorkload {
-    wsq::build(wsq::WsqParams {
-        tasks: 120,
-        thieves: 7,
-        workload,
-        scope,
-    })
-}
-
-pub fn build_msn(workload: u32, scope: ScopeMode) -> BuiltWorkload {
-    msn::build(msn::MsnParams {
-        items: 30,
-        producers: 4,
-        consumers: 4,
-        workload,
-        scope,
-    })
-}
-
-pub fn build_harris(workload: u32, scope: ScopeMode) -> BuiltWorkload {
-    harris::build(harris::HarrisParams {
-        ops: 30,
-        threads: 8,
-        key_range: 48,
-        workload,
-        scope,
-    })
-}
-
-pub fn build_pst(scope: ScopeMode) -> BuiltWorkload {
-    pst::build(pst::PstParams {
-        nodes: 1000,
-        extra_edges: 1000,
-        threads: 8,
-        seed: 42,
-        scope,
-    })
-}
-
-pub fn build_ptc(scope: ScopeMode) -> BuiltWorkload {
-    ptc::build(ptc::PtcParams {
-        nodes: 1000,
-        edges: 3000,
-        threads: 8,
-        seed: 43,
-        task_work: 12,
-        scope,
-    })
-}
-
-pub fn build_barnes() -> BuiltWorkload {
-    barnes::build(barnes::BarnesParams {
-        bodies_per_thread: 96,
-        cells_per_thread: 4,
-        samples: 4,
-        steps: 2,
-        threads: 8,
-        style: ScStyle::SetScope,
-    })
-}
-
-pub fn build_radiosity() -> BuiltWorkload {
-    radiosity::build(radiosity::RadiosityParams {
-        patches: 24,
-        interactions: 200,
-        rounds: 2,
-        threads: 8,
-        seed: 44,
-        scratch_work: 6,
-        style: ScStyle::SetScope,
-    })
-}
-
-/// The four full applications of Fig. 13, in paper order.
-pub fn full_apps() -> Vec<BuiltWorkload> {
-    vec![
-        build_pst(ScopeMode::Class),
-        build_ptc(ScopeMode::Class),
-        build_barnes(),
-        build_radiosity(),
-    ]
 }
 
 // ---------------------------------------------------------------------
@@ -130,27 +43,35 @@ pub struct Fig12Row {
     pub speedups: Vec<f64>,
 }
 
-pub fn fig12_data() -> Vec<Fig12Row> {
-    let algos: Vec<(&'static str, Box<dyn Fn(u32) -> BuiltWorkload>)> = vec![
-        ("dekker", Box::new(build_dekker)),
-        ("wsq", Box::new(|w| build_wsq(w, ScopeMode::Class))),
-        ("msn", Box::new(|w| build_msn(w, ScopeMode::Class))),
-        ("harris", Box::new(|w| build_harris(w, ScopeMode::Class))),
-    ];
-    algos
+pub const FIG12_LEVELS: [u32; 6] = [1, 2, 3, 4, 5, 6];
+
+pub fn fig12_experiment() -> Experiment {
+    Experiment::new("fig12")
+        .base(machine())
+        .workloads(catalog::lock_free_names(), WorkloadParams::default())
+        .fences(vec![FenceConfig::TRADITIONAL, FenceConfig::SFENCE])
+        .axis(Axis::Level(FIG12_LEVELS.to_vec()))
+}
+
+pub fn fig12_data_from(result: &SweepResult) -> Vec<Fig12Row> {
+    catalog::lock_free_names()
         .into_iter()
-        .map(|(algo, build)| {
-            let speedups = (1..=6u32)
+        .map(|algo| Fig12Row {
+            algo,
+            speedups: FIG12_LEVELS
+                .iter()
                 .map(|level| {
-                    let w = build(level);
-                    let t = w.run(machine().with_fence(FenceConfig::TRADITIONAL));
-                    let s = w.run(machine().with_fence(FenceConfig::SFENCE));
-                    t.cycles as f64 / s.cycles as f64
+                    let value = level.to_string();
+                    result.cycles(algo, "T", &value) as f64
+                        / result.cycles(algo, "S", &value) as f64
                 })
-                .collect();
-            Fig12Row { algo, speedups }
+                .collect(),
         })
         .collect()
+}
+
+pub fn fig12_data() -> Vec<Fig12Row> {
+    fig12_data_from(&fig12_experiment().run_parallel())
 }
 
 // ---------------------------------------------------------------------
@@ -171,72 +92,77 @@ pub struct AppBars {
     pub bars: Vec<StackedBar>,
 }
 
-fn bars_for(w: &BuiltWorkload, configs: &[(String, MachineConfig)]) -> Vec<StackedBar> {
-    let baseline = w.run(configs[0].1.clone()).cycles as f64;
-    configs
-        .iter()
-        .map(|(label, cfg)| {
-            let s = w.run(cfg.clone());
-            let norm = s.cycles as f64 / baseline;
-            StackedBar {
-                label: label.clone(),
-                norm_time: norm,
-                fence_part: s.fence_stall_fraction() * norm,
+pub fn fig13_experiment() -> Experiment {
+    Experiment::new("fig13")
+        .base(machine())
+        .workloads(catalog::full_app_names(), WorkloadParams::default())
+        .fences(CONFIGS.to_vec())
+}
+
+pub fn fig13_data_from(result: &SweepResult) -> Vec<AppBars> {
+    catalog::full_app_names()
+        .into_iter()
+        .map(|app| {
+            let baseline = result.cycles(app, "T", "") as f64;
+            AppBars {
+                app,
+                bars: CONFIGS
+                    .iter()
+                    .map(|fence| {
+                        let row = result.row(app, fence.label(), "");
+                        let norm = row.cycles as f64 / baseline;
+                        StackedBar {
+                            label: fence.label().to_string(),
+                            norm_time: norm,
+                            fence_part: row.fence_stall_fraction * norm,
+                        }
+                    })
+                    .collect(),
             }
         })
         .collect()
 }
 
 pub fn fig13_data() -> Vec<AppBars> {
-    let configs: Vec<(String, MachineConfig)> = CONFIGS
-        .iter()
-        .map(|&f| (f.label().to_string(), machine().with_fence(f)))
-        .collect();
-    full_apps()
-        .iter()
-        .map(|w| AppBars {
-            app: w.name,
-            bars: bars_for(w, &configs),
-        })
-        .collect()
+    fig13_data_from(&fig13_experiment().run_parallel())
 }
 
 // ---------------------------------------------------------------------
 // Figure 14: class scope vs set scope
 
-pub fn fig14_data() -> Vec<AppBars> {
-    let apps: Vec<(&'static str, BuiltWorkload, BuiltWorkload)> = vec![
-        (
-            "msn",
-            build_msn(3, ScopeMode::Class),
-            build_msn(3, ScopeMode::Set),
-        ),
-        (
-            "harris",
-            build_harris(3, ScopeMode::Class),
-            build_harris(3, ScopeMode::Set),
-        ),
-        ("pst", build_pst(ScopeMode::Class), build_pst(ScopeMode::Set)),
-        ("ptc", build_ptc(ScopeMode::Class), build_ptc(ScopeMode::Set)),
-    ];
-    let cfg = machine().with_fence(FenceConfig::SFENCE);
-    apps.into_iter()
-        .map(|(app, class_w, set_w)| {
-            let base = class_w.run(cfg.clone());
-            let baseline = base.cycles as f64;
-            let set = set_w.run(cfg.clone());
+/// The class-scope benchmarks compared under both scope flavours.
+pub fn fig14_apps() -> Vec<&'static str> {
+    vec!["msn", "harris", "pst", "ptc"]
+}
+
+pub fn fig14_experiment() -> Experiment {
+    Experiment::new("fig14")
+        .base(machine())
+        .workloads(fig14_apps(), WorkloadParams::default())
+        .fences(vec![FenceConfig::SFENCE])
+        .axis(Axis::Scope(vec![ScopeMode::Class, ScopeMode::Set]))
+}
+
+pub fn fig14_data_from(result: &SweepResult) -> Vec<AppBars> {
+    fig14_apps()
+        .into_iter()
+        .map(|app| {
+            let class = result.row(app, "S", "class");
+            let set = result.row(app, "S", "set");
+            let baseline = class.cycles as f64;
+            let set_norm = set.cycles as f64 / baseline;
             AppBars {
                 app,
                 bars: vec![
                     StackedBar {
                         label: "C.S.".into(),
                         norm_time: 1.0,
-                        fence_part: base.fence_stall_fraction(),
+                        fence_part: class.fence_stall_fraction,
                     },
                     StackedBar {
                         label: "S.S.".into(),
-                        norm_time: set.cycles as f64 / baseline,
-                        fence_part: set.fence_stall_fraction() * set.cycles as f64 / baseline,
+                        norm_time: set_norm,
+                        fence_part: set.fence_stall_fraction * set_norm,
                     },
                 ],
             }
@@ -244,45 +170,75 @@ pub fn fig14_data() -> Vec<AppBars> {
         .collect()
 }
 
-// ---------------------------------------------------------------------
-// Figure 15: memory latency sweep (200/300/500), T vs S
-
-pub fn fig15_data() -> Vec<AppBars> {
-    sweep(|lat| machine().with_mem_latency(lat), &[200, 300, 500])
+pub fn fig14_data() -> Vec<AppBars> {
+    fig14_data_from(&fig14_experiment().run_parallel())
 }
 
 // ---------------------------------------------------------------------
-// Figure 16: ROB sweep (64/128/256), T vs S
+// Figures 15 & 16: machine-parameter sweeps, T vs S
 
-pub fn fig16_data() -> Vec<AppBars> {
-    sweep(|rob| machine().with_rob(rob as usize), &[64, 128, 256])
+pub const FIG15_LATENCIES: [u64; 3] = [200, 300, 500];
+pub const FIG16_ROBS: [usize; 3] = [64, 128, 256];
+
+pub fn fig15_experiment() -> Experiment {
+    Experiment::new("fig15")
+        .base(machine())
+        .workloads(catalog::full_app_names(), WorkloadParams::default())
+        .fences(vec![FenceConfig::TRADITIONAL, FenceConfig::SFENCE])
+        .axis(Axis::MemLatency(FIG15_LATENCIES.to_vec()))
 }
 
-fn sweep(mk: impl Fn(u64) -> MachineConfig, points: &[u64]) -> Vec<AppBars> {
-    full_apps()
-        .iter()
-        .map(|w| {
-            // Normalized to the default-parameter T run, like the
-            // paper ("normalized to the total execution time with
-            // traditional fence").
-            let baseline = w
-                .run(machine().with_fence(FenceConfig::TRADITIONAL))
-                .cycles as f64;
+pub fn fig16_experiment() -> Experiment {
+    Experiment::new("fig16")
+        .base(machine())
+        .workloads(catalog::full_app_names(), WorkloadParams::default())
+        .fences(vec![FenceConfig::TRADITIONAL, FenceConfig::SFENCE])
+        .axis(Axis::RobSize(FIG16_ROBS.to_vec()))
+}
+
+/// Shared presentation of the two sweeps: bars `<value><config>`,
+/// normalized to the default-parameter T run, like the paper
+/// ("normalized to the total execution time with traditional fence").
+fn sweep_data_from(result: &SweepResult, points: &[String], baseline_value: &str) -> Vec<AppBars> {
+    catalog::full_app_names()
+        .into_iter()
+        .map(|app| {
+            let baseline = result.cycles(app, "T", baseline_value) as f64;
             let mut bars = Vec::new();
-            for &x in points {
+            for value in points {
                 for fence in [FenceConfig::TRADITIONAL, FenceConfig::SFENCE] {
-                    let s = w.run(mk(x).with_fence(fence));
-                    let norm = s.cycles as f64 / baseline;
+                    let row = result.row(app, fence.label(), value);
+                    let norm = row.cycles as f64 / baseline;
                     bars.push(StackedBar {
-                        label: format!("{x}{}", fence.label()),
+                        label: format!("{value}{}", fence.label()),
                         norm_time: norm,
-                        fence_part: s.fence_stall_fraction() * norm,
+                        fence_part: row.fence_stall_fraction * norm,
                     });
                 }
             }
-            AppBars { app: w.name, bars }
+            AppBars { app, bars }
         })
         .collect()
+}
+
+pub fn fig15_data_from(result: &SweepResult) -> Vec<AppBars> {
+    let points: Vec<String> = FIG15_LATENCIES.iter().map(u64::to_string).collect();
+    // The default memory latency is 300, so the baseline T run is one
+    // of the sweep's own rows.
+    sweep_data_from(result, &points, "300")
+}
+
+pub fn fig16_data_from(result: &SweepResult) -> Vec<AppBars> {
+    let points: Vec<String> = FIG16_ROBS.iter().map(|r| r.to_string()).collect();
+    sweep_data_from(result, &points, "128")
+}
+
+pub fn fig15_data() -> Vec<AppBars> {
+    fig15_data_from(&fig15_experiment().run_parallel())
+}
+
+pub fn fig16_data() -> Vec<AppBars> {
+    fig16_data_from(&fig16_experiment().run_parallel())
 }
 
 // ---------------------------------------------------------------------
@@ -292,7 +248,10 @@ fn sweep(mk: impl Fn(u64) -> MachineConfig, points: &[u64]) -> Vec<AppBars> {
 pub fn table3() -> String {
     let m = machine();
     let mut out = String::from("Table III: architectural parameters\n");
-    out += &format!("  Processor        {} core CMP, out-of-order\n", m.num_cores);
+    out += &format!(
+        "  Processor        {} core CMP, out-of-order\n",
+        m.num_cores
+    );
     out += &format!("  ROB size         {}\n", m.core.rob_size);
     out += &format!(
         "  L1 Cache         private {} KB, {} way, {}-cycle latency\n",
@@ -312,15 +271,15 @@ pub fn table3() -> String {
     out
 }
 
-/// Table IV: benchmark descriptions.
+/// Table IV: benchmark descriptions, straight off the registry.
 pub fn table4() -> String {
     let mut out = String::from("Table IV: benchmark description\n");
-    for b in sfence_workloads::catalog::TABLE_IV {
+    for w in &catalog::REGISTRY {
         out += &format!(
             "  {:<10} {:<6} {}\n",
-            b.name,
-            format!("{:?}", b.ty).to_lowercase(),
-            b.description
+            w.info.name,
+            format!("{:?}", w.info.ty).to_lowercase(),
+            w.info.description
         );
     }
     out
@@ -385,6 +344,29 @@ pub fn print_bars(title: &str, data: &[AppBars]) {
     }
 }
 
+/// Shared driver for the figure binaries: run the experiment (in
+/// parallel), emit machine-readable rows with `--json`, the raw
+/// sweep-row table with `--rows`, otherwise the figure's ASCII
+/// rendering plus the paper's observed trend.
+pub fn figure_main(experiment: Experiment, render: impl Fn(&SweepResult), paper_notes: &[&str]) {
+    let result = experiment.run_parallel();
+    if std::env::args().any(|a| a == "--json") {
+        print!("{}", result.to_json_string());
+        return;
+    }
+    if std::env::args().any(|a| a == "--rows") {
+        print!("{}", result.to_ascii_table());
+        return;
+    }
+    render(&result);
+    if !paper_notes.is_empty() {
+        println!();
+        for note in paper_notes {
+            println!("{note}");
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -399,5 +381,14 @@ mod tests {
         assert!(t4.contains("Parallel transitive closure"));
         let hc = hwcost_report();
         assert!(hc.contains("bytes"));
+    }
+
+    #[test]
+    fn experiments_describe_the_paper_sweeps() {
+        assert_eq!(fig12_experiment().job_count(), 4 * 6 * 2);
+        assert_eq!(fig13_experiment().job_count(), 4 * 4);
+        assert_eq!(fig14_experiment().job_count(), 4 * 2);
+        assert_eq!(fig15_experiment().job_count(), 4 * 3 * 2);
+        assert_eq!(fig16_experiment().job_count(), 4 * 3 * 2);
     }
 }

@@ -43,7 +43,12 @@ fn log2_ceil(n: usize) -> usize {
 /// Compute the per-core cost for a scope configuration and pipeline
 /// geometry. `cid_bits` is the width of the class-id field carried by
 /// `fs_start`/`fs_end` (the paper does not fix it; 16 is generous).
-pub fn hw_cost(cfg: &ScopeConfig, rob_entries: usize, sb_entries: usize, cid_bits: usize) -> HwCost {
+pub fn hw_cost(
+    cfg: &ScopeConfig,
+    rob_entries: usize,
+    sb_entries: usize,
+    cid_bits: usize,
+) -> HwCost {
     let col_bits = log2_ceil(cfg.fsb_entries);
     let overflow_counter_bits = 16;
     HwCost {

@@ -143,7 +143,11 @@ mod tests {
         let c2 = mt.lookup_or_alloc(ClassId(12));
         assert_eq!(
             [c0, c1, c2],
-            [MapResult::Column(0), MapResult::Column(1), MapResult::Column(2)]
+            [
+                MapResult::Column(0),
+                MapResult::Column(1),
+                MapResult::Column(2)
+            ]
         );
         // Fourth scope shares the fallback column (2).
         let c3 = mt.lookup_or_alloc(ClassId(13));

@@ -64,7 +64,7 @@ impl ClassScopeModel {
     /// apply; we answer conservatively by requiring *all* scopes empty.
     pub fn fence_allowed(&self) -> bool {
         match self.fseq.last() {
-            Some(class) => self.scope.get(class).map_or(true, HashSet::is_empty),
+            Some(class) => self.scope.get(class).is_none_or(HashSet::is_empty),
             None => self.scope.values().all(HashSet::is_empty),
         }
     }
@@ -94,7 +94,10 @@ pub enum RetiredEvent {
     },
     /// A fence and the cycle at which it allowed younger instructions
     /// to issue.
-    Fence { kind: FenceKind, issue: u64 },
+    Fence {
+        kind: FenceKind,
+        issue: u64,
+    },
 }
 
 /// A conformance violation: a fence let execution proceed before an

@@ -75,7 +75,7 @@ pub enum FenceWait {
 }
 
 /// Scope-unit statistics.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ScopeUnitStats {
     pub fs_starts: u64,
     pub fs_ends: u64,
@@ -340,10 +340,7 @@ impl ScopeUnit {
                 .inflight
                 .iter()
                 .any(|&(_, op)| op == ScopeOp::Push(Some(col)))
-            || self
-                .checkpoints
-                .iter()
-                .any(|(_, st)| st.contains(col))
+            || self.checkpoints.iter().any(|(_, st)| st.contains(col))
     }
 
     /// Capture what a fence must wait for, at its issue (paper §IV-A-4:
@@ -470,14 +467,20 @@ mod tests {
             ..ScopeConfig::default()
         });
         u.fs_start(ClassId(0), 1);
-        assert!(matches!(u.fence_request(FenceKind::Class), FenceWait::Mask(_)));
+        assert!(matches!(
+            u.fence_request(FenceKind::Class),
+            FenceWait::Mask(_)
+        ));
         u.fs_start(ClassId(1), 2); // FSS full -> overflow
         assert!(u.degraded());
         assert_eq!(u.fence_request(FenceKind::Class), FenceWait::All);
         assert_eq!(u.fence_request(FenceKind::Set), FenceWait::All);
         u.fs_end(3);
         assert!(!u.degraded());
-        assert!(matches!(u.fence_request(FenceKind::Class), FenceWait::Mask(_)));
+        assert!(matches!(
+            u.fence_request(FenceKind::Class),
+            FenceWait::Mask(_)
+        ));
         u.fs_end(4);
         assert_eq!(u.stats.degraded_fences, 2);
     }
@@ -569,8 +572,8 @@ mod tests {
         u.branch_issued(3);
         u.fs_start(ClassId(1), 4); // pending behind branch 3
         u.branch_resolved(1, false); // confirm oldest
-        // Ops older than branch 3 are applied to FSS'; op at 4 stays
-        // pending. Mispredicting branch 3 must keep scope A.
+                                     // Ops older than branch 3 are applied to FSS'; op at 4 stays
+                                     // pending. Mispredicting branch 3 must keep scope A.
         u.branch_resolved(3, true);
         assert_eq!(u.fss_depth(), 1);
     }

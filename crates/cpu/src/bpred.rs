@@ -60,7 +60,7 @@ mod tests {
         let mut p = BranchPredictor::new(64);
         for _ in 0..4 {
             let pred = p.predict(100);
-            p.update(100, true, pred != true);
+            p.update(100, true, !pred);
         }
         assert!(p.predict(100), "saturated taken");
         for _ in 0..4 {

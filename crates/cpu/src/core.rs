@@ -29,12 +29,10 @@ use crate::bpred::BranchPredictor;
 use crate::bus::MemBus;
 use crate::config::CoreConfig;
 use crate::stats::CoreStats;
-use sfence_core::{
-    ColumnCounters, FenceWait, RetiredEvent, ScopeMask, ScopeUnit,
-};
+use sfence_core::{ColumnCounters, FenceWait, RetiredEvent, ScopeMask, ScopeUnit};
 use sfence_isa::{FenceKind, Instr, Operand, Reg, NUM_REGS};
-use std::collections::{BinaryHeap, VecDeque};
 use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// A source operand captured at issue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -521,14 +519,16 @@ impl Core {
                         });
                     }
                 }
-                Instr::Fence { kind } => {
-                    if self.cfg.trace {
-                        let kind_eff = if self.honor_scopes() { kind } else { FenceKind::Global };
-                        self.trace.push(RetiredEvent::Fence {
-                            kind: kind_eff,
-                            issue: e.issued_at,
-                        });
-                    }
+                Instr::Fence { kind } if self.cfg.trace => {
+                    let kind_eff = if self.honor_scopes() {
+                        kind
+                    } else {
+                        FenceKind::Global
+                    };
+                    self.trace.push(RetiredEvent::Fence {
+                        kind: kind_eff,
+                        issue: e.issued_at,
+                    });
                 }
                 Instr::FsStart { cid } => {
                     if self.honor_scopes() {
@@ -611,7 +611,9 @@ impl Core {
             Instr::Load { base, offset, .. } => {
                 self.dispatch_load(seq, base, offset, now, bus);
             }
-            Instr::Store { src, base, offset, .. } => {
+            Instr::Store {
+                src, base, offset, ..
+            } => {
                 let ops = self.entry(seq).unwrap().ops;
                 let addr = mem_addr(operand_val(base, &ops, 1), offset);
                 let val = operand_val(src, &ops, 0);
@@ -678,9 +680,7 @@ impl Core {
         let unresolved_older_store = self.rob.iter().any(|e| {
             e.seq < seq
                 && match e.instr {
-                    Instr::Store { .. } => {
-                        !matches!(e.state, EState::Done | EState::Executing)
-                    }
+                    Instr::Store { .. } => !matches!(e.state, EState::Done | EState::Executing),
                     Instr::Cas { .. } => e.state != EState::Done,
                     _ => false,
                 }
@@ -837,7 +837,11 @@ impl Core {
             let instr = self.code[pc];
             match instr {
                 Instr::Fence { kind } => {
-                    let kind_eff = if self.honor_scopes() { kind } else { FenceKind::Global };
+                    let kind_eff = if self.honor_scopes() {
+                        kind
+                    } else {
+                        FenceKind::Global
+                    };
                     let wait = if self.honor_scopes() {
                         self.scope.fence_request(kind_eff)
                     } else {

@@ -95,7 +95,8 @@ mod tests {
                     };
                     let (mem, _) = run_core(&prog, cfg, 30, 2_000_000);
                     assert_eq!(
-                        mem, ref_mem,
+                        mem,
+                        ref_mem,
                         "config {:?} rob={rob} in_order={in_order}",
                         fence.label()
                     );

@@ -2,7 +2,7 @@
 //! attribution that the paper's figures are built from.
 
 /// Statistics collected by one core over a run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CoreStats {
     /// Instructions retired (architectural).
     pub instrs_retired: u64,

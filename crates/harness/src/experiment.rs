@@ -1,0 +1,375 @@
+//! Layer 2 of the harness: declarative sweeps.
+//!
+//! An [`Experiment`] is a named cross product of
+//! `workloads × machine/workload axis × fence configs`, built from
+//! the workload registry. Running one yields a [`SweepResult`] of
+//! structured [`SweepRow`]s in a stable order, regardless of how many
+//! worker threads executed the jobs — the simulator is deterministic,
+//! so parallel and serial runs are byte-identical once rows are
+//! placed by job index.
+
+use crate::json::Json;
+use crate::runner::run_indexed;
+use crate::session::Session;
+use sfence_sim::{FenceConfig, MachineConfig, RunExit};
+use sfence_workloads::catalog;
+use sfence_workloads::{ScopeMode, WorkloadParams};
+
+/// The swept parameter, orthogonal to the fence-config dimension.
+/// `Level` and `Scope` vary how the workload is *built*; the rest
+/// vary the machine.
+#[derive(Debug, Clone, Default)]
+pub enum Axis {
+    #[default]
+    None,
+    /// Fig. 12 workload knob.
+    Level(Vec<u32>),
+    /// Fig. 14 class scope vs set scope.
+    Scope(Vec<ScopeMode>),
+    /// Fig. 15 memory latency sweep.
+    MemLatency(Vec<u64>),
+    /// Fig. 16 ROB size sweep.
+    RobSize(Vec<usize>),
+    /// Scope-hardware sizing sweeps (§VI-E).
+    FsbEntries(Vec<usize>),
+    FssEntries(Vec<usize>),
+}
+
+/// One concrete point of an [`Axis`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AxisPoint {
+    None,
+    Level(u32),
+    Scope(ScopeMode),
+    MemLatency(u64),
+    RobSize(usize),
+    FsbEntries(usize),
+    FssEntries(usize),
+}
+
+impl Axis {
+    pub fn name(&self) -> &'static str {
+        match self {
+            Axis::None => "",
+            Axis::Level(_) => "level",
+            Axis::Scope(_) => "scope",
+            Axis::MemLatency(_) => "mem_latency",
+            Axis::RobSize(_) => "rob_size",
+            Axis::FsbEntries(_) => "fsb_entries",
+            Axis::FssEntries(_) => "fss_entries",
+        }
+    }
+
+    fn points(&self) -> Vec<AxisPoint> {
+        match self {
+            Axis::None => vec![AxisPoint::None],
+            Axis::Level(v) => v.iter().map(|&x| AxisPoint::Level(x)).collect(),
+            Axis::Scope(v) => v.iter().map(|&x| AxisPoint::Scope(x)).collect(),
+            Axis::MemLatency(v) => v.iter().map(|&x| AxisPoint::MemLatency(x)).collect(),
+            Axis::RobSize(v) => v.iter().map(|&x| AxisPoint::RobSize(x)).collect(),
+            Axis::FsbEntries(v) => v.iter().map(|&x| AxisPoint::FsbEntries(x)).collect(),
+            Axis::FssEntries(v) => v.iter().map(|&x| AxisPoint::FssEntries(x)).collect(),
+        }
+    }
+}
+
+impl AxisPoint {
+    /// The row's `value` column.
+    pub fn value_string(&self) -> String {
+        match *self {
+            AxisPoint::None => String::new(),
+            AxisPoint::Level(x) => x.to_string(),
+            AxisPoint::Scope(ScopeMode::Class) => "class".into(),
+            AxisPoint::Scope(ScopeMode::Set) => "set".into(),
+            AxisPoint::MemLatency(x) => x.to_string(),
+            AxisPoint::RobSize(x) | AxisPoint::FsbEntries(x) | AxisPoint::FssEntries(x) => {
+                x.to_string()
+            }
+        }
+    }
+
+    fn apply_to_params(&self, params: &mut WorkloadParams) {
+        match *self {
+            AxisPoint::Level(level) => params.level = level,
+            AxisPoint::Scope(scope) => params.scope = scope,
+            _ => {}
+        }
+    }
+
+    fn apply_to_machine(&self, cfg: &mut MachineConfig) {
+        match *self {
+            AxisPoint::MemLatency(lat) => cfg.mem.mem_latency = lat,
+            AxisPoint::RobSize(rob) => cfg.core.rob_size = rob,
+            AxisPoint::FsbEntries(n) => cfg.core.scope.fsb_entries = n,
+            AxisPoint::FssEntries(n) => cfg.core.scope.fss_entries = n,
+            _ => {}
+        }
+    }
+}
+
+/// A declarative sweep specification.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    pub name: String,
+    base: MachineConfig,
+    workloads: Vec<(String, WorkloadParams)>,
+    fences: Vec<FenceConfig>,
+    axis: Axis,
+}
+
+/// One fully-resolved unit of work.
+#[derive(Debug, Clone)]
+struct Job {
+    workload: String,
+    params: WorkloadParams,
+    fence: FenceConfig,
+    point: AxisPoint,
+    cfg: MachineConfig,
+}
+
+impl Experiment {
+    pub fn new(name: impl Into<String>) -> Self {
+        Experiment {
+            name: name.into(),
+            base: MachineConfig::paper_default(),
+            workloads: Vec::new(),
+            fences: vec![FenceConfig::TRADITIONAL, FenceConfig::SFENCE],
+            axis: Axis::None,
+        }
+    }
+
+    /// Base machine configuration every job starts from.
+    pub fn base(mut self, cfg: MachineConfig) -> Self {
+        self.base = cfg;
+        self
+    }
+
+    /// Add one registry workload with explicit build parameters.
+    pub fn workload(mut self, name: impl Into<String>, params: WorkloadParams) -> Self {
+        let name = name.into();
+        assert!(
+            catalog::find(&name).is_some(),
+            "unknown workload {name:?} (not in the registry)"
+        );
+        self.workloads.push((name, params));
+        self
+    }
+
+    /// Add several registry workloads sharing one parameter set.
+    pub fn workloads<I, S>(mut self, names: I, params: WorkloadParams) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        for name in names {
+            self = self.workload(name, params);
+        }
+        self
+    }
+
+    /// Fence configurations to cross with (defaults to `[T, S]`).
+    pub fn fences(mut self, fences: impl Into<Vec<FenceConfig>>) -> Self {
+        self.fences = fences.into();
+        self
+    }
+
+    /// Sweep axis (defaults to a single unlabelled point).
+    pub fn axis(mut self, axis: Axis) -> Self {
+        self.axis = axis;
+        self
+    }
+
+    fn jobs(&self) -> Vec<Job> {
+        let mut jobs = Vec::new();
+        for (workload, params) in &self.workloads {
+            for point in self.axis.points() {
+                for &fence in &self.fences {
+                    let mut params = *params;
+                    point.apply_to_params(&mut params);
+                    let mut cfg = self.base.clone().with_fence(fence);
+                    point.apply_to_machine(&mut cfg);
+                    jobs.push(Job {
+                        workload: workload.clone(),
+                        params,
+                        fence,
+                        point,
+                        cfg,
+                    });
+                }
+            }
+        }
+        jobs
+    }
+
+    /// Total number of runs this experiment performs.
+    pub fn job_count(&self) -> usize {
+        self.workloads.len() * self.axis.points().len() * self.fences.len()
+    }
+
+    /// Run every job serially on the calling thread.
+    pub fn run_serial(&self) -> SweepResult {
+        self.run(1)
+    }
+
+    /// Run with `threads` OS worker threads. Row order is identical
+    /// to the serial order no matter the thread count or scheduling:
+    /// results are placed by job index.
+    pub fn run(&self, threads: usize) -> SweepResult {
+        let jobs = self.jobs();
+        let axis_name = self.axis.name().to_string();
+        let rows = run_indexed(jobs.len(), threads, |i| {
+            let job = &jobs[i];
+            let built = catalog::build(&job.workload, &job.params);
+            let report = Session::for_workload(&built).config(job.cfg.clone()).run();
+            SweepRow {
+                workload: job.workload.clone(),
+                fence: job.fence.label().to_string(),
+                axis: axis_name.clone(),
+                value: job.point.value_string(),
+                cycles: report.cycles,
+                instrs_retired: report.total_retired(),
+                fence_stalls: report.total_fence_stalls(),
+                fence_stall_fraction: report.fence_stall_fraction(),
+                exit: match report.exit {
+                    RunExit::Completed => "completed".into(),
+                    RunExit::CycleLimit => "cycle_limit".into(),
+                },
+            }
+        });
+        SweepResult {
+            experiment: self.name.clone(),
+            rows,
+        }
+    }
+
+    /// Run with one worker per available CPU (capped by job count).
+    pub fn run_parallel(&self) -> SweepResult {
+        let cpus = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        self.run(cpus.min(self.job_count().max(1)))
+    }
+}
+
+/// One structured result row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRow {
+    pub workload: String,
+    /// Fence-config label (`T`, `S`, `T+`, `S+`).
+    pub fence: String,
+    /// Axis name (empty when the experiment has no axis).
+    pub axis: String,
+    /// Axis value rendered as a string (empty when no axis).
+    pub value: String,
+    pub cycles: u64,
+    pub instrs_retired: u64,
+    pub fence_stalls: u64,
+    pub fence_stall_fraction: f64,
+    pub exit: String,
+}
+
+impl SweepRow {
+    pub fn to_json(&self) -> Json {
+        let mut row = Json::obj()
+            .field("workload", self.workload.as_str())
+            .field("fence", self.fence.as_str());
+        if !self.axis.is_empty() {
+            row = row
+                .field("axis", self.axis.as_str())
+                .field("value", self.value.as_str());
+        }
+        row.field("cycles", self.cycles)
+            .field("instrs_retired", self.instrs_retired)
+            .field("fence_stalls", self.fence_stalls)
+            .field("fence_stall_fraction", self.fence_stall_fraction)
+            .field("exit", self.exit.as_str())
+    }
+}
+
+/// All rows of one experiment, in spec order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepResult {
+    pub experiment: String,
+    pub rows: Vec<SweepRow>,
+}
+
+impl SweepResult {
+    /// Find a row by workload / fence label / axis value.
+    pub fn row(&self, workload: &str, fence: &str, value: &str) -> &SweepRow {
+        self.rows
+            .iter()
+            .find(|r| r.workload == workload && r.fence == fence && r.value == value)
+            .unwrap_or_else(|| {
+                panic!(
+                    "no row for ({workload}, {fence}, {value:?}) in {}",
+                    self.experiment
+                )
+            })
+    }
+
+    /// Cycle count of one row (the common lookup).
+    pub fn cycles(&self, workload: &str, fence: &str, value: &str) -> u64 {
+        self.row(workload, fence, value).cycles
+    }
+
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("experiment", self.experiment.as_str())
+            .field(
+                "rows",
+                Json::Arr(self.rows.iter().map(SweepRow::to_json).collect()),
+            )
+    }
+
+    /// The machine-readable artifact the binaries emit with `--json`.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_string_pretty()
+    }
+
+    /// A plain ASCII table of the raw rows.
+    pub fn to_ascii_table(&self) -> String {
+        let mut out = String::new();
+        let has_axis = self.rows.iter().any(|r| !r.axis.is_empty());
+        let axis_header = self
+            .rows
+            .first()
+            .map(|r| r.axis.as_str())
+            .filter(|a| !a.is_empty())
+            .unwrap_or("value");
+        out += &format!("{}: {} rows\n", self.experiment, self.rows.len());
+        if has_axis {
+            out += &format!(
+                "{:<10} {:<5} {:>12} {:>12} {:>14} {:>8}\n",
+                "workload", "fence", axis_header, "cycles", "fence stalls", "stall%"
+            );
+        } else {
+            out += &format!(
+                "{:<10} {:<5} {:>12} {:>14} {:>8}\n",
+                "workload", "fence", "cycles", "fence stalls", "stall%"
+            );
+        }
+        for r in &self.rows {
+            if has_axis {
+                out += &format!(
+                    "{:<10} {:<5} {:>12} {:>12} {:>14} {:>7.2}%\n",
+                    r.workload,
+                    r.fence,
+                    r.value,
+                    r.cycles,
+                    r.fence_stalls,
+                    100.0 * r.fence_stall_fraction
+                );
+            } else {
+                out += &format!(
+                    "{:<10} {:<5} {:>12} {:>14} {:>7.2}%\n",
+                    r.workload,
+                    r.fence,
+                    r.cycles,
+                    r.fence_stalls,
+                    100.0 * r.fence_stall_fraction
+                );
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,29 @@
+//! # sfence-harness
+//!
+//! The experiment substrate of the Fence Scoping reproduction, in two
+//! layers:
+//!
+//! - **[`Session`]** (layer 1): a builder over one program/workload
+//!   run. Replaces the old `Machine::new` + `run_program` call sites
+//!   and returns a [`RunReport`] — exit status, cycles, per-core /
+//!   memory / scope-unit stats, watchpoint log, retired traces and
+//!   the final memory, all JSON-serializable through [`json`].
+//! - **[`Experiment`]** (layer 2): a declarative sweep over the
+//!   workload registry (`sfence_workloads::catalog`) crossed with
+//!   fence configs and machine/workload axes, executed
+//!   deterministically in parallel across OS threads with stable row
+//!   ordering, emitting structured JSON rows and ASCII tables.
+//!
+//! The paper figures in `sfence-bench` are thin `Experiment`
+//! descriptions; the examples and integration tests drive `Session`
+//! directly.
+
+pub mod experiment;
+pub mod json;
+pub mod runner;
+pub mod session;
+
+pub use experiment::{Axis, AxisPoint, Experiment, SweepResult, SweepRow};
+pub use json::Json;
+pub use runner::run_indexed;
+pub use session::{speedup_s_over_t, RunReport, Session};

@@ -1,0 +1,85 @@
+//! The parallel job runner: a fixed pool of scoped OS threads pulling
+//! job indices off a shared atomic counter. Results land in their
+//! job's slot, so output order is the spec order no matter which
+//! thread ran what when.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Run `f(0..n)` on `threads` worker threads and collect the results
+/// in index order. `threads <= 1` degenerates to a plain serial loop
+/// on the calling thread.
+///
+/// A panicking job (e.g. a workload invariant violation) panics the
+/// whole call once every worker has stopped, mirroring serial
+/// behavior.
+pub fn run_indexed<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..threads.min(n) {
+            handles.push(scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let result = f(i);
+                slots.lock().unwrap()[i] = Some(result);
+            }));
+        }
+        for handle in handles {
+            if let Err(panic) = handle.join() {
+                std::panic::resume_unwind(panic);
+            }
+        }
+    });
+    slots
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|slot| slot.expect("every job index filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_index_order() {
+        let out = run_indexed(100, 8, |i| i * 3);
+        assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let serial = run_indexed(37, 1, |i| (i, i * i));
+        let parallel = run_indexed(37, 6, |i| (i, i * i));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn zero_jobs() {
+        let out: Vec<usize> = run_indexed(0, 4, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "job 3 failed")]
+    fn job_panics_propagate() {
+        run_indexed(8, 4, |i| {
+            if i == 3 {
+                panic!("job 3 failed");
+            }
+            i
+        });
+    }
+}

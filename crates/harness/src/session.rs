@@ -1,0 +1,485 @@
+//! Layer 1 of the harness: a [`Session`] builder wraps program
+//! execution behind one typed surface, and a [`RunReport`] subsumes
+//! the old `(RunSummary, Vec<i64>)` tuple — exit status, cycles,
+//! per-core/mem/scope stats, the watchpoint log, retired traces and
+//! the final memory image, all JSON-serializable.
+
+use crate::json::Json;
+use sfence_core::{RetiredEvent, ScopeUnitStats};
+use sfence_cpu::CoreStats;
+use sfence_isa::{Addr, ClassId, FenceKind, Program};
+use sfence_mem::CoreMemStats;
+use sfence_sim::{execute, FenceConfig, MachineConfig, RunExit, WatchEvent};
+use sfence_workloads::BuiltWorkload;
+
+type CheckFn<'a> = &'a (dyn Fn(&Program, &[i64]) -> Result<(), String> + Send + Sync);
+
+/// A configured run of one program on the simulated machine.
+///
+/// ```text
+/// Session::for_workload(&w).config(cfg).fence(FenceConfig::SFENCE).run()
+/// ```
+pub struct Session<'a> {
+    program: &'a Program,
+    name: &'a str,
+    check: Option<CheckFn<'a>>,
+    cfg: MachineConfig,
+    watch: Vec<Addr>,
+}
+
+impl<'a> Session<'a> {
+    /// A session over a bare compiled program.
+    pub fn for_program(program: &'a Program) -> Self {
+        Session {
+            program,
+            name: "program",
+            check: None,
+            cfg: MachineConfig::paper_default(),
+            watch: Vec::new(),
+        }
+    }
+
+    /// A session over a built workload: the run additionally asserts
+    /// completion and validates the workload's invariants on the
+    /// final memory (timing is meaningless on an incorrect run).
+    pub fn for_workload(workload: &'a BuiltWorkload) -> Self {
+        Session {
+            program: &workload.program,
+            name: workload.name,
+            check: Some(&workload.check),
+            cfg: MachineConfig::paper_default(),
+            watch: Vec::new(),
+        }
+    }
+
+    /// Replace the whole machine configuration.
+    pub fn config(mut self, cfg: MachineConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Set the fence configuration (T, S, T+, S+).
+    pub fn fence(mut self, fence: FenceConfig) -> Self {
+        self.cfg.core.fence = fence;
+        self
+    }
+
+    /// Limit the machine to `n` cores.
+    pub fn cores(mut self, n: usize) -> Self {
+        self.cfg.num_cores = n;
+        self
+    }
+
+    /// Override the deadlock/livelock cycle guard.
+    pub fn max_cycles(mut self, cycles: u64) -> Self {
+        self.cfg.max_cycles = cycles;
+        self
+    }
+
+    /// Watch writes to an address; completed writes land in
+    /// [`RunReport::watch_log`] in completion order.
+    pub fn watch(mut self, addr: Addr) -> Self {
+        self.watch.push(addr);
+        self
+    }
+
+    /// Watch a named global.
+    pub fn watch_var(self, name: &str) -> Self {
+        let addr = self.program.addr_of(name);
+        self.watch(addr)
+    }
+
+    /// Record per-core retired-event traces.
+    pub fn trace(mut self) -> Self {
+        self.cfg.core.trace = true;
+        self
+    }
+
+    /// Execute and report. Workload sessions panic on cycle-limit
+    /// exits and invariant violations, exactly like the old
+    /// `BuiltWorkload::run`.
+    pub fn run(self) -> RunReport {
+        let out = execute(self.program, self.cfg, &self.watch);
+        let report = RunReport {
+            exit: out.summary.exit,
+            cycles: out.summary.cycles,
+            core_stats: out.summary.core_stats,
+            mem_stats: out.summary.mem_stats,
+            scope_stats: out.summary.scope_stats,
+            watch_log: out.watch_log,
+            traces: out.traces,
+            mem: out.mem,
+        };
+        if let Some(check) = self.check {
+            assert_eq!(
+                report.exit,
+                RunExit::Completed,
+                "{}: run hit the cycle limit",
+                self.name
+            );
+            if let Err(e) = check(self.program, &report.mem) {
+                panic!("{}: invariant violated: {e}", self.name);
+            }
+        }
+        report
+    }
+}
+
+/// Everything one run produced, behind one typed, serializable
+/// surface.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    pub exit: RunExit,
+    /// Total execution time: the cycle at which the last core drained.
+    pub cycles: u64,
+    pub core_stats: Vec<CoreStats>,
+    pub mem_stats: CoreMemStats,
+    pub scope_stats: Vec<ScopeUnitStats>,
+    /// Writes to watched addresses, in completion order.
+    pub watch_log: Vec<WatchEvent>,
+    /// Per-core retired-event traces (empty unless tracing was on).
+    pub traces: Vec<Vec<RetiredEvent>>,
+    /// Final flat memory image.
+    pub mem: Vec<i64>,
+}
+
+impl RunReport {
+    pub fn completed(&self) -> bool {
+        self.exit == RunExit::Completed
+    }
+
+    /// Read a word of the final memory.
+    pub fn read(&self, addr: Addr) -> i64 {
+        self.mem[addr]
+    }
+
+    /// Read a named global through the program's symbol table.
+    pub fn read_var(&self, program: &Program, name: &str) -> i64 {
+        self.mem[program.addr_of(name)]
+    }
+
+    /// Average across active cores of the fraction of cycles stalled
+    /// on fences (the paper's "Fence Stalls" bar component).
+    pub fn fence_stall_fraction(&self) -> f64 {
+        sfence_sim::fence_stall_fraction(&self.core_stats, self.cycles)
+    }
+
+    /// Aggregate fence stall cycles.
+    pub fn total_fence_stalls(&self) -> u64 {
+        self.core_stats.iter().map(|s| s.fence_stall_cycles).sum()
+    }
+
+    pub fn total_retired(&self) -> u64 {
+        self.core_stats.iter().map(|s| s.instrs_retired).sum()
+    }
+
+    // -----------------------------------------------------------------
+    // JSON
+
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("exit", exit_str(self.exit))
+            .field("cycles", self.cycles)
+            .field(
+                "core_stats",
+                Json::Arr(self.core_stats.iter().map(core_stats_to_json).collect()),
+            )
+            .field("mem_stats", mem_stats_to_json(&self.mem_stats))
+            .field(
+                "scope_stats",
+                Json::Arr(self.scope_stats.iter().map(scope_stats_to_json).collect()),
+            )
+            .field(
+                "watch_log",
+                Json::Arr(self.watch_log.iter().map(watch_event_to_json).collect()),
+            )
+            .field(
+                "traces",
+                Json::Arr(
+                    self.traces
+                        .iter()
+                        .map(|t| Json::Arr(t.iter().map(retired_event_to_json).collect()))
+                        .collect(),
+                ),
+            )
+            .field(
+                "mem",
+                Json::Arr(self.mem.iter().map(|&w| Json::Int(w)).collect()),
+            )
+    }
+
+    pub fn from_json(json: &Json) -> Result<RunReport, String> {
+        Ok(RunReport {
+            exit: exit_from_str(get_str(json, "exit")?)?,
+            cycles: get_u64(json, "cycles")?,
+            core_stats: get_arr(json, "core_stats")?
+                .iter()
+                .map(core_stats_from_json)
+                .collect::<Result<_, _>>()?,
+            mem_stats: mem_stats_from_json(json.get("mem_stats").ok_or("missing mem_stats")?)?,
+            scope_stats: get_arr(json, "scope_stats")?
+                .iter()
+                .map(scope_stats_from_json)
+                .collect::<Result<_, _>>()?,
+            watch_log: get_arr(json, "watch_log")?
+                .iter()
+                .map(watch_event_from_json)
+                .collect::<Result<_, _>>()?,
+            traces: get_arr(json, "traces")?
+                .iter()
+                .map(|t| {
+                    t.as_arr()
+                        .ok_or_else(|| "trace is not an array".to_string())?
+                        .iter()
+                        .map(retired_event_from_json)
+                        .collect::<Result<Vec<_>, _>>()
+                })
+                .collect::<Result<_, _>>()?,
+            mem: get_arr(json, "mem")?
+                .iter()
+                .map(|w| w.as_i64().ok_or_else(|| "bad memory word".to_string()))
+                .collect::<Result<_, _>>()?,
+        })
+    }
+}
+
+fn exit_str(exit: RunExit) -> &'static str {
+    match exit {
+        RunExit::Completed => "completed",
+        RunExit::CycleLimit => "cycle_limit",
+    }
+}
+
+fn exit_from_str(s: &str) -> Result<RunExit, String> {
+    match s {
+        "completed" => Ok(RunExit::Completed),
+        "cycle_limit" => Ok(RunExit::CycleLimit),
+        other => Err(format!("unknown exit {other:?}")),
+    }
+}
+
+fn get_str<'j>(json: &'j Json, key: &str) -> Result<&'j str, String> {
+    json.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("missing string field {key:?}"))
+}
+
+fn get_u64(json: &Json, key: &str) -> Result<u64, String> {
+    json.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("missing u64 field {key:?}"))
+}
+
+fn get_opt_u64(json: &Json, key: &str) -> Result<Option<u64>, String> {
+    match json.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| format!("bad optional u64 field {key:?}")),
+    }
+}
+
+fn get_bool(json: &Json, key: &str) -> Result<bool, String> {
+    json.get(key)
+        .and_then(Json::as_bool)
+        .ok_or_else(|| format!("missing bool field {key:?}"))
+}
+
+fn get_arr<'j>(json: &'j Json, key: &str) -> Result<&'j [Json], String> {
+    json.get(key)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("missing array field {key:?}"))
+}
+
+fn opt_u64_to_json(v: Option<u64>) -> Json {
+    match v {
+        Some(v) => Json::UInt(v),
+        None => Json::Null,
+    }
+}
+
+fn core_stats_to_json(s: &CoreStats) -> Json {
+    Json::obj()
+        .field("instrs_retired", s.instrs_retired)
+        .field("instrs_issued", s.instrs_issued)
+        .field("loads", s.loads)
+        .field("stores", s.stores)
+        .field("cas_ops", s.cas_ops)
+        .field("fences_retired", s.fences_retired)
+        .field("forwarded_loads", s.forwarded_loads)
+        .field("fence_stall_cycles", s.fence_stall_cycles)
+        .field("rob_full_stall_cycles", s.rob_full_stall_cycles)
+        .field("sb_full_stall_cycles", s.sb_full_stall_cycles)
+        .field("load_disambiguation_blocks", s.load_disambiguation_blocks)
+        .field("branches_resolved", s.branches_resolved)
+        .field("mispredictions", s.mispredictions)
+        .field("speculation_replays", s.speculation_replays)
+        .field("halted_at", opt_u64_to_json(s.halted_at))
+        .field("finished_at", opt_u64_to_json(s.finished_at))
+}
+
+fn core_stats_from_json(json: &Json) -> Result<CoreStats, String> {
+    Ok(CoreStats {
+        instrs_retired: get_u64(json, "instrs_retired")?,
+        instrs_issued: get_u64(json, "instrs_issued")?,
+        loads: get_u64(json, "loads")?,
+        stores: get_u64(json, "stores")?,
+        cas_ops: get_u64(json, "cas_ops")?,
+        fences_retired: get_u64(json, "fences_retired")?,
+        forwarded_loads: get_u64(json, "forwarded_loads")?,
+        fence_stall_cycles: get_u64(json, "fence_stall_cycles")?,
+        rob_full_stall_cycles: get_u64(json, "rob_full_stall_cycles")?,
+        sb_full_stall_cycles: get_u64(json, "sb_full_stall_cycles")?,
+        load_disambiguation_blocks: get_u64(json, "load_disambiguation_blocks")?,
+        branches_resolved: get_u64(json, "branches_resolved")?,
+        mispredictions: get_u64(json, "mispredictions")?,
+        speculation_replays: get_u64(json, "speculation_replays")?,
+        halted_at: get_opt_u64(json, "halted_at")?,
+        finished_at: get_opt_u64(json, "finished_at")?,
+    })
+}
+
+fn mem_stats_to_json(s: &CoreMemStats) -> Json {
+    Json::obj()
+        .field("accesses", s.accesses)
+        .field("l1_hits", s.l1_hits)
+        .field("upgrades", s.upgrades)
+        .field("l2_hits", s.l2_hits)
+        .field("remote_dirty", s.remote_dirty)
+        .field("mem_misses", s.mem_misses)
+        .field("invalidations_received", s.invalidations_received)
+}
+
+fn mem_stats_from_json(json: &Json) -> Result<CoreMemStats, String> {
+    Ok(CoreMemStats {
+        accesses: get_u64(json, "accesses")?,
+        l1_hits: get_u64(json, "l1_hits")?,
+        upgrades: get_u64(json, "upgrades")?,
+        l2_hits: get_u64(json, "l2_hits")?,
+        remote_dirty: get_u64(json, "remote_dirty")?,
+        mem_misses: get_u64(json, "mem_misses")?,
+        invalidations_received: get_u64(json, "invalidations_received")?,
+    })
+}
+
+fn scope_stats_to_json(s: &ScopeUnitStats) -> Json {
+    Json::obj()
+        .field("fs_starts", s.fs_starts)
+        .field("fs_ends", s.fs_ends)
+        .field("scoped_mem_ops", s.scoped_mem_ops)
+        .field("flagged_mem_ops", s.flagged_mem_ops)
+        .field("degraded_fences", s.degraded_fences)
+        .field("scoped_fences", s.scoped_fences)
+        .field("mispredict_recoveries", s.mispredict_recoveries)
+}
+
+fn scope_stats_from_json(json: &Json) -> Result<ScopeUnitStats, String> {
+    Ok(ScopeUnitStats {
+        fs_starts: get_u64(json, "fs_starts")?,
+        fs_ends: get_u64(json, "fs_ends")?,
+        scoped_mem_ops: get_u64(json, "scoped_mem_ops")?,
+        flagged_mem_ops: get_u64(json, "flagged_mem_ops")?,
+        degraded_fences: get_u64(json, "degraded_fences")?,
+        scoped_fences: get_u64(json, "scoped_fences")?,
+        mispredict_recoveries: get_u64(json, "mispredict_recoveries")?,
+    })
+}
+
+fn watch_event_to_json(ev: &WatchEvent) -> Json {
+    Json::obj()
+        .field("cycle", ev.cycle)
+        .field("core", ev.core)
+        .field("addr", ev.addr)
+        .field("old", ev.old)
+        .field("new", ev.new)
+}
+
+fn watch_event_from_json(json: &Json) -> Result<WatchEvent, String> {
+    Ok(WatchEvent {
+        cycle: get_u64(json, "cycle")?,
+        core: get_u64(json, "core")? as usize,
+        addr: get_u64(json, "addr")? as usize,
+        old: json
+            .get("old")
+            .and_then(Json::as_i64)
+            .ok_or("missing old")?,
+        new: json
+            .get("new")
+            .and_then(Json::as_i64)
+            .ok_or("missing new")?,
+    })
+}
+
+fn fence_kind_str(kind: FenceKind) -> &'static str {
+    match kind {
+        FenceKind::Global => "global",
+        FenceKind::Class => "class",
+        FenceKind::Set => "set",
+    }
+}
+
+fn fence_kind_from_str(s: &str) -> Result<FenceKind, String> {
+    match s {
+        "global" => Ok(FenceKind::Global),
+        "class" => Ok(FenceKind::Class),
+        "set" => Ok(FenceKind::Set),
+        other => Err(format!("unknown fence kind {other:?}")),
+    }
+}
+
+fn retired_event_to_json(ev: &RetiredEvent) -> Json {
+    match *ev {
+        RetiredEvent::FsStart(ClassId(cid)) => {
+            Json::obj().field("ev", "fs_start").field("cid", cid)
+        }
+        RetiredEvent::FsEnd => Json::obj().field("ev", "fs_end"),
+        RetiredEvent::Mem {
+            id,
+            flagged,
+            issue,
+            complete,
+        } => Json::obj()
+            .field("ev", "mem")
+            .field("id", id)
+            .field("flagged", flagged)
+            .field("issue", issue)
+            .field("complete", complete),
+        RetiredEvent::Fence { kind, issue } => Json::obj()
+            .field("ev", "fence")
+            .field("kind", fence_kind_str(kind))
+            .field("issue", issue),
+    }
+}
+
+fn retired_event_from_json(json: &Json) -> Result<RetiredEvent, String> {
+    match get_str(json, "ev")? {
+        "fs_start" => Ok(RetiredEvent::FsStart(ClassId(get_u64(json, "cid")? as u32))),
+        "fs_end" => Ok(RetiredEvent::FsEnd),
+        "mem" => Ok(RetiredEvent::Mem {
+            id: get_u64(json, "id")?,
+            flagged: get_bool(json, "flagged")?,
+            issue: get_u64(json, "issue")?,
+            complete: get_u64(json, "complete")?,
+        }),
+        "fence" => Ok(RetiredEvent::Fence {
+            kind: fence_kind_from_str(get_str(json, "kind")?)?,
+            issue: get_u64(json, "issue")?,
+        }),
+        other => Err(format!("unknown retired event {other:?}")),
+    }
+}
+
+/// Speedup of S-Fence over traditional fences for a workload under a
+/// base machine config: the paper's headline metric.
+pub fn speedup_s_over_t(w: &BuiltWorkload, base: &MachineConfig) -> f64 {
+    let t = Session::for_workload(w)
+        .config(base.clone())
+        .fence(FenceConfig::TRADITIONAL)
+        .run();
+    let s = Session::for_workload(w)
+        .config(base.clone())
+        .fence(FenceConfig::SFENCE)
+        .run();
+    t.cycles as f64 / s.cycles as f64
+}

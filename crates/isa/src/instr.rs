@@ -370,8 +370,12 @@ impl fmt::Display for Instr {
         match self {
             Instr::Imm { rd, value } => write!(f, "li    {rd}, {value}"),
             Instr::Mov { rd, a } => write!(f, "mov   {rd}, {a}"),
-            Instr::Alu { op, rd, a, b } => write!(f, "{:<5} {rd}, {a}, {b}", format!("{op:?}").to_lowercase()),
-            Instr::Cmp { op, rd, a, b } => write!(f, "c{:<4} {rd}, {a}, {b}", format!("{op:?}").to_lowercase()),
+            Instr::Alu { op, rd, a, b } => {
+                write!(f, "{:<5} {rd}, {a}, {b}", format!("{op:?}").to_lowercase())
+            }
+            Instr::Cmp { op, rd, a, b } => {
+                write!(f, "c{:<4} {rd}, {a}, {b}", format!("{op:?}").to_lowercase())
+            }
             Instr::Load {
                 rd,
                 base,
@@ -408,7 +412,11 @@ impl fmt::Display for Instr {
             Instr::FsStart { cid } => write!(f, "fs_start {cid}"),
             Instr::FsEnd { cid } => write!(f, "fs_end   {cid}"),
             Instr::Branch { op, a, b, target } => {
-                write!(f, "b{:<4} {a}, {b}, @{target}", format!("{op:?}").to_lowercase())
+                write!(
+                    f,
+                    "b{:<4} {a}, {b}, @{target}",
+                    format!("{op:?}").to_lowercase()
+                )
             }
             Instr::Jump { target } => write!(f, "j     @{target}"),
             Instr::Nop => write!(f, "nop"),
@@ -442,7 +450,14 @@ mod tests {
 
     #[test]
     fn cmp_flip_negate() {
-        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             for (a, b) in [(1, 2), (2, 1), (3, 3)] {
                 assert_eq!(op.apply(a, b), op.flip().apply(b, a), "{op:?} flip");
                 assert_eq!(op.apply(a, b), !op.negate().apply(a, b), "{op:?} negate");

@@ -108,7 +108,11 @@ impl ThreadState {
         let addr_of = |base: i64, offset: i64| -> Result<usize, InterpError> {
             let a = base.wrapping_add(offset);
             if a < 0 || a as usize >= mem.len() {
-                Err(InterpError::AddrOutOfRange { thread, pc, addr: a })
+                Err(InterpError::AddrOutOfRange {
+                    thread,
+                    pc,
+                    addr: a,
+                })
             } else {
                 Ok(a as usize)
             }
@@ -124,12 +128,16 @@ impl ThreadState {
             Instr::Cmp { op, rd, a, b } => {
                 self.regs[rd.0 as usize] = op.apply(self.operand(*a), self.operand(*b)) as i64;
             }
-            Instr::Load { rd, base, offset, .. } => {
+            Instr::Load {
+                rd, base, offset, ..
+            } => {
                 stats.loads += 1;
                 let a = addr_of(self.operand(*base), *offset)?;
                 self.regs[rd.0 as usize] = mem[a];
             }
-            Instr::Store { src, base, offset, .. } => {
+            Instr::Store {
+                src, base, offset, ..
+            } => {
                 stats.stores += 1;
                 let a = addr_of(self.operand(*base), *offset)?;
                 mem[a] = self.operand(*src);
@@ -360,7 +368,9 @@ mod tests {
             let mut mem = prog.initial_memory();
             let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
             let (exit, _) = run_sc(&prog, &mut mem, 1_000_000, |runnable| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((state >> 33) as usize) % runnable.len()
             })
             .unwrap();

@@ -117,6 +117,7 @@ macro_rules! bin_methods {
         impl Expr {
             $(
                 #[doc = concat!("Binary `", stringify!($meth), "`.")]
+                #[allow(clippy::should_implement_trait)]
                 pub fn $meth(self, rhs: Expr) -> Expr {
                     Expr::Bin($op, Box::new(self), Box::new(rhs))
                 }

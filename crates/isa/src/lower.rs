@@ -81,7 +81,10 @@ impl fmt::Display for CompileError {
         match self {
             CompileError::UnknownRoutine(n) => write!(f, "unknown routine {n:?}"),
             CompileError::UnknownLocal(n) => write!(f, "unknown local {n:?}"),
-            CompileError::Recursion(n) => write!(f, "recursive call to {n:?} (calls are inlined; recursion is not supported)"),
+            CompileError::Recursion(n) => write!(
+                f,
+                "recursive call to {n:?} (calls are inlined; recursion is not supported)"
+            ),
             CompileError::ClassFenceOutsideClass => {
                 write!(f, "S-FENCE[class] used outside a class method")
             }
@@ -92,8 +95,14 @@ impl fmt::Display for CompileError {
                 routine,
                 expected,
                 got,
-            } => write!(f, "call to {routine:?}: expected {expected} args, got {got}"),
-            CompileError::OutOfRegisters => write!(f, "out of registers (programs are limited to {NUM_REGS} live locals+temps)"),
+            } => write!(
+                f,
+                "call to {routine:?}: expected {expected} args, got {got}"
+            ),
+            CompileError::OutOfRegisters => write!(
+                f,
+                "out of registers (programs are limited to {NUM_REGS} live locals+temps)"
+            ),
         }
     }
 }
@@ -398,7 +407,12 @@ impl<'a> Lower<'a> {
     }
 
     /// Emit a branch to `l` taken when `cond` is **false**.
-    fn branch_if_false(&mut self, cond: &Expr, l: LabelId, temps: &mut u8) -> Result<(), CompileError> {
+    fn branch_if_false(
+        &mut self,
+        cond: &Expr,
+        l: LabelId,
+        temps: &mut u8,
+    ) -> Result<(), CompileError> {
         match cond {
             Expr::Cmp(op, a, b) => {
                 let ea = self.eval(a, temps)?;
@@ -420,7 +434,12 @@ impl<'a> Lower<'a> {
     }
 
     /// Emit a branch to `l` taken when `cond` is **true**.
-    fn branch_if_true(&mut self, cond: &Expr, l: LabelId, temps: &mut u8) -> Result<(), CompileError> {
+    fn branch_if_true(
+        &mut self,
+        cond: &Expr,
+        l: LabelId,
+        temps: &mut u8,
+    ) -> Result<(), CompileError> {
         match cond {
             Expr::Cmp(op, a, b) => {
                 let ea = self.eval(a, temps)?;
@@ -692,7 +711,15 @@ mod tests {
         // constant folding happened: no Alu for 2+3
         let adds = prog.threads[0]
             .iter()
-            .filter(|i| matches!(i, Instr::Alu { op: crate::AluOp::Add, .. }))
+            .filter(|i| {
+                matches!(
+                    i,
+                    Instr::Alu {
+                        op: crate::AluOp::Add,
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(adds, 0);
     }
@@ -729,7 +756,14 @@ mod tests {
         assert_eq!(ends.len(), 1);
         let fence_pc = code
             .iter()
-            .position(|i| matches!(i, Instr::Fence { kind: FenceKind::Class }))
+            .position(|i| {
+                matches!(
+                    i,
+                    Instr::Fence {
+                        kind: FenceKind::Class
+                    }
+                )
+            })
             .unwrap();
         assert!(starts[0] < fence_pc && fence_pc < ends[0]);
     }
@@ -886,7 +920,11 @@ mod tests {
         });
         assert!(matches!(
             p.compile(&CompileOpts::default()).unwrap_err(),
-            CompileError::ArgCount { expected: 2, got: 1, .. }
+            CompileError::ArgCount {
+                expected: 2,
+                got: 1,
+                ..
+            }
         ));
     }
 

@@ -115,10 +115,14 @@ fn stmt_touches_shared(s: &Stmt, shared: &[bool]) -> bool {
     match s {
         Stmt::Let(_, e) | Stmt::Assign(_, e) => expr_touches(e),
         Stmt::Store(m, e) => mem_shared(m, shared) || expr_touches(e),
-        Stmt::Cas { mem, expected, new, .. } => {
-            mem_shared(mem, shared) || expr_touches(expected) || expr_touches(new)
-        }
-        Stmt::If { cond, then_b, else_b } => {
+        Stmt::Cas {
+            mem, expected, new, ..
+        } => mem_shared(mem, shared) || expr_touches(expected) || expr_touches(new),
+        Stmt::If {
+            cond,
+            then_b,
+            else_b,
+        } => {
             expr_touches(cond)
                 || then_b.iter().any(|s| stmt_touches_shared(s, shared))
                 || else_b.iter().any(|s| stmt_touches_shared(s, shared))
@@ -166,7 +170,9 @@ fn flag_stmt(s: &mut Stmt, shared: &[bool], style: ScStyle, report: &mut ScRepor
             flag_mem(m, shared, style, report);
             flag_expr(e, shared, style, report);
         }
-        Stmt::Cas { mem, expected, new, .. } => {
+        Stmt::Cas {
+            mem, expected, new, ..
+        } => {
             flag_mem(mem, shared, style, report);
             flag_expr(expected, shared, style, report);
             flag_expr(new, shared, style, report);
@@ -236,7 +242,14 @@ mod tests {
         let prog = p.compile(&CompileOpts::default()).unwrap();
         let fences = prog.threads[0]
             .iter()
-            .filter(|i| matches!(i, Instr::Fence { kind: FenceKind::Global }))
+            .filter(|i| {
+                matches!(
+                    i,
+                    Instr::Fence {
+                        kind: FenceKind::Global
+                    }
+                )
+            })
             .count();
         assert_eq!(fences, 2);
     }
@@ -257,7 +270,14 @@ mod tests {
         assert_eq!(mem_flags, vec![true, false, true, true]);
         let set_fences = prog.threads[0]
             .iter()
-            .filter(|i| matches!(i, Instr::Fence { kind: FenceKind::Set }))
+            .filter(|i| {
+                matches!(
+                    i,
+                    Instr::Fence {
+                        kind: FenceKind::Set
+                    }
+                )
+            })
             .count();
         assert_eq!(set_fences, 2);
     }

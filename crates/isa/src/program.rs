@@ -38,17 +38,32 @@ pub struct Program {
 /// Errors produced by [`Program::validate`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ProgramError {
-    BranchOutOfRange { thread: usize, pc: usize, target: usize },
-    RegisterOutOfRange { thread: usize, pc: usize, reg: u8 },
-    MissingHalt { thread: usize },
-    DataInitOutOfRange { addr: Addr },
+    BranchOutOfRange {
+        thread: usize,
+        pc: usize,
+        target: usize,
+    },
+    RegisterOutOfRange {
+        thread: usize,
+        pc: usize,
+        reg: u8,
+    },
+    MissingHalt {
+        thread: usize,
+    },
+    DataInitOutOfRange {
+        addr: Addr,
+    },
 }
 
 impl fmt::Display for ProgramError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ProgramError::BranchOutOfRange { thread, pc, target } => {
-                write!(f, "thread {thread} pc {pc}: branch target {target} out of range")
+                write!(
+                    f,
+                    "thread {thread} pc {pc}: branch target {target} out of range"
+                )
             }
             ProgramError::RegisterOutOfRange { thread, pc, reg } => {
                 write!(f, "thread {thread} pc {pc}: register r{reg} out of range")
@@ -130,12 +145,20 @@ impl Program {
                 };
                 if let Some(target) = target {
                     if target >= code.len() {
-                        return Err(ProgramError::BranchOutOfRange { thread: t, pc, target });
+                        return Err(ProgramError::BranchOutOfRange {
+                            thread: t,
+                            pc,
+                            target,
+                        });
                     }
                 }
                 for r in instr.sources().chain(instr.dest()) {
                     if (r.0 as usize) >= NUM_REGS {
-                        return Err(ProgramError::RegisterOutOfRange { thread: t, pc, reg: r.0 });
+                        return Err(ProgramError::RegisterOutOfRange {
+                            thread: t,
+                            pc,
+                            reg: r.0,
+                        });
                     }
                 }
             }
@@ -182,7 +205,10 @@ mod tests {
     #[test]
     fn validate_ok() {
         let p = halted(vec![
-            Instr::Imm { rd: Reg(0), value: 1 },
+            Instr::Imm {
+                rd: Reg(0),
+                value: 1,
+            },
             Instr::Halt,
         ]);
         assert!(p.validate().is_ok());
@@ -208,13 +234,19 @@ mod tests {
     #[test]
     fn validate_missing_halt() {
         let p = halted(vec![Instr::Nop]);
-        assert!(matches!(p.validate(), Err(ProgramError::MissingHalt { thread: 0 })));
+        assert!(matches!(
+            p.validate(),
+            Err(ProgramError::MissingHalt { thread: 0 })
+        ));
     }
 
     #[test]
     fn validate_register_range() {
         let p = halted(vec![
-            Instr::Imm { rd: Reg(200), value: 0 },
+            Instr::Imm {
+                rd: Reg(200),
+                value: 0,
+            },
             Instr::Halt,
         ]);
         assert!(matches!(

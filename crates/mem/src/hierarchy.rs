@@ -64,7 +64,7 @@ pub enum AccessOutcome {
 }
 
 /// Per-core cache statistics.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CoreMemStats {
     pub accesses: u64,
     pub l1_hits: u64,
@@ -296,7 +296,9 @@ impl MemorySystem {
         for (&line, e) in &self.dir {
             for c in 0..self.l1.len() {
                 if e.sharers & (1 << c) != 0 && !self.l1[c].contains(line) {
-                    return Err(format!("directory claims {c} shares line {line}; L1 disagrees"));
+                    return Err(format!(
+                        "directory claims {c} shares line {line}; L1 disagrees"
+                    ));
                 }
             }
             if let Some(o) = e.dirty_owner {

@@ -8,7 +8,10 @@
 
 pub mod machine;
 
-pub use machine::{run_program, Machine, MachineConfig, RunExit, RunSummary, WatchEvent};
+pub use machine::{
+    execute, fence_stall_fraction, ExecOutput, Machine, MachineConfig, RunExit, RunSummary,
+    WatchEvent,
+};
 pub use sfence_cpu::{CoreConfig, FenceConfig};
 pub use sfence_mem::MemConfig;
 
@@ -21,6 +24,11 @@ mod tests {
 
     fn compile(p: &IrProgram) -> Program {
         p.compile(&CompileOpts::default()).expect("compile")
+    }
+
+    fn run_program(program: &Program, cfg: MachineConfig) -> (RunSummary, Vec<i64>) {
+        let out = execute(program, cfg, &[]);
+        (out.summary, out.mem)
     }
 
     fn small_cfg(fence: FenceConfig) -> MachineConfig {
@@ -170,14 +178,21 @@ mod tests {
     fn store_buffering_forbidden_with_full_fences() {
         for cfg in [FenceConfig::TRADITIONAL, FenceConfig::SFENCE] {
             let (r0, r1) = run_sb(Some("full"), cfg);
-            assert!(r0 == 1 || r1 == 1, "{}: SB outcome (0,0) forbidden", cfg.label());
+            assert!(
+                r0 == 1 || r1 == 1,
+                "{}: SB outcome (0,0) forbidden",
+                cfg.label()
+            );
         }
     }
 
     #[test]
     fn store_buffering_forbidden_with_matching_set_fence() {
         let (r0, r1) = run_sb(Some("set-flags"), FenceConfig::SFENCE);
-        assert!(r0 == 1 || r1 == 1, "set fence over the flags must order them");
+        assert!(
+            r0 == 1 || r1 == 1,
+            "set fence over the flags must order them"
+        );
     }
 
     #[test]
@@ -230,11 +245,36 @@ mod tests {
             b.halt();
         });
         let prog = compile(&p);
+        let num_threads = prog.num_threads();
         let mut cfg = MachineConfig::paper_default();
         cfg.max_cycles = 100_000;
         let (summary, _) = run_program(&prog, cfg);
         assert_eq!(summary.exit, RunExit::Completed);
-        assert_eq!(summary.core_stats[7].instrs_retired, 0);
+        // Every core beyond the program's threads must be inert.
+        assert!(num_threads < summary.core_stats.len());
+        for (i, s) in summary.core_stats.iter().enumerate().skip(num_threads) {
+            assert_eq!(s.instrs_retired, 0, "idle core {i} retired instructions");
+            assert_eq!(s.instrs_issued, 0, "idle core {i} issued instructions");
+            assert_eq!(s.fence_stall_cycles, 0, "idle core {i} stalled on fences");
+        }
+    }
+
+    /// `fence_stall_fraction` on a degenerate zero-cycle summary must
+    /// not divide by zero.
+    #[test]
+    fn zero_cycle_summary_has_zero_stall_fraction() {
+        let summary = RunSummary {
+            exit: RunExit::Completed,
+            cycles: 0,
+            core_stats: vec![sfence_cpu::CoreStats {
+                instrs_retired: 1,
+                fence_stall_cycles: 5,
+                ..Default::default()
+            }],
+            mem_stats: Default::default(),
+            scope_stats: Vec::new(),
+        };
+        assert_eq!(summary.fence_stall_fraction(), 0.0);
     }
 
     #[test]

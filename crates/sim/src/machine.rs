@@ -118,7 +118,7 @@ pub enum RunExit {
 }
 
 /// Results of a run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunSummary {
     pub exit: RunExit,
     /// Total execution time: the cycle at which the last core drained.
@@ -128,23 +128,29 @@ pub struct RunSummary {
     pub scope_stats: Vec<sfence_core::ScopeUnitStats>,
 }
 
+/// Average across *active* cores (those that retired instructions) of
+/// the fraction of `cycles` spent stalled on fences — the paper's
+/// "Fence Stalls" bar component. Zero-cycle or all-idle runs report
+/// 0.0. The one definition shared by `RunSummary` and the harness's
+/// `RunReport`.
+pub fn fence_stall_fraction(core_stats: &[sfence_cpu::CoreStats], cycles: u64) -> f64 {
+    let active: Vec<&sfence_cpu::CoreStats> =
+        core_stats.iter().filter(|s| s.instrs_retired > 0).collect();
+    if active.is_empty() || cycles == 0 {
+        return 0.0;
+    }
+    active
+        .iter()
+        .map(|s| s.fence_stall_cycles as f64 / cycles as f64)
+        .sum::<f64>()
+        / active.len() as f64
+}
+
 impl RunSummary {
     /// Average across cores of the fraction of cycles stalled on
     /// fences (the paper's "Fence Stalls" bar component).
     pub fn fence_stall_fraction(&self) -> f64 {
-        let active: Vec<&sfence_cpu::CoreStats> = self
-            .core_stats
-            .iter()
-            .filter(|s| s.instrs_retired > 0)
-            .collect();
-        if active.is_empty() || self.cycles == 0 {
-            return 0.0;
-        }
-        active
-            .iter()
-            .map(|s| s.fence_stall_cycles as f64 / self.cycles as f64)
-            .sum::<f64>()
-            / active.len() as f64
+        fence_stall_fraction(&self.core_stats, self.cycles)
     }
 
     /// Aggregate fence stall cycles.
@@ -280,9 +286,43 @@ impl Machine {
     }
 }
 
-/// Run `program` under `cfg` and return (summary, final memory).
-pub fn run_program(program: &Program, cfg: MachineConfig) -> (RunSummary, Vec<i64>) {
+/// Everything a finished run produced: the summary plus the final
+/// memory image, watchpoint log and (if tracing was enabled) the
+/// per-core retired-event traces.
+///
+/// This is the one sanctioned way to execute a program — every layer
+/// above `sfence-sim` (the `sfence-harness` `Session`, and through it
+/// the workloads, experiments, examples and tests) goes through
+/// [`execute`] rather than driving a [`Machine`] by hand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecOutput {
+    pub summary: RunSummary,
+    /// Final flat memory image.
+    pub mem: Vec<i64>,
+    /// Writes to watched addresses, in completion order.
+    pub watch_log: Vec<WatchEvent>,
+    /// Per-core retired-event traces (empty unless `cfg.core.trace`).
+    pub traces: Vec<Vec<sfence_core::RetiredEvent>>,
+}
+
+/// Run `program` under `cfg`, watching writes to `watch`, and return
+/// the full output of the run.
+pub fn execute(program: &Program, cfg: MachineConfig, watch: &[usize]) -> ExecOutput {
+    let trace = cfg.core.trace;
     let mut m = Machine::new(program, cfg);
+    for &addr in watch {
+        m.watch(addr);
+    }
     let summary = m.run();
-    (summary, m.mem)
+    let traces = if trace {
+        m.traces().iter().map(|t| t.to_vec()).collect()
+    } else {
+        Vec::new()
+    };
+    ExecOutput {
+        summary,
+        mem: m.mem,
+        watch_log: m.watch_log,
+        traces,
+    }
 }

@@ -46,19 +46,21 @@ impl Default for BarnesParams {
 pub fn reference(params: &BarnesParams) -> (Vec<i64>, Vec<i64>) {
     let nb = params.bodies_per_thread * params.threads;
     let nc = params.cells_per_thread * params.threads;
-    let mut pos: Vec<i64> = (0..nb).map(|i| (i as i64).wrapping_mul(37) % 1000).collect();
+    let mut pos: Vec<i64> = (0..nb)
+        .map(|i| (i as i64).wrapping_mul(37) % 1000)
+        .collect();
     let mut cell: Vec<i64> = (0..nc).map(|j| (j as i64) * 11 + 5).collect();
     for _ in 0..params.steps {
         // Force phase (reads cells, writes bodies) — phases are
         // barrier-separated so this order is exact.
         let frozen_cells = cell.clone();
-        for i in 0..nb {
+        for (i, p) in pos.iter_mut().enumerate() {
             let mut f: i64 = 0;
             for s in 0..params.samples {
                 let j = (i * 7 + s * 13) % nc;
-                f = f.wrapping_add(frozen_cells[j].wrapping_sub(pos[i]) >> 3);
+                f = f.wrapping_add(frozen_cells[j].wrapping_sub(*p) >> 3);
             }
-            pos[i] = pos[i].wrapping_add(f >> 2);
+            *p = p.wrapping_add(f >> 2);
         }
         // Cell phase (reads own bodies, writes own cells).
         let frozen_pos = pos.clone();
@@ -67,8 +69,7 @@ pub fn reference(params: &BarnesParams) -> (Vec<i64>, Vec<i64>) {
                 let j = t * params.cells_per_thread + cl;
                 let mut acc: i64 = 0;
                 for k in 0..8 {
-                    let b = t * params.bodies_per_thread
-                        + (cl * 8 + k) % params.bodies_per_thread;
+                    let b = t * params.bodies_per_thread + (cl * 8 + k) % params.bodies_per_thread;
                     acc = acc.wrapping_add(frozen_pos[b]);
                 }
                 cell[j] = acc >> 3;
@@ -91,9 +92,9 @@ pub fn build(params: BarnesParams) -> BuiltWorkload {
     // Bodies are *private* (each thread touches only its own slice):
     // the delay-set pass leaves them unflagged and unfenced.
     let pos = p.array("BPOS", nb * 8); // one body per line
-    // Write-only per-thread force log, rotating per step so its
-    // stores are always cold: the genuinely long-latency private
-    // traffic a traditional fence stalls on and S-Fence skips.
+                                       // Write-only per-thread force log, rotating per step so its
+                                       // stores are always cold: the genuinely long-latency private
+                                       // traffic a traditional fence stalls on and S-Fence skips.
     let frc = p.array("BFRC", threads * 8192);
     // Cells are shared-conflicting: written by their owner, read by
     // everyone.
@@ -125,25 +126,30 @@ pub fn build(params: BarnesParams) -> BuiltWorkload {
                         );
                         fb.assign(
                             "f",
-                            l("f").add(ld(cell.at(l("j"))).sub(ld(pos.at(l("i").mul(c(8))))).shr(c(3))),
+                            l("f").add(
+                                ld(cell.at(l("j")))
+                                    .sub(ld(pos.at(l("i").mul(c(8)))))
+                                    .shr(c(3)),
+                            ),
                         );
                     }
                     // Scattered private force-log store (cold line):
                     // a traditional fence waits for its drain at the
                     // next shared access; a set-scope fence does not.
                     fb.store(
-                        frc.at(
-                            c((t * 8192) as i64).add(
-                                l("step")
-                                    .mul(c(nb as i64))
-                                    .add(l("i"))
-                                    .mul(c(8))
-                                    .bitand(c(8191)),
-                            ),
-                        ),
+                        frc.at(c((t * 8192) as i64).add(
+                            l("step")
+                                .mul(c(nb as i64))
+                                .add(l("i"))
+                                .mul(c(8))
+                                .bitand(c(8191)),
+                        )),
                         l("f"),
                     );
-                    fb.store(pos.at(l("i").mul(c(8))), ld(pos.at(l("i").mul(c(8)))).add(l("f").shr(c(2))));
+                    fb.store(
+                        pos.at(l("i").mul(c(8))),
+                        ld(pos.at(l("i").mul(c(8)))).add(l("f").shr(c(2))),
+                    );
                     fb.assign("i", l("i").add(c(1)));
                 });
                 w.call_ret("bar_sense", "barrier", &[c(threads as i64), l("bar_sense")]);
@@ -154,9 +160,8 @@ pub fn build(params: BarnesParams) -> BuiltWorkload {
                     for k in 0..8 {
                         cb.let_(
                             "bidx",
-                            c((t * bpt) as i64).add(
-                                l("cl").mul(c(8)).add(c(k as i64)).rem(c(bpt as i64)),
-                            ),
+                            c((t * bpt) as i64)
+                                .add(l("cl").mul(c(8)).add(c(k as i64)).rem(c(bpt as i64))),
                         );
                         cb.assign("acc", l("acc").add(ld(pos.at(l("bidx").mul(c(8))))));
                     }
@@ -209,6 +214,7 @@ pub fn build(params: BarnesParams) -> BuiltWorkload {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::support::run_for_test as run;
     use sfence_sim::{FenceConfig, MachineConfig};
 
     fn cfg(fence: FenceConfig, cores: usize) -> MachineConfig {
@@ -238,7 +244,7 @@ mod tests {
             FenceConfig::TRADITIONAL_SPEC,
             FenceConfig::SFENCE_SPEC,
         ] {
-            w.run(cfg(fence, 4));
+            run(&w, cfg(fence, 4));
         }
     }
 
@@ -248,7 +254,7 @@ mod tests {
             style: ScStyle::Traditional,
             ..small()
         });
-        w.run(cfg(FenceConfig::TRADITIONAL, 4));
+        run(&w, cfg(FenceConfig::TRADITIONAL, 4));
     }
 
     #[test]
@@ -257,8 +263,8 @@ mod tests {
             bodies_per_thread: 48,
             ..small()
         });
-        let t = w.run(cfg(FenceConfig::TRADITIONAL, 4));
-        let s = w.run(cfg(FenceConfig::SFENCE, 4));
+        let t = run(&w, cfg(FenceConfig::TRADITIONAL, 4));
+        let s = run(&w, cfg(FenceConfig::SFENCE, 4));
         assert!(
             s.total_fence_stalls() < t.total_fence_stalls(),
             "S stalls {} must be below T stalls {}",

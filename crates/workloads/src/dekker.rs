@@ -104,6 +104,7 @@ pub fn build(params: DekkerParams) -> BuiltWorkload {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::support::run_for_test as run;
     use sfence_sim::{FenceConfig, MachineConfig};
 
     fn cfg(fence: FenceConfig) -> MachineConfig {
@@ -125,7 +126,7 @@ mod tests {
             FenceConfig::TRADITIONAL_SPEC,
             FenceConfig::SFENCE_SPEC,
         ] {
-            w.run(cfg(fence)); // panics on violation
+            run(&w, cfg(fence)); // panics on violation
         }
     }
 
@@ -135,8 +136,8 @@ mod tests {
             iters: 25,
             workload: 3,
         });
-        let t = w.run(cfg(FenceConfig::TRADITIONAL));
-        let s = w.run(cfg(FenceConfig::SFENCE));
+        let t = run(&w, cfg(FenceConfig::TRADITIONAL));
+        let s = run(&w, cfg(FenceConfig::SFENCE));
         assert!(
             s.cycles < t.cycles,
             "S ({}) must beat T ({})",
@@ -193,10 +194,12 @@ mod tests {
             });
         }
         let prog = compile(&p);
-        let (summary, mem) = sfence_sim::run_program(&prog, cfg(FenceConfig::SFENCE));
-        assert_eq!(summary.exit, sfence_sim::RunExit::Completed);
-        let granted =
-            mem[prog.addr_of("ENTERED")] + mem[prog.addr_of("ENTERED") + 8];
+        let report = sfence_harness::Session::for_program(&prog)
+            .config(cfg(FenceConfig::SFENCE))
+            .run();
+        assert_eq!(report.exit, sfence_sim::RunExit::Completed);
+        let mem = &report.mem;
+        let granted = mem[prog.addr_of("ENTERED")] + mem[prog.addr_of("ENTERED") + 8];
         (mem[prog.addr_of("COUNT")], granted)
     }
 

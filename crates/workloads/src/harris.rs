@@ -59,7 +59,10 @@ pub fn register(p: &mut IrProgram, pool: usize, mode: ScopeMode) -> Harris {
             retry.let_("t_next", ld(next.at(l("t"))));
             retry.loop_(move |walk| {
                 walk.if_(
-                    l("t_next").bitand(c(1)).eq(c(0)).bitand(ld(val.at(l("t"))).ge(l("key"))),
+                    l("t_next")
+                        .bitand(c(1))
+                        .eq(c(0))
+                        .bitand(ld(val.at(l("t"))).ge(l("key"))),
                     |x| x.break_(),
                 );
                 walk.if_(l("t_next").bitand(c(1)).eq(c(0)), move |un| {
@@ -208,7 +211,9 @@ pub fn build(params: HarrisParams) -> BuiltWorkload {
             b.while_(l("i").lt(c(ops as i64)), move |w| {
                 w.assign(
                     "rng",
-                    l("rng").mul(c(6364136223846793005)).add(c(1442695040888963407)),
+                    l("rng")
+                        .mul(c(6364136223846793005))
+                        .add(c(1442695040888963407)),
                 );
                 w.let_("key", l("rng").shr(c(33)).bitand(c(i64::MAX)).rem(c(range)));
                 w.if_else(
@@ -285,6 +290,7 @@ pub fn build(params: HarrisParams) -> BuiltWorkload {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::support::run_for_test as run;
     use sfence_sim::{FenceConfig, MachineConfig};
 
     fn cfg(fence: FenceConfig, cores: usize) -> MachineConfig {
@@ -303,7 +309,7 @@ mod tests {
             workload: 1,
             scope: ScopeMode::Class,
         });
-        w.run(cfg(FenceConfig::SFENCE, 1));
+        run(&w, cfg(FenceConfig::SFENCE, 1));
     }
 
     #[test]
@@ -321,7 +327,7 @@ mod tests {
             FenceConfig::TRADITIONAL_SPEC,
             FenceConfig::SFENCE_SPEC,
         ] {
-            w.run(cfg(fence, 4));
+            run(&w, cfg(fence, 4));
         }
     }
 
@@ -334,6 +340,6 @@ mod tests {
             workload: 2,
             scope: ScopeMode::Set,
         });
-        w.run(cfg(FenceConfig::SFENCE, 4));
+        run(&w, cfg(FenceConfig::SFENCE, 4));
     }
 }

@@ -27,4 +27,5 @@ pub mod radiosity;
 pub mod support;
 pub mod wsq;
 
+pub use catalog::{Scale, Workload, WorkloadParams, REGISTRY};
 pub use support::{BuiltWorkload, ScopeMode};

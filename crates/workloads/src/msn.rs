@@ -69,10 +69,12 @@ pub fn register(p: &mut IrProgram, pool: usize, mode: ScopeMode) -> Msn {
             lp.let_("t", ld(qtail.cell()));
             lp.let_("nx", ld(next.at(l("h"))));
             fence(lp); // validate: loads above ordered before the checks
-            // Classic MS consistency check: h still the head? (Also
-            // guards the val/CAS below against a stale nx.)
+                       // Classic MS consistency check: h still the head? (Also
+                       // guards the val/CAS below against a stale nx.)
             lp.if_(l("h").ne(ld(qhead.cell())), |x| x.continue_());
-            lp.if_(l("nx").eq(c(-1)).bitand(l("h").ne(l("t"))), |x| x.continue_());
+            lp.if_(l("nx").eq(c(-1)).bitand(l("h").ne(l("t"))), |x| {
+                x.continue_()
+            });
             lp.if_else(
                 l("h").eq(l("t")),
                 move |tb| {
@@ -175,10 +177,7 @@ pub fn build(params: MsnParams) -> BuiltWorkload {
             b.while_(ld(consumed.cell()).lt(c(total64)), move |w| {
                 w.call_ret("v", "Msn::dequeue", &[]);
                 w.if_(l("v").gt(c(0)), move |t| {
-                    t.store(
-                        logs.at(c(co as i64 * total64).add(l("mylen"))),
-                        l("v"),
-                    );
+                    t.store(logs.at(c(co as i64 * total64).add(l("mylen"))), l("v"));
                     t.assign("mylen", l("mylen").add(c(1)));
                     // fetch-and-increment CONSUMED
                     t.let_("got", c(0));
@@ -242,6 +241,7 @@ pub fn build(params: MsnParams) -> BuiltWorkload {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::support::run_for_test as run;
     use sfence_sim::{FenceConfig, MachineConfig};
 
     fn cfg(fence: FenceConfig, cores: usize) -> MachineConfig {
@@ -266,7 +266,7 @@ mod tests {
             FenceConfig::TRADITIONAL_SPEC,
             FenceConfig::SFENCE_SPEC,
         ] {
-            w.run(cfg(fence, 4));
+            run(&w, cfg(fence, 4));
         }
     }
 
@@ -279,7 +279,7 @@ mod tests {
             workload: 1,
             scope: ScopeMode::Class,
         });
-        w.run(cfg(FenceConfig::SFENCE, 2));
+        run(&w, cfg(FenceConfig::SFENCE, 2));
     }
 
     #[test]
@@ -291,7 +291,7 @@ mod tests {
             workload: 2,
             scope: ScopeMode::Set,
         });
-        w.run(cfg(FenceConfig::SFENCE, 4));
+        run(&w, cfg(FenceConfig::SFENCE, 4));
     }
 
     #[test]
@@ -303,8 +303,8 @@ mod tests {
             workload: 4,
             scope: ScopeMode::Class,
         });
-        let t = w.run(cfg(FenceConfig::TRADITIONAL, 4));
-        let s = w.run(cfg(FenceConfig::SFENCE, 4));
+        let t = run(&w, cfg(FenceConfig::TRADITIONAL, 4));
+        let s = run(&w, cfg(FenceConfig::SFENCE, 4));
         assert!(
             s.cycles < t.cycles,
             "S ({}) must beat T ({})",

@@ -6,8 +6,6 @@
 
 use crate::support::{compile, BuiltWorkload, ScopeMode};
 use crate::wsq;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use sfence_isa::ir::*;
 
 /// Parameters.
@@ -35,7 +33,7 @@ impl Default for PstParams {
 
 /// Generate a connected undirected graph as CSR (host side).
 pub fn random_graph(nodes: usize, extra: usize, seed: u64) -> (Vec<usize>, Vec<usize>) {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = crate::support::Prng::seed_from_u64(seed);
     let mut edges: Vec<(usize, usize)> = Vec::with_capacity(nodes - 1 + extra);
     for v in 1..nodes {
         let u = rng.gen_range(0..v);
@@ -211,6 +209,7 @@ pub fn build(params: PstParams) -> BuiltWorkload {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::support::run_for_test as run;
     use sfence_sim::{FenceConfig, MachineConfig};
 
     fn cfg(fence: FenceConfig, cores: usize) -> MachineConfig {
@@ -235,7 +234,7 @@ mod tests {
             FenceConfig::TRADITIONAL_SPEC,
             FenceConfig::SFENCE_SPEC,
         ] {
-            w.run(cfg(fence, 4));
+            run(&w, cfg(fence, 4));
         }
     }
 
@@ -248,7 +247,7 @@ mod tests {
             seed: 3,
             scope: ScopeMode::Class,
         });
-        w.run(cfg(FenceConfig::SFENCE, 1));
+        run(&w, cfg(FenceConfig::SFENCE, 1));
     }
 
     #[test]

@@ -6,8 +6,6 @@
 
 use crate::support::{compile, BuiltWorkload, ScopeMode};
 use crate::{pst::emit_acquire_task, wsq};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use sfence_isa::ir::*;
 
 /// Parameters.
@@ -38,8 +36,12 @@ impl Default for PtcParams {
 
 /// Generate a random directed graph as CSR plus the host-side
 /// reachable set from node 0.
-pub fn random_digraph(nodes: usize, edges: usize, seed: u64) -> (Vec<usize>, Vec<usize>, Vec<bool>) {
-    let mut rng = SmallRng::seed_from_u64(seed);
+pub fn random_digraph(
+    nodes: usize,
+    edges: usize,
+    seed: u64,
+) -> (Vec<usize>, Vec<usize>, Vec<bool>) {
+    let mut rng = crate::support::Prng::seed_from_u64(seed);
     let mut out: Vec<Vec<usize>> = vec![Vec::new(); nodes];
     // A guaranteed chain off node 0 for an interesting frontier.
     for v in 1..nodes / 2 {
@@ -124,10 +126,9 @@ pub fn build(params: PtcParams) -> BuiltWorkload {
                                 .bitxor(l("acc").shr(c(31))),
                         );
                         cw.store(
-                            scratch.at(
-                                c((t * 1024) as i64)
-                                    .add(l("acc").bitand(c(1023)).bitand(c(!7))),
-                            ),
+                            scratch
+                                .at(c((t * 1024) as i64)
+                                    .add(l("acc").bitand(c(1023)).bitand(c(!7)))),
                             l("acc"),
                         );
                         cw.assign("k", l("k").add(c(1)));
@@ -187,6 +188,7 @@ pub fn build(params: PtcParams) -> BuiltWorkload {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::support::run_for_test as run;
     use sfence_sim::{FenceConfig, MachineConfig};
 
     fn cfg(fence: FenceConfig, cores: usize) -> MachineConfig {
@@ -212,7 +214,7 @@ mod tests {
             FenceConfig::TRADITIONAL_SPEC,
             FenceConfig::SFENCE_SPEC,
         ] {
-            w.run(cfg(fence, 4));
+            run(&w, cfg(fence, 4));
         }
     }
 
@@ -227,7 +229,7 @@ mod tests {
             task_work: 2,
             scope: ScopeMode::Class,
         });
-        let (_, mem) = w.run_with_memory(cfg(FenceConfig::SFENCE, 2));
+        let mem = run(&w, cfg(FenceConfig::SFENCE, 2)).mem;
         let base = w.program.addr_of("REACH");
         assert_eq!(mem[base + 149 * 8], 0, "tail node must be unreachable");
         assert_eq!(mem[base + 30 * 8], 1, "chain node must be reachable");

@@ -9,8 +9,6 @@
 //! broken lock or a missing release fence) shows up immediately.
 
 use crate::support::{compile, register_barrier, BuiltWorkload};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use sfence_isa::ir::*;
 use sfence_isa::passes::{enforce_sc, ScStyle};
 
@@ -43,7 +41,7 @@ impl Default for RadiosityParams {
 
 /// Host-side interaction list and exact final energies.
 fn make_interactions(params: &RadiosityParams) -> (Vec<usize>, Vec<usize>, Vec<i64>, Vec<i64>) {
-    let mut rng = SmallRng::seed_from_u64(params.seed);
+    let mut rng = crate::support::Prng::seed_from_u64(params.seed);
     let mut src = Vec::with_capacity(params.interactions);
     let mut dst = Vec::with_capacity(params.interactions);
     let mut ff = Vec::with_capacity(params.interactions);
@@ -122,10 +120,9 @@ pub fn build(params: RadiosityParams) -> BuiltWorkload {
                     grab.while_(l("k").lt(c(scratch_work as i64)), move |sw| {
                         sw.assign("mix", l("mix").mul(c(2654435761)).add(l("k")));
                         sw.store(
-                            scratch.at(
-                                c((t * 4096) as i64)
-                                    .add(l("mix").bitand(c(4095)).bitand(c(!7))),
-                            ),
+                            scratch
+                                .at(c((t * 4096) as i64)
+                                    .add(l("mix").bitand(c(4095)).bitand(c(!7)))),
                             l("mix"),
                         );
                         sw.assign("k", l("k").add(c(1)));
@@ -182,6 +179,7 @@ pub fn build(params: RadiosityParams) -> BuiltWorkload {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::support::run_for_test as run;
     use sfence_sim::{FenceConfig, MachineConfig};
 
     fn cfg(fence: FenceConfig, cores: usize) -> MachineConfig {
@@ -212,7 +210,7 @@ mod tests {
             FenceConfig::TRADITIONAL_SPEC,
             FenceConfig::SFENCE_SPEC,
         ] {
-            w.run(cfg(fence, 4));
+            run(&w, cfg(fence, 4));
         }
     }
 
@@ -222,7 +220,7 @@ mod tests {
             threads: 1,
             ..small()
         });
-        w.run(cfg(FenceConfig::SFENCE, 1));
+        run(&w, cfg(FenceConfig::SFENCE, 1));
     }
 
     #[test]
@@ -232,8 +230,8 @@ mod tests {
             scratch_work: 6,
             ..small()
         });
-        let t = w.run(cfg(FenceConfig::TRADITIONAL, 4));
-        let s = w.run(cfg(FenceConfig::SFENCE, 4));
+        let t = run(&w, cfg(FenceConfig::TRADITIONAL, 4));
+        let s = run(&w, cfg(FenceConfig::SFENCE, 4));
         assert!(
             s.total_fence_stalls() < t.total_fence_stalls(),
             "S stalls {} must be below T stalls {}",

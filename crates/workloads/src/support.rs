@@ -3,7 +3,6 @@
 
 use sfence_isa::ir::{c, l, ld, BlockBuilder, Global, IrProgram};
 use sfence_isa::{CompileOpts, Program};
-use sfence_sim::{FenceConfig, MachineConfig, RunExit, RunSummary};
 
 /// Which scope flavour a class-based benchmark uses (Fig. 14 compares
 /// the two).
@@ -17,41 +16,39 @@ pub enum ScopeMode {
 }
 
 /// A compiled benchmark plus its invariant checker.
+///
+/// This is pure *description*: running (and invariant validation on
+/// the final memory image) is the `sfence-harness` `Session`'s job —
+/// workloads never drive the machine themselves.
 pub struct BuiltWorkload {
     pub name: &'static str,
     pub program: Program,
     /// Validates the final memory image; returns a description of the
     /// violation if any.
-    pub check: Box<dyn Fn(&Program, &[i64]) -> Result<(), String> + Send + Sync>,
+    pub check: InvariantCheck,
 }
 
-impl BuiltWorkload {
-    /// Run under a machine config; panics on incomplete runs or
-    /// invariant violations (benchmarks must be correct under every
-    /// fence configuration before their timing means anything).
-    pub fn run(&self, cfg: MachineConfig) -> RunSummary {
-        let (summary, mem) = sfence_sim::run_program(&self.program, cfg);
-        assert_eq!(
-            summary.exit,
-            RunExit::Completed,
-            "{}: run hit the cycle limit",
-            self.name
-        );
-        if let Err(e) = (self.check)(&self.program, &mem) {
-            panic!("{}: invariant violated: {e}", self.name);
-        }
-        summary
-    }
+/// An invariant checker over `(program, final memory)`.
+pub type InvariantCheck = Box<dyn Fn(&Program, &[i64]) -> Result<(), String> + Send + Sync>;
 
-    /// Run and also return the final memory (for extra assertions).
-    pub fn run_with_memory(&self, cfg: MachineConfig) -> (RunSummary, Vec<i64>) {
-        let (summary, mem) = sfence_sim::run_program(&self.program, cfg);
-        assert_eq!(summary.exit, RunExit::Completed, "{}", self.name);
-        if let Err(e) = (self.check)(&self.program, &mem) {
-            panic!("{}: invariant violated: {e}", self.name);
-        }
-        (summary, mem)
+/// Test-only runner shared by the workload modules' unit tests: run
+/// through the harness `Session` and apply the invariant checker.
+/// Uses `Session::for_program` rather than `for_workload` because the
+/// harness dev-dependency links its own copy of this crate, making
+/// its `BuiltWorkload` a distinct type inside these tests.
+#[cfg(test)]
+pub(crate) fn run_for_test(
+    w: &BuiltWorkload,
+    cfg: sfence_sim::MachineConfig,
+) -> sfence_harness::RunReport {
+    let report = sfence_harness::Session::for_program(&w.program)
+        .config(cfg)
+        .run();
+    assert!(report.completed(), "{}: run hit the cycle limit", w.name);
+    if let Err(e) = (w.check)(&w.program, &report.mem) {
+        panic!("{}: invariant violated: {e}", w.name);
     }
+    report
 }
 
 /// Compile with default options, panicking on compiler errors.
@@ -60,12 +57,37 @@ pub fn compile(p: &IrProgram) -> Program {
         .expect("workload must compile")
 }
 
-/// Speedup of S-Fence over traditional fences for a workload under a
-/// base machine config: the paper's headline metric.
-pub fn speedup_s_over_t(w: &BuiltWorkload, base: &MachineConfig) -> f64 {
-    let t = w.run(base.clone().with_fence(FenceConfig::TRADITIONAL));
-    let s = w.run(base.clone().with_fence(FenceConfig::SFENCE));
-    t.cycles as f64 / s.cycles as f64
+/// A small deterministic PRNG (xorshift64* over a splitmix64-mixed
+/// seed) for workload input generation. Dependency-free and stable
+/// across platforms, so generated graphs — and therefore every cycle
+/// count in the evaluation — are reproducible from the seed alone.
+#[derive(Debug, Clone)]
+pub struct Prng(u64);
+
+impl Prng {
+    pub fn seed_from_u64(seed: u64) -> Self {
+        // splitmix64 step so small seeds diverge immediately.
+        let mut z = seed.wrapping_add(0x9e3779b97f4a7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        Prng((z ^ (z >> 31)) | 1)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545f4914f6cdd1d)
+    }
+
+    /// Uniform draw from `[range.start, range.end)`.
+    pub fn gen_range(&mut self, range: std::ops::Range<usize>) -> usize {
+        let span = range.end - range.start;
+        assert!(span > 0, "empty range");
+        range.start + (self.next_u64() % span as u64) as usize
+    }
 }
 
 /// Size (words) of each thread's private padding region. Large enough
@@ -192,8 +214,7 @@ mod tests {
         });
         let prog = compile(&p);
         let mut mem = prog.initial_memory();
-        let (exit, stats) =
-            sfence_isa::interp::run_single(&prog, 0, &mut mem, 1_000_000).unwrap();
+        let (exit, stats) = sfence_isa::interp::run_single(&prog, 0, &mut mem, 1_000_000).unwrap();
         assert_eq!(exit, sfence_isa::interp::InterpExit::Halted);
         assert_eq!(stats.stores, 21); // 10 iters * (3-1) + final
     }
@@ -226,14 +247,14 @@ mod tests {
             let _ = t;
         }
         let prog = compile(&p);
-        let mut cfg = MachineConfig::paper_default();
-        cfg.num_cores = 2;
-        cfg.max_cycles = 20_000_000;
-        let (summary, mem) = sfence_sim::run_program(&prog, cfg);
-        assert_eq!(summary.exit, RunExit::Completed);
+        let report = sfence_harness::Session::for_program(&prog)
+            .cores(2)
+            .max_cycles(20_000_000)
+            .run();
+        assert_eq!(report.exit, sfence_sim::RunExit::Completed);
         // With a correct barrier the log is 0,0,1,1,2,2.
         let base = prog.addr_of("log");
-        let got: Vec<i64> = (0..6).map(|i| mem[base + i]).collect();
+        let got: Vec<i64> = (0..6).map(|i| report.mem[base + i]).collect();
         assert_eq!(got, vec![0, 0, 1, 1, 2, 2]);
     }
 }

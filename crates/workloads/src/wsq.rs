@@ -168,7 +168,10 @@ pub fn build(params: WsqParams) -> BuiltWorkload {
         b.if_(l("task").gt(c(0)), move |r| {
             r.store(sums.at(c(t8)), ld(sums.at(c(t8))).add(l("task")));
             r.store(cnts.at(c(t8)), ld(cnts.at(c(t8))).add(c(1)));
-            r.store(sqs.at(c(t8)), ld(sqs.at(c(t8))).add(l("task").mul(l("task"))));
+            r.store(
+                sqs.at(c(t8)),
+                ld(sqs.at(c(t8))).add(l("task").mul(l("task"))),
+            );
         });
     };
 
@@ -238,6 +241,7 @@ pub fn build(params: WsqParams) -> BuiltWorkload {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::support::run_for_test as run;
     use sfence_sim::{FenceConfig, MachineConfig};
 
     fn cfg(fence: FenceConfig, cores: usize) -> MachineConfig {
@@ -255,7 +259,7 @@ mod tests {
             workload: 1,
             scope: ScopeMode::Class,
         });
-        w.run(cfg(FenceConfig::SFENCE, 1));
+        run(&w, cfg(FenceConfig::SFENCE, 1));
     }
 
     #[test]
@@ -272,7 +276,7 @@ mod tests {
             FenceConfig::TRADITIONAL_SPEC,
             FenceConfig::SFENCE_SPEC,
         ] {
-            w.run(cfg(fence, 4));
+            run(&w, cfg(fence, 4));
         }
     }
 
@@ -284,7 +288,7 @@ mod tests {
             workload: 2,
             scope: ScopeMode::Set,
         });
-        w.run(cfg(FenceConfig::SFENCE, 4));
+        run(&w, cfg(FenceConfig::SFENCE, 4));
     }
 
     #[test]
@@ -295,8 +299,8 @@ mod tests {
             workload: 3,
             scope: ScopeMode::Class,
         });
-        let t = w.run(cfg(FenceConfig::TRADITIONAL, 4));
-        let s = w.run(cfg(FenceConfig::SFENCE, 4));
+        let t = run(&w, cfg(FenceConfig::TRADITIONAL, 4));
+        let s = run(&w, cfg(FenceConfig::SFENCE, 4));
         assert!(
             s.cycles < t.cycles,
             "S ({}) must beat T ({})",

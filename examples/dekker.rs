@@ -40,15 +40,19 @@ fn sb_litmus(fence: Option<&[&str]>) -> (i64, i64) {
         });
     }
     let prog = p.compile(&CompileOpts::default()).unwrap();
-    let mut cfg = MachineConfig::paper_default().with_fence(FenceConfig::SFENCE);
-    cfg.num_cores = 2;
-    let (_, mem) = run_program(&prog, cfg);
-    (mem[prog.addr_of("r0")], mem[prog.addr_of("r1")])
+    let report = Session::for_program(&prog)
+        .cores(2)
+        .fence(FenceConfig::SFENCE)
+        .run();
+    (report.read_var(&prog, "r0"), report.read_var(&prog, "r1"))
 }
 
 fn main() {
     println!("== Store-buffering litmus: the scope is what orders ==");
-    println!("  no fence:                  {:?}  (relaxed outcome observable)", sb_litmus(None));
+    println!(
+        "  no fence:                  {:?}  (relaxed outcome observable)",
+        sb_litmus(None)
+    );
     println!(
         "  S-FENCE[set, {{flag0,flag1}}]: {:?}  ((0,0) forbidden)",
         sb_litmus(Some(&["flag0", "flag1"]))
@@ -63,10 +67,14 @@ fn main() {
         iters: 40,
         workload: 3,
     });
-    let mut cfg = MachineConfig::paper_default();
-    cfg.num_cores = 2;
-    let t = w.run(cfg.clone().with_fence(FenceConfig::TRADITIONAL));
-    let s = w.run(cfg.with_fence(FenceConfig::SFENCE));
+    let t = Session::for_workload(&w)
+        .cores(2)
+        .fence(FenceConfig::TRADITIONAL)
+        .run();
+    let s = Session::for_workload(&w)
+        .cores(2)
+        .fence(FenceConfig::SFENCE)
+        .run();
     println!("  traditional: {:>8} cycles", t.cycles);
     println!("  S-Fence:     {:>8} cycles", s.cycles);
     println!(

@@ -31,20 +31,21 @@ fn main() {
     let prog = p.compile(&CompileOpts::default()).unwrap();
     println!("program:\n{}", prog.disasm(0));
 
-    let mut cfg = MachineConfig::paper_default().with_trace();
-    cfg.num_cores = 1;
     println!("{:<12} {:>8} {:>14}", "config", "cycles", "fence stalls");
     for fence in [FenceConfig::TRADITIONAL, FenceConfig::SFENCE] {
-        let mut m = Machine::new(&prog, cfg.clone().with_fence(fence));
-        let summary = m.run();
+        let report = Session::for_program(&prog)
+            .cores(1)
+            .fence(fence)
+            .trace()
+            .run();
         // Per-event timeline from the retired trace.
         println!(
             "{:<12} {:>8} {:>14}",
             fence.label(),
-            summary.cycles,
-            summary.total_fence_stalls()
+            report.cycles,
+            report.total_fence_stalls()
         );
-        for t in m.traces() {
+        for t in &report.traces {
             for ev in t.iter() {
                 if let fence_scoping::core::RetiredEvent::Fence { kind, issue } = ev {
                     println!("    fence ({kind:?}) issued at cycle {issue}");
@@ -53,7 +54,7 @@ fn main() {
         }
         // The hardware execution must satisfy the paper's Fig. 5
         // semantics.
-        for (i, t) in m.traces().iter().enumerate() {
+        for (i, t) in report.traces.iter().enumerate() {
             fence_scoping::core::check_trace(t)
                 .unwrap_or_else(|v| panic!("core {i} violates S-Fence semantics: {v}"));
         }

@@ -37,8 +37,6 @@ fn main() {
     let prog = p.compile(&CompileOpts::default()).expect("compiles");
 
     println!("compiled {} instructions\n", prog.total_instrs());
-    let mut cfg = MachineConfig::paper_default();
-    cfg.num_cores = 1;
 
     for fence in [
         FenceConfig::TRADITIONAL,
@@ -46,14 +44,14 @@ fn main() {
         FenceConfig::TRADITIONAL_SPEC,
         FenceConfig::SFENCE_SPEC,
     ] {
-        let (summary, mem) = run_program(&prog, cfg.clone().with_fence(fence));
-        assert_eq!(mem[prog.addr_of("LOG_HEAD")], 64);
+        let report = Session::for_program(&prog).cores(1).fence(fence).run();
+        assert_eq!(report.read_var(&prog, "LOG_HEAD"), 64);
         println!(
             "{:<3} {:>8} cycles   fence stalls {:>8} ({:>5.1}%)",
             fence.label(),
-            summary.cycles,
-            summary.total_fence_stalls(),
-            100.0 * summary.fence_stall_fraction()
+            report.cycles,
+            report.total_fence_stalls(),
+            100.0 * report.fence_stall_fraction()
         );
     }
     println!("\nS-Fence skips the out-of-scope scratch stores; a traditional fence drains them.");

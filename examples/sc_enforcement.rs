@@ -25,13 +25,14 @@ fn main() {
         b.halt();
     });
     let report = enforce_sc(&mut p, ScStyle::SetScope);
-    println!("delay-set pass: {} fences inserted, {} shared / {} private accesses",
-        report.fences_inserted, report.shared_accesses, report.private_accesses);
+    println!(
+        "delay-set pass: {} fences inserted, {} shared / {} private accesses",
+        report.fences_inserted, report.shared_accesses, report.private_accesses
+    );
     let prog = p.compile(&CompileOpts::default()).unwrap();
     println!("instrumented kernel:\n{}", prog.disasm(0));
 
     // And the two full applications built on it.
-    let base = MachineConfig::paper_default();
     for w in [
         barnes::build(barnes::BarnesParams {
             threads: 8,
@@ -43,8 +44,10 @@ fn main() {
             ..Default::default()
         }),
     ] {
-        let t = w.run(base.clone().with_fence(FenceConfig::TRADITIONAL));
-        let s = w.run(base.clone().with_fence(FenceConfig::SFENCE));
+        let t = Session::for_workload(&w)
+            .fence(FenceConfig::TRADITIONAL)
+            .run();
+        let s = Session::for_workload(&w).fence(FenceConfig::SFENCE).run();
         println!(
             "{:<10} T {:>8} cycles ({:>4.1}% stalls)   S {:>8} cycles ({:>4.1}% stalls)   speedup {:.3}x",
             w.name,

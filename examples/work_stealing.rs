@@ -18,13 +18,16 @@ fn main() {
         workload: 3,
         scope: ScopeMode::Class,
     });
-    let base = MachineConfig::paper_default();
-    let t = w.run(base.clone().with_fence(FenceConfig::TRADITIONAL));
-    let s = w.run(base.clone().with_fence(FenceConfig::SFENCE));
+    let t = Session::for_workload(&w)
+        .fence(FenceConfig::TRADITIONAL)
+        .run();
+    let s = Session::for_workload(&w).fence(FenceConfig::SFENCE).run();
     println!("  traditional: {:>8} cycles", t.cycles);
     println!("  S-Fence:     {:>8} cycles", s.cycles);
-    println!("  speedup:     {:.3}x  (every task consumed exactly once, checked)",
-             t.cycles as f64 / s.cycles as f64);
+    println!(
+        "  speedup:     {:.3}x  (every task consumed exactly once, checked)",
+        t.cycles as f64 / s.cycles as f64
+    );
 
     // Then the full application built on top of it.
     println!("\n== Parallel spanning tree over the queue (Fig. 3) ==");
@@ -35,8 +38,10 @@ fn main() {
         seed: 42,
         scope: ScopeMode::Class,
     });
-    let t = app.run(base.clone().with_fence(FenceConfig::TRADITIONAL));
-    let s = app.run(base.with_fence(FenceConfig::SFENCE));
+    let t = Session::for_workload(&app)
+        .fence(FenceConfig::TRADITIONAL)
+        .run();
+    let s = Session::for_workload(&app).fence(FenceConfig::SFENCE).run();
     println!(
         "  traditional: {:>8} cycles  ({:>4.1}% fence stalls)",
         t.cycles,

@@ -20,7 +20,9 @@
 //!   prediction, fence stall logic, in-window speculation).
 //! - [`sim`] — the multicore machine and stats.
 //! - [`workloads`] — dekker, wsq, msn, harris, pst, ptc, barnes,
-//!   radiosity.
+//!   radiosity, behind a named registry (`workloads::catalog`).
+//! - [`harness`] — the `Session`/`Experiment` API: typed single runs
+//!   and declarative, parallel parameter sweeps.
 //!
 //! ## Quickstart
 //!
@@ -45,15 +47,30 @@
 //! });
 //! let prog = p.compile(&CompileOpts::default()).unwrap();
 //!
-//! let mut cfg = MachineConfig::paper_default();
-//! cfg.num_cores = 1;
-//! let (t, _) = run_program(&prog, cfg.clone().with_fence(FenceConfig::TRADITIONAL));
-//! let (s, _) = run_program(&prog, cfg.with_fence(FenceConfig::SFENCE));
+//! // Layer 1: a Session is one configured run, reported as a typed,
+//! // JSON-serializable RunReport.
+//! let t = Session::for_program(&prog)
+//!     .cores(1)
+//!     .fence(FenceConfig::TRADITIONAL)
+//!     .run();
+//! let s = Session::for_program(&prog)
+//!     .cores(1)
+//!     .fence(FenceConfig::SFENCE)
+//!     .run();
 //! assert!(s.cycles <= t.cycles, "a scoped fence never loses");
+//!
+//! // Layer 2: an Experiment sweeps the workload registry across
+//! // fence configs and machine axes, in parallel, deterministically.
+//! let sweep = Experiment::new("quickstart")
+//!     .workload("dekker", WorkloadParams::small())
+//!     .fences(vec![FenceConfig::TRADITIONAL, FenceConfig::SFENCE])
+//!     .run_parallel();
+//! assert!(sweep.cycles("dekker", "S", "") <= sweep.cycles("dekker", "T", ""));
 //! ```
 
 pub use sfence_core as core;
 pub use sfence_cpu as cpu;
+pub use sfence_harness as harness;
 pub use sfence_isa as isa;
 pub use sfence_mem as mem;
 pub use sfence_sim as sim;
@@ -62,11 +79,12 @@ pub use sfence_workloads as workloads;
 /// Convenience re-exports for examples and downstream users.
 pub mod prelude {
     pub use sfence_core::{ClassId, ScopeConfig, ScopeRecovery};
+    pub use sfence_harness::{
+        speedup_s_over_t, Axis, Experiment, Json, RunReport, Session, SweepResult, SweepRow,
+    };
     pub use sfence_isa::ir::*;
     pub use sfence_isa::passes::{enforce_sc, ScStyle};
     pub use sfence_isa::{CompileOpts, FenceKind, Program};
-    pub use sfence_sim::{
-        run_program, FenceConfig, Machine, MachineConfig, RunExit, RunSummary,
-    };
-    pub use sfence_workloads::{catalog, ScopeMode};
+    pub use sfence_sim::{FenceConfig, MachineConfig, RunExit};
+    pub use sfence_workloads::{catalog, Scale, ScopeMode, WorkloadParams};
 }

@@ -36,7 +36,6 @@ fn sb(kind: Option<FenceKind>, scope_over_flags: bool, run: FenceConfig) -> (i64
         );
     });
     for (mine, theirs, out) in [(0i64, 1i64, r0), (1, 0, r1)] {
-        let kind = kind;
         p.thread(move |b| {
             b.let_("w0", ld(f0.cell()));
             b.let_("w1", ld(f1.cell()));
@@ -73,9 +72,9 @@ fn sb(kind: Option<FenceKind>, scope_over_flags: bool, run: FenceConfig) -> (i64
         });
     }
     let prog = p.compile(&CompileOpts::default()).unwrap();
-    let (summary, mem) = run_program(&prog, two_core_cfg(run));
-    assert_eq!(summary.exit, RunExit::Completed);
-    (mem[prog.addr_of("r0")], mem[prog.addr_of("r1")])
+    let report = Session::for_program(&prog).config(two_core_cfg(run)).run();
+    assert_eq!(report.exit, RunExit::Completed);
+    (report.read_var(&prog, "r0"), report.read_var(&prog, "r1"))
 }
 
 #[test]
@@ -115,7 +114,10 @@ fn wrong_set_scope_still_ordered_when_run_traditionally() {
 #[test]
 fn class_scope_orders_accesses_inside_the_class() {
     let (r0, r1) = sb(Some(FenceKind::Class), false, FenceConfig::SFENCE);
-    assert!(r0 == 1 || r1 == 1, "class fence must order in-class accesses");
+    assert!(
+        r0 == 1 || r1 == 1,
+        "class fence must order in-class accesses"
+    );
 }
 
 #[test]
@@ -162,8 +164,10 @@ fn message_passing_via_class_scope_mailbox() {
             b.halt();
         });
         let prog = p.compile(&CompileOpts::default()).unwrap();
-        let (summary, mem) = run_program(&prog, two_core_cfg(fence));
-        assert_eq!(summary.exit, RunExit::Completed, "{}", fence.label());
-        assert_eq!(mem[prog.addr_of("got")], 77, "{}", fence.label());
+        let report = Session::for_program(&prog)
+            .config(two_core_cfg(fence))
+            .run();
+        assert_eq!(report.exit, RunExit::Completed, "{}", fence.label());
+        assert_eq!(report.read_var(&prog, "got"), 77, "{}", fence.label());
     }
 }

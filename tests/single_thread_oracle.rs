@@ -2,10 +2,14 @@
 //! machine must produce exactly the reference interpreter's final
 //! memory, no matter which fence configuration or timing knob is in
 //! effect — reordering must never change single-thread semantics.
+//!
+//! The container has no property-testing crate, so random programs
+//! come from the workloads' deterministic PRNG: every case is
+//! reproducible from its printed seed.
 
-use fence_scoping::prelude::*;
 use fence_scoping::isa::interp::run_single;
-use proptest::prelude::*;
+use fence_scoping::prelude::*;
+use fence_scoping::workloads::support::Prng;
 
 /// A random straight-line-with-loops program over a few globals.
 #[derive(Debug, Clone)]
@@ -19,16 +23,26 @@ enum Op {
     CallHelper(i64),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0usize..6, -50i64..50).prop_map(|(g, v)| Op::Store(g, v)),
-        (0usize..6).prop_map(Op::AddToLocal),
-        (0usize..6).prop_map(Op::LoadInto),
-        (0usize..6, -2i64..2, -50i64..50).prop_map(|(g, e, n)| Op::CasCell(g, e, n)),
-        (0u8..3).prop_map(Op::Fence),
-        (1u8..5).prop_map(Op::LoopAccum),
-        (-20i64..20).prop_map(Op::CallHelper),
-    ]
+fn gen_op(rng: &mut Prng) -> Op {
+    match rng.gen_range(0..7) {
+        0 => Op::Store(rng.gen_range(0..6), rng.gen_range(0..100) as i64 - 50),
+        1 => Op::AddToLocal(rng.gen_range(0..6)),
+        2 => Op::LoadInto(rng.gen_range(0..6)),
+        3 => Op::CasCell(
+            rng.gen_range(0..6),
+            rng.gen_range(0..4) as i64 - 2,
+            rng.gen_range(0..100) as i64 - 50,
+        ),
+        4 => Op::Fence(rng.gen_range(0..3) as u8),
+        5 => Op::LoopAccum(rng.gen_range(1..5) as u8),
+        _ => Op::CallHelper(rng.gen_range(0..40) as i64 - 20),
+    }
+}
+
+fn gen_ops(seed: u64, max_len: usize) -> Vec<Op> {
+    let mut rng = Prng::seed_from_u64(seed);
+    let len = rng.gen_range(1..max_len);
+    (0..len).map(|_| gen_op(&mut rng)).collect()
 }
 
 fn build_program(ops: &[Op]) -> Program {
@@ -72,71 +86,88 @@ fn build_program(ops: &[Op]) -> Program {
     p.compile(&CompileOpts::default()).expect("compiles")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn reference_memory(prog: &Program) -> Vec<i64> {
+    let mut ref_mem = prog.initial_memory();
+    run_single(prog, 0, &mut ref_mem, 10_000_000).expect("reference runs");
+    ref_mem
+}
 
-    #[test]
-    fn ooo_machine_matches_reference(ops in proptest::collection::vec(op_strategy(), 1..25)) {
+#[test]
+fn ooo_machine_matches_reference() {
+    for seed in 0..48u64 {
+        let ops = gen_ops(seed, 25);
         let prog = build_program(&ops);
-        let mut ref_mem = prog.initial_memory();
-        run_single(&prog, 0, &mut ref_mem, 10_000_000).expect("reference runs");
-
-        for fence in [FenceConfig::TRADITIONAL, FenceConfig::SFENCE, FenceConfig::SFENCE_SPEC] {
-            let mut cfg = MachineConfig::paper_default().with_fence(fence);
-            cfg.num_cores = 1;
-            cfg.max_cycles = 50_000_000;
-            let (summary, mem) = run_program(&prog, cfg);
-            prop_assert_eq!(summary.exit, RunExit::Completed);
-            prop_assert_eq!(&mem, &ref_mem, "config {}", fence.label());
+        let ref_mem = reference_memory(&prog);
+        for fence in [
+            FenceConfig::TRADITIONAL,
+            FenceConfig::SFENCE,
+            FenceConfig::SFENCE_SPEC,
+        ] {
+            let report = Session::for_program(&prog)
+                .cores(1)
+                .fence(fence)
+                .max_cycles(50_000_000)
+                .run();
+            assert_eq!(report.exit, RunExit::Completed, "seed {seed}");
+            assert_eq!(report.mem, ref_mem, "seed {seed}, config {}", fence.label());
         }
     }
+}
 
-    #[test]
-    fn traces_always_conform_to_fig5_semantics(ops in proptest::collection::vec(op_strategy(), 1..20)) {
+#[test]
+fn traces_always_conform_to_fig5_semantics() {
+    // Non-speculative configs must satisfy the S-Fence definition
+    // exactly; the conformance checker replays the Fig. 5 rules.
+    for seed in 100..132u64 {
+        let ops = gen_ops(seed, 20);
         let prog = build_program(&ops);
-        // Non-speculative configs must satisfy the S-Fence definition
-        // exactly; the conformance checker replays the Fig. 5 rules.
         for fence in [FenceConfig::TRADITIONAL, FenceConfig::SFENCE] {
-            let mut cfg = MachineConfig::paper_default().with_fence(fence).with_trace();
-            cfg.num_cores = 1;
-            cfg.max_cycles = 50_000_000;
-            let mut m = Machine::new(&prog, cfg);
-            m.run();
-            for t in m.traces() {
+            let report = Session::for_program(&prog)
+                .cores(1)
+                .fence(fence)
+                .max_cycles(50_000_000)
+                .trace()
+                .run();
+            for t in &report.traces {
                 if let Err(v) = fence_scoping::core::check_trace(t) {
-                    prop_assert!(false, "violation under {}: {v}", fence.label());
+                    panic!("seed {seed}: violation under {}: {v}", fence.label());
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn ablation_knobs_preserve_functional_semantics(
-        ops in proptest::collection::vec(op_strategy(), 1..15)
-    ) {
-        // Timing comparisons between configs are NOT per-program
-        // monotone on a stateful pipeline (issuing earlier perturbs
-        // cache and predictor state; stall accounting shifts between
-        // fences) — the directional "S wins" claims are made by the
-        // workload-level experiments. What must hold on *every*
-        // program is functional equivalence under every ablation knob.
+#[test]
+fn ablation_knobs_preserve_functional_semantics() {
+    // Timing comparisons between configs are NOT per-program
+    // monotone on a stateful pipeline (issuing earlier perturbs
+    // cache and predictor state; stall accounting shifts between
+    // fences) — the directional "S wins" claims are made by the
+    // workload-level experiments. What must hold on *every*
+    // program is functional equivalence under every ablation knob.
+    for seed in 200..232u64 {
+        let ops = gen_ops(seed, 15);
         let prog = build_program(&ops);
-        let mut ref_mem = prog.initial_memory();
-        run_single(&prog, 0, &mut ref_mem, 10_000_000).expect("reference runs");
-        for (fifo, cas_drains, checkpoint) in
-            [(true, false, false), (false, true, false), (false, false, true)]
-        {
+        let ref_mem = reference_memory(&prog);
+        for (fifo, cas_drains, checkpoint) in [
+            (true, false, false),
+            (false, true, false),
+            (false, false, true),
+        ] {
             let mut cfg = MachineConfig::paper_default().with_fence(FenceConfig::SFENCE);
             cfg.num_cores = 1;
             cfg.max_cycles = 50_000_000;
             cfg.core.sb_drain_in_order = fifo;
             cfg.core.cas_drains_sb = cas_drains;
             if checkpoint {
-                cfg.core.scope.recovery = fence_scoping::core::ScopeRecovery::Checkpoint;
+                cfg.core.scope.recovery = ScopeRecovery::Checkpoint;
             }
-            let (summary, mem) = run_program(&prog, cfg);
-            prop_assert_eq!(summary.exit, RunExit::Completed);
-            prop_assert_eq!(&mem, &ref_mem, "fifo={} cas={} ckpt={}", fifo, cas_drains, checkpoint);
+            let report = Session::for_program(&prog).config(cfg).run();
+            assert_eq!(report.exit, RunExit::Completed, "seed {seed}");
+            assert_eq!(
+                report.mem, ref_mem,
+                "seed {seed}, fifo={fifo} cas={cas_drains} ckpt={checkpoint}"
+            );
         }
     }
 }

@@ -1,10 +1,12 @@
 //! Cross-crate integration: every benchmark validates its invariants
 //! under every fence configuration and under the ablation knobs
 //! (FIFO store buffer, CAS-drains-SB, checkpoint scope recovery,
-//! tiny scope hardware that forces overflow degradation).
+//! tiny scope hardware that forces overflow degradation). All builds
+//! come from the workload registry at `Scale::Small`, and all runs go
+//! through the harness `Session` (which checks invariants itself).
 
 use fence_scoping::prelude::*;
-use fence_scoping::workloads::*;
+use fence_scoping::workloads::BuiltWorkload;
 
 fn all_fences() -> [FenceConfig; 4] {
     [
@@ -15,65 +17,12 @@ fn all_fences() -> [FenceConfig; 4] {
     ]
 }
 
-fn small_suite() -> Vec<support::BuiltWorkload> {
-    vec![
-        dekker::build(dekker::DekkerParams {
-            iters: 20,
-            workload: 2,
-        }),
-        wsq::build(wsq::WsqParams {
-            tasks: 40,
-            thieves: 3,
-            workload: 2,
-            scope: ScopeMode::Class,
-        }),
-        msn::build(msn::MsnParams {
-            items: 15,
-            producers: 2,
-            consumers: 2,
-            workload: 2,
-            scope: ScopeMode::Class,
-        }),
-        harris::build(harris::HarrisParams {
-            ops: 15,
-            threads: 4,
-            key_range: 12,
-            workload: 2,
-            scope: ScopeMode::Class,
-        }),
-        pst::build(pst::PstParams {
-            nodes: 120,
-            extra_edges: 120,
-            threads: 4,
-            seed: 9,
-            scope: ScopeMode::Class,
-        }),
-        ptc::build(ptc::PtcParams {
-            nodes: 120,
-            edges: 360,
-            threads: 4,
-            seed: 10,
-            task_work: 4,
-            scope: ScopeMode::Class,
-        }),
-        barnes::build(barnes::BarnesParams {
-            bodies_per_thread: 16,
-            cells_per_thread: 2,
-            samples: 3,
-            steps: 2,
-            threads: 4,
-            style: ScStyle::SetScope,
-        }),
-        radiosity::build(radiosity::RadiosityParams {
-            patches: 8,
-            interactions: 40,
-            rounds: 2,
-            threads: 4,
-            seed: 3,
-            scratch_work: 2,
-            style: ScStyle::SetScope,
-        }),
-    ]
+/// Every registry benchmark at the small test scale.
+fn small_suite() -> Vec<BuiltWorkload> {
+    catalog::REGISTRY
+        .iter()
+        .map(|w| w.build(&WorkloadParams::small()))
+        .collect()
 }
 
 fn cfg() -> MachineConfig {
@@ -83,11 +32,15 @@ fn cfg() -> MachineConfig {
     cfg
 }
 
+fn run(w: &BuiltWorkload, cfg: MachineConfig) -> RunReport {
+    Session::for_workload(w).config(cfg).run()
+}
+
 #[test]
 fn every_workload_correct_under_every_fence_config() {
     for w in small_suite() {
         for fence in all_fences() {
-            w.run(cfg().with_fence(fence)); // panics on violation
+            run(&w, cfg().with_fence(fence)); // panics on violation
         }
     }
 }
@@ -98,7 +51,7 @@ fn correct_with_fifo_store_buffer() {
     for w in small_suite() {
         let mut c = cfg().with_fence(FenceConfig::SFENCE);
         c.core.sb_drain_in_order = true;
-        w.run(c);
+        run(&w, c);
     }
 }
 
@@ -108,7 +61,7 @@ fn correct_with_cas_draining_sb() {
     for w in small_suite() {
         let mut c = cfg().with_fence(FenceConfig::SFENCE);
         c.core.cas_drains_sb = true;
-        w.run(c);
+        run(&w, c);
     }
 }
 
@@ -117,7 +70,7 @@ fn correct_with_checkpoint_scope_recovery() {
     for w in small_suite() {
         let mut c = cfg().with_fence(FenceConfig::SFENCE);
         c.core.scope.recovery = ScopeRecovery::Checkpoint;
-        w.run(c);
+        run(&w, c);
     }
 }
 
@@ -134,47 +87,33 @@ fn correct_when_scope_hardware_overflows() {
             mapping_entries: 1,
             ..ScopeConfig::default()
         };
-        w.run(c);
+        run(&w, c);
     }
 }
 
 #[test]
 fn rob_sweep_preserves_correctness_and_monotone_pressure() {
-    let w = wsq::build(wsq::WsqParams {
-        tasks: 40,
-        thieves: 3,
-        workload: 2,
-        scope: ScopeMode::Class,
-    });
+    let w = catalog::build("wsq", &WorkloadParams::small());
     for rob in [16, 64, 128, 256] {
-        w.run(cfg().with_rob(rob).with_fence(FenceConfig::SFENCE));
+        run(&w, cfg().with_rob(rob).with_fence(FenceConfig::SFENCE));
     }
 }
 
 #[test]
 fn latency_sweep_preserves_correctness() {
-    let w = msn::build(msn::MsnParams {
-        items: 15,
-        producers: 2,
-        consumers: 2,
-        workload: 2,
-        scope: ScopeMode::Class,
-    });
+    let w = catalog::build("msn", &WorkloadParams::small());
     for lat in [200, 300, 500] {
-        w.run(cfg().with_mem_latency(lat).with_fence(FenceConfig::SFENCE));
+        run(
+            &w,
+            cfg().with_mem_latency(lat).with_fence(FenceConfig::SFENCE),
+        );
     }
 }
 
 #[test]
 fn set_scope_variants_of_class_benchmarks_correct() {
     for scope in [ScopeMode::Class, ScopeMode::Set] {
-        let w = pst::build(pst::PstParams {
-            nodes: 100,
-            extra_edges: 100,
-            threads: 4,
-            seed: 5,
-            scope,
-        });
-        w.run(cfg().with_fence(FenceConfig::SFENCE));
+        let w = catalog::build("pst", &WorkloadParams::small().scope(scope));
+        run(&w, cfg().with_fence(FenceConfig::SFENCE));
     }
 }
