@@ -1,0 +1,23 @@
+//! Regenerates the golden-row regression files under `tests/golden/`:
+//! for each pinned figure, the byte-exact output of
+//! `figN --json --scale small`. The CI golden job diffs the binaries'
+//! live output against these files; after an intentional simulator or
+//! schema change, rerun
+//! `cargo run -p sfence-bench --bin regen-golden` and commit the
+//! result.
+
+use std::path::Path;
+
+fn main() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden");
+    std::fs::create_dir_all(&dir).expect("create tests/golden");
+    for name in sfence_bench::golden_names() {
+        let experiment = sfence_bench::experiment_by_name(name)
+            .expect("golden names are registered experiments")
+            .scale(sfence_workloads::Scale::Small);
+        let json = experiment.run_parallel().to_json_string();
+        let path = dir.join(format!("{name}.json"));
+        std::fs::write(&path, json).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+        println!("wrote {}", path.display());
+    }
+}

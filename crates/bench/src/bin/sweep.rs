@@ -1,0 +1,300 @@
+//! `sfence-sweep`: the production sweep runner. Runs any registered
+//! experiment (fig12..fig16, smoke) with content-addressed result
+//! caching, process-level sharding, resume after interruption, and an
+//! append-only JSONL results store with history diffing.
+//!
+//! ```text
+//! sfence-sweep --experiment fig13 [--scale small|eval]
+//!     [--threads N]            worker threads per process
+//!     [--cache-dir DIR]        content-addressed RunReport cache
+//!     [--resume]               documents resume intent (needs --cache-dir)
+//!     [--shard I/N]            run one shard; emit indexed rows as JSONL
+//!     [--spawn N]              spawn N shard worker processes and merge
+//!     [--max-cells N]          execute at most N uncached cells, then stop
+//!     [--store FILE]           append the completed run to a JSONL store
+//!     [--git STR]              provenance string (default: git describe)
+//!     [--timestamp SECS]       unix time stamped on the store meta line
+//!     [--diff]                 diff against the latest stored run
+//!     [--json | --rows]        machine-readable / raw-table output
+//!     [--list]                 print the experiment names and exit
+//! ```
+//!
+//! Exit codes: 0 complete, 1 runtime error, 2 usage error,
+//! 3 incomplete (the `--max-cells` budget ran out — rerun with the
+//! same `--cache-dir` to resume). The store is only appended for
+//! complete runs, so an interrupted-then-resumed sweep produces a
+//! store byte-identical to an uninterrupted one.
+
+use sfence_bench::cli::{self, FigureArgs};
+use sfence_harness::{diff_rows, Experiment, IndexedRow, ResultStore, RunMeta, SweepResult};
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+
+struct SweepArgs {
+    common: FigureArgs,
+    experiment: Option<String>,
+    spawn: Option<usize>,
+    max_cells: Option<usize>,
+    store: Option<PathBuf>,
+    git: Option<String>,
+    timestamp: Option<u64>,
+    diff: bool,
+    list: bool,
+}
+
+fn parse_args() -> Result<SweepArgs, String> {
+    let mut args = SweepArgs {
+        common: FigureArgs::default(),
+        experiment: None,
+        spawn: None,
+        max_cells: None,
+        store: None,
+        git: None,
+        timestamp: None,
+        diff: false,
+        list: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--experiment" => args.experiment = Some(cli::take(&mut it, "--experiment")?),
+            "--spawn" => {
+                let n: usize = cli::take(&mut it, "--spawn")?
+                    .parse()
+                    .map_err(|_| "--spawn expects a positive integer".to_string())?;
+                if n == 0 {
+                    return Err("--spawn expects a positive integer".into());
+                }
+                args.spawn = Some(n);
+            }
+            "--max-cells" => {
+                args.max_cells = Some(
+                    cli::take(&mut it, "--max-cells")?
+                        .parse()
+                        .map_err(|_| "--max-cells expects an integer".to_string())?,
+                );
+            }
+            "--store" => args.store = Some(PathBuf::from(cli::take(&mut it, "--store")?)),
+            "--git" => args.git = Some(cli::take(&mut it, "--git")?),
+            "--timestamp" => {
+                args.timestamp = Some(
+                    cli::take(&mut it, "--timestamp")?
+                        .parse()
+                        .map_err(|_| "--timestamp expects unix seconds".to_string())?,
+                );
+            }
+            "--diff" => args.diff = true,
+            "--list" => args.list = true,
+            other if !other.starts_with('-') && args.experiment.is_none() => {
+                args.experiment = Some(other.to_string());
+            }
+            other => args.common.accept(other, &mut it)?,
+        }
+    }
+    args.common.validate()?;
+    if args.spawn.is_some() && args.common.shard.is_some() {
+        return Err("--spawn and --shard are mutually exclusive".into());
+    }
+    if args.spawn.is_some() && args.max_cells.is_some() {
+        return Err("--max-cells applies to in-process runs, not --spawn workers".into());
+    }
+    if args.common.shard.is_some() && (args.store.is_some() || args.diff) {
+        // A shard worker emits partial rows for a parent to merge;
+        // silently skipping the store/diff would look like data loss.
+        return Err("--store/--diff apply to merged runs, not --shard workers".into());
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = parse_args().unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        eprintln!("usage: sfence-sweep --experiment <name> [options]; --list for names");
+        std::process::exit(2);
+    });
+    if args.list {
+        for name in sfence_bench::experiment_names() {
+            println!("{name}");
+        }
+        return;
+    }
+    let name = args.experiment.clone().unwrap_or_else(|| {
+        eprintln!("error: --experiment is required (--list for names)");
+        std::process::exit(2);
+    });
+    let experiment = sfence_bench::experiment_by_name(&name).unwrap_or_else(|| {
+        eprintln!("error: unknown experiment {name:?} (--list for names)");
+        std::process::exit(2);
+    });
+    let experiment = match args.common.scale {
+        Some(scale) => experiment.scale(scale),
+        None => experiment,
+    };
+    if let Err(e) = run(&name, &experiment, &args) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run(name: &str, experiment: &Experiment, args: &SweepArgs) -> Result<(), String> {
+    let rows = if let Some(workers) = args.spawn {
+        run_spawned(name, experiment, args, workers)?
+    } else {
+        match run_local(experiment, args)? {
+            Some(rows) => rows,
+            // Shard mode already emitted its rows.
+            None => return Ok(()),
+        }
+    };
+    let result = SweepResult::from_indexed(&experiment.name, experiment.job_count(), rows)?;
+    // Stamped into the store meta and matched on diff: cycle counts
+    // across problem scales are incomparable. Derived from the
+    // experiment's resolved parameters (not the --scale flag), so a
+    // run without the flag and one naming the same scale explicitly
+    // land in — and diff against — the same history.
+    let scale = match experiment.uniform_scale() {
+        Some(sfence_workloads::Scale::Small) => "small",
+        Some(sfence_workloads::Scale::Eval) => "eval",
+        None => "mixed",
+    };
+
+    if args.diff {
+        let store = args
+            .store
+            .as_ref()
+            .ok_or("--diff requires --store (the history to diff against)")?;
+        match ResultStore::new(store).latest_at(&result.experiment, scale)? {
+            None => eprintln!(
+                "diff: no stored run of {} at scale {scale} yet",
+                result.experiment
+            ),
+            Some(prev) => {
+                let diff = diff_rows(&prev.rows, &result.rows);
+                if diff.is_empty() {
+                    eprintln!(
+                        "diff: identical to the stored run from {} ({})",
+                        prev.meta.git, prev.meta.timestamp
+                    );
+                } else {
+                    eprint!("{}", diff.to_report());
+                }
+            }
+        }
+    }
+    if let Some(store) = &args.store {
+        let git = match &args.git {
+            Some(git) => git.clone(),
+            None => git_describe(),
+        };
+        let timestamp = match args.timestamp {
+            Some(t) => t,
+            None => std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0),
+        };
+        let meta = RunMeta::new(
+            &result.experiment,
+            experiment.axis_name(),
+            scale,
+            git,
+            timestamp,
+        );
+        ResultStore::new(store)
+            .append(&meta, &result)
+            .map_err(|e| format!("append to {}: {e}", store.display()))?;
+    }
+
+    if args.common.json {
+        print!("{}", result.to_json_string());
+    } else {
+        print!("{}", result.to_ascii_table());
+    }
+    Ok(())
+}
+
+/// Run (a shard of) the experiment in this process via the shared
+/// `cli::run_local`. Returns `None` after emitting indexed JSONL in
+/// shard mode; exits with code 3 if the `--max-cells` budget left
+/// cells unrun.
+fn run_local(experiment: &Experiment, args: &SweepArgs) -> Result<Option<Vec<IndexedRow>>, String> {
+    let local = cli::run_local(experiment, &args.common, args.max_cells)?;
+    if !local.complete {
+        eprintln!("sweep: incomplete (budget ran out) — rerun with the same --cache-dir to resume");
+        std::process::exit(3);
+    }
+    Ok(local.rows)
+}
+
+/// Spawn one worker process per shard and merge their indexed rows.
+fn run_spawned(
+    name: &str,
+    experiment: &Experiment,
+    args: &SweepArgs,
+    workers: usize,
+) -> Result<Vec<IndexedRow>, String> {
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    // Split the machine across workers so N processes don't each
+    // start a per-CPU thread pool (N-fold oversubscription).
+    let threads_per_worker = args.common.threads.unwrap_or_else(|| {
+        let cpus = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        (cpus / workers).max(1)
+    });
+    let mut children = Vec::new();
+    for index in 0..workers {
+        let mut cmd = Command::new(&exe);
+        cmd.arg("--experiment")
+            .arg(name)
+            .arg("--shard")
+            .arg(format!("{index}/{workers}"))
+            .stdout(Stdio::piped());
+        if let Some(scale) = args.common.scale {
+            cmd.arg("--scale").arg(match scale {
+                sfence_workloads::Scale::Eval => "eval",
+                sfence_workloads::Scale::Small => "small",
+            });
+        }
+        if let Some(dir) = &args.common.cache_dir {
+            cmd.arg("--cache-dir").arg(dir);
+        }
+        cmd.arg("--threads").arg(threads_per_worker.to_string());
+        let child = cmd
+            .spawn()
+            .map_err(|e| format!("spawn shard {index}/{workers}: {e}"))?;
+        children.push((index, child));
+    }
+    let mut rows = Vec::with_capacity(experiment.job_count());
+    for (index, child) in children {
+        let out = child
+            .wait_with_output()
+            .map_err(|e| format!("wait for shard {index}/{workers}: {e}"))?;
+        if !out.status.success() {
+            return Err(format!(
+                "shard worker {index}/{workers} failed: {}",
+                out.status
+            ));
+        }
+        let stdout = String::from_utf8(out.stdout)
+            .map_err(|_| format!("shard worker {index}/{workers} emitted invalid UTF-8"))?;
+        for line in stdout.lines().filter(|l| !l.trim().is_empty()) {
+            let doc = sfence_harness::json::parse(line)
+                .map_err(|e| format!("shard worker {index}/{workers} line: {e}"))?;
+            rows.push(IndexedRow::from_json(&doc)?);
+        }
+    }
+    Ok(rows)
+}
+
+fn git_describe() -> String {
+    Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}

@@ -1,0 +1,171 @@
+//! Shared command-line switches of the figure binaries and
+//! `sfence-sweep`. Hand-rolled (the container carries no external
+//! crates); unknown flags are errors so typos fail loudly instead of
+//! silently running the default sweep.
+
+use sfence_harness::{default_threads, Experiment, IndexedRow, ResultCache, RunOptions, Shard};
+use sfence_workloads::Scale;
+use std::path::PathBuf;
+
+/// Switches every figure binary understands.
+#[derive(Debug, Clone, Default)]
+pub struct FigureArgs {
+    /// Emit the structured sweep rows as JSON.
+    pub json: bool,
+    /// Emit the raw row table.
+    pub rows: bool,
+    /// Override every workload's problem scale.
+    pub scale: Option<Scale>,
+    /// Content-addressed result cache directory.
+    pub cache_dir: Option<PathBuf>,
+    /// Documentation alias: with `--cache-dir`, an interrupted sweep
+    /// already resumes by skipping cache hits. Requires `--cache-dir`.
+    pub resume: bool,
+    /// Run only this shard and emit indexed rows as JSONL.
+    pub shard: Option<Shard>,
+    /// Worker thread count (default: one per CPU, capped by jobs).
+    pub threads: Option<usize>,
+}
+
+impl FigureArgs {
+    /// Parse `std::env::args`, rejecting unknown flags.
+    pub fn parse() -> Result<FigureArgs, String> {
+        let mut args = FigureArgs::default();
+        let mut it = std::env::args().skip(1);
+        while let Some(arg) = it.next() {
+            args.accept(&arg, &mut it)?;
+        }
+        args.validate()?;
+        Ok(args)
+    }
+
+    /// Try to consume one flag (pulling values from `it`); the sweep
+    /// binary reuses this for the flags it shares with the figures.
+    pub fn accept(
+        &mut self,
+        arg: &str,
+        it: &mut impl Iterator<Item = String>,
+    ) -> Result<(), String> {
+        match arg {
+            "--json" => self.json = true,
+            "--rows" => self.rows = true,
+            "--scale" => {
+                self.scale = Some(parse_scale(&take(it, "--scale")?)?);
+            }
+            "--cache-dir" => {
+                self.cache_dir = Some(PathBuf::from(take(it, "--cache-dir")?));
+            }
+            "--resume" => self.resume = true,
+            "--shard" => {
+                self.shard = Some(Shard::parse(&take(it, "--shard")?)?);
+            }
+            "--threads" => {
+                let n: usize = take(it, "--threads")?
+                    .parse()
+                    .map_err(|_| "--threads expects a positive integer".to_string())?;
+                if n == 0 {
+                    return Err("--threads expects a positive integer".into());
+                }
+                self.threads = Some(n);
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+        Ok(())
+    }
+
+    pub fn validate(&self) -> Result<(), String> {
+        if self.resume && self.cache_dir.is_none() {
+            return Err("--resume requires --cache-dir (resume = skip cached cells)".into());
+        }
+        Ok(())
+    }
+}
+
+/// What [`run_local`] produced.
+pub struct LocalRun {
+    /// Indexed rows of the (whole or sharded) run — `None` when shard
+    /// mode already emitted them as JSONL on stdout for a parent
+    /// process to merge.
+    pub rows: Option<Vec<IndexedRow>>,
+    /// False when a `max_cells` budget left cells unrun.
+    pub complete: bool,
+}
+
+/// The one implementation of "run (a shard of) an experiment under
+/// the shared CLI switches", used by both `figure_main` and
+/// `sfence-sweep` so cache-writer naming, stats reporting and the
+/// shard JSONL encoding can never drift apart.
+pub fn run_local(
+    experiment: &Experiment,
+    args: &FigureArgs,
+    max_cells: Option<usize>,
+) -> Result<LocalRun, String> {
+    let threads = args
+        .threads
+        .unwrap_or_else(|| default_threads(experiment.job_count()));
+    let mut cache = match &args.cache_dir {
+        Some(dir) => {
+            // Shard workers sharing one cache directory each append
+            // to their own file, so concurrent writes never collide.
+            let writer = match args.shard {
+                Some(shard) => format!("shard-{}.jsonl", shard.index),
+                None => "cache.jsonl".to_string(),
+            };
+            Some(
+                ResultCache::open_with_writer(dir, writer)
+                    .map_err(|e| format!("open cache {}: {e}", dir.display()))?,
+            )
+        }
+        None => None,
+    };
+    let mut opts = RunOptions::new(threads);
+    if let Some(cache) = cache.as_mut() {
+        opts = opts.cache(cache);
+    }
+    if let Some(shard) = args.shard {
+        opts = opts.shard(shard);
+    }
+    if let Some(max) = max_cells {
+        opts = opts.max_cells(max);
+    }
+    let outcome = experiment.run_with(opts);
+    if cache.is_some() {
+        eprintln!(
+            "cache: {} hits, {} executed, {} skipped",
+            outcome.stats.cache_hits, outcome.stats.executed, outcome.stats.skipped
+        );
+    }
+    if outcome.stats.cache_write_errors > 0 {
+        eprintln!(
+            "warning: {} cache appends failed (results kept, cells not cached)",
+            outcome.stats.cache_write_errors
+        );
+    }
+    let rows = if args.shard.is_some() {
+        let mut out = String::new();
+        for row in &outcome.rows {
+            out.push_str(&row.to_json().to_string_compact());
+            out.push('\n');
+        }
+        print!("{out}");
+        None
+    } else {
+        Some(outcome.rows)
+    };
+    Ok(LocalRun {
+        rows,
+        complete: outcome.complete,
+    })
+}
+
+pub fn parse_scale(s: &str) -> Result<Scale, String> {
+    match s {
+        "eval" => Ok(Scale::Eval),
+        "small" => Ok(Scale::Small),
+        other => Err(format!("unknown scale {other:?} (expected eval|small)")),
+    }
+}
+
+pub fn take(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
+    it.next().ok_or_else(|| format!("{flag} expects a value"))
+}

@@ -17,6 +17,8 @@ use sfence_harness::{Axis, Experiment, SweepResult};
 use sfence_sim::{FenceConfig, MachineConfig};
 use sfence_workloads::{catalog, ScopeMode, WorkloadParams};
 
+pub mod cli;
+
 /// The four fence configurations in paper order.
 pub const CONFIGS: [FenceConfig; 4] = [
     FenceConfig::TRADITIONAL,
@@ -242,6 +244,45 @@ pub fn fig16_data() -> Vec<AppBars> {
 }
 
 // ---------------------------------------------------------------------
+// The experiment registry (sweep binary, CI smoke jobs)
+
+/// A deliberately tiny sweep (8 small-scale cells) for CI smoke and
+/// kill-and-resume checks: big enough to shard, fast enough to run in
+/// seconds.
+pub fn smoke_experiment() -> Experiment {
+    Experiment::new("smoke")
+        .base(machine())
+        .workloads(["dekker", "msn"], WorkloadParams::small())
+        .fences(vec![FenceConfig::TRADITIONAL, FenceConfig::SFENCE])
+        .axis(Axis::Level(vec![1, 2]))
+}
+
+/// Experiments runnable by name through `sfence-sweep`.
+pub fn experiment_names() -> [&'static str; 6] {
+    ["fig12", "fig13", "fig14", "fig15", "fig16", "smoke"]
+}
+
+/// Look an experiment up by name.
+pub fn experiment_by_name(name: &str) -> Option<Experiment> {
+    Some(match name {
+        "fig12" => fig12_experiment(),
+        "fig13" => fig13_experiment(),
+        "fig14" => fig14_experiment(),
+        "fig15" => fig15_experiment(),
+        "fig16" => fig16_experiment(),
+        "smoke" => smoke_experiment(),
+        _ => return None,
+    })
+}
+
+/// The figures whose `--json --scale small` output is pinned by the
+/// golden files under `tests/golden/` (regenerate with
+/// `cargo run -p sfence-bench --bin regen-golden`).
+pub fn golden_names() -> [&'static str; 5] {
+    ["fig12", "fig13", "fig14", "fig15", "fig16"]
+}
+
+// ---------------------------------------------------------------------
 // Tables
 
 /// Table III: architectural parameters.
@@ -348,13 +389,37 @@ pub fn print_bars(title: &str, data: &[AppBars]) {
 /// parallel), emit machine-readable rows with `--json`, the raw
 /// sweep-row table with `--rows`, otherwise the figure's ASCII
 /// rendering plus the paper's observed trend.
+///
+/// Further switches: `--scale small|eval` overrides the problem size
+/// (the golden CI job pins `--json --scale small` output),
+/// `--cache-dir DIR` backs the run with the content-addressed result
+/// cache (`--resume` documents the intent; cached runs always skip
+/// hit cells), `--shard I/N` runs one shard and emits indexed rows as
+/// JSONL for a parent `sfence-sweep` to merge, and `--threads N` caps
+/// the worker pool.
 pub fn figure_main(experiment: Experiment, render: impl Fn(&SweepResult), paper_notes: &[&str]) {
-    let result = experiment.run_parallel();
-    if std::env::args().any(|a| a == "--json") {
+    let args = cli::FigureArgs::parse().unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    let experiment = match args.scale {
+        Some(scale) => experiment.scale(scale),
+        None => experiment,
+    };
+    let result = run_experiment(&experiment, &args).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+    let result = match result {
+        Some(result) => result,
+        // Shard mode already emitted its rows.
+        None => return,
+    };
+    if args.json {
         print!("{}", result.to_json_string());
         return;
     }
-    if std::env::args().any(|a| a == "--rows") {
+    if args.rows {
         print!("{}", result.to_ascii_table());
         return;
     }
@@ -363,6 +428,23 @@ pub fn figure_main(experiment: Experiment, render: impl Fn(&SweepResult), paper_
         println!();
         for note in paper_notes {
             println!("{note}");
+        }
+    }
+}
+
+/// Run an experiment under the shared figure switches. Shard mode
+/// prints indexed JSONL rows and returns `None`; otherwise the full
+/// result comes back for rendering.
+fn run_experiment(
+    experiment: &Experiment,
+    args: &cli::FigureArgs,
+) -> Result<Option<SweepResult>, String> {
+    let local = cli::run_local(experiment, args, None)?;
+    match local.rows {
+        // Shard mode already emitted its indexed JSONL rows.
+        None => Ok(None),
+        Some(rows) => {
+            SweepResult::from_indexed(&experiment.name, experiment.job_count(), rows).map(Some)
         }
     }
 }

@@ -10,7 +10,7 @@
 //!   hardware.
 //! - [`mapping`] — the cid → FSB-column mapping table, including the
 //!   shared fallback column.
-//! - [`unit`] — the per-core scope unit tying the above together,
+//! - [`unit`](mod@unit) — the per-core scope unit tying the above together,
 //!   including the shadow stack FSS′ for branch-misprediction recovery
 //!   and a precise checkpoint ablation.
 //! - [`semantics`] — the executable operational semantics of class

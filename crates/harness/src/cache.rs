@@ -1,0 +1,190 @@
+//! Content-addressed result caching: `(workload params, fence config,
+//! machine config) -> RunReport`, persisted on disk so repeated
+//! sweeps only execute cells they have never seen.
+//!
+//! **Keys.** A job's key is the SHA-256 of the compact serialization
+//! of its *canonical* JSON description — workload name, build
+//! parameters and the complete `MachineConfig` (which includes the
+//! fence config) with every object's fields sorted. Field order
+//! therefore never changes a key; any change to a value that could
+//! change the run's output does. The simulator is deterministic, so a
+//! key names exactly one possible `RunReport`.
+//!
+//! **Store layout.** A cache directory holds append-only JSONL files;
+//! every `*.jsonl` file in the directory is read at open. Each line is
+//! one entry: `{"key": "<hex>", "report": {...}}`. Writers append to
+//! their own file (shard workers use `shard-<i>.jsonl`, the default
+//! writer uses `cache.jsonl`), so concurrent processes never
+//! interleave bytes within a line. Corrupt or truncated lines — the
+//! tail a killed writer leaves behind — and entries with a mismatched
+//! `schema_version` are counted and skipped, never fatal: the cell
+//! simply re-runs and is re-appended.
+
+use crate::hash::sha256_hex;
+use crate::json::{self, Json};
+use crate::session::RunReport;
+use sfence_sim::MachineConfig;
+use sfence_workloads::{Scale, ScopeMode, WorkloadParams};
+use std::collections::HashMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+
+/// Canonical JSON description of one sweep cell. The machine config
+/// string comes from `MachineConfig::canonical_json` (the one place
+/// that enumerates every simulator knob) and is re-parsed here so the
+/// whole document canonicalizes as a unit.
+pub fn job_canonical_json(workload: &str, params: &WorkloadParams, cfg: &MachineConfig) -> Json {
+    let cfg_json =
+        json::parse(&cfg.canonical_json()).expect("MachineConfig::canonical_json emits valid JSON");
+    Json::obj()
+        .field("workload", workload)
+        .field(
+            "params",
+            Json::obj()
+                .field("level", params.level)
+                .field(
+                    "scale",
+                    match params.scale {
+                        Scale::Eval => "eval",
+                        Scale::Small => "small",
+                    },
+                )
+                .field(
+                    "scope",
+                    match params.scope {
+                        ScopeMode::Class => "class",
+                        ScopeMode::Set => "set",
+                    },
+                ),
+        )
+        .field("cfg", cfg_json)
+        .canonicalize()
+}
+
+/// Content-hash key of one sweep cell: SHA-256 over the canonical
+/// description's compact serialization, as lowercase hex.
+pub fn job_key(workload: &str, params: &WorkloadParams, cfg: &MachineConfig) -> String {
+    let canonical = job_canonical_json(workload, params, cfg).to_string_compact();
+    sha256_hex(canonical.as_bytes())
+}
+
+/// An on-disk `key -> RunReport` map over a directory of append-only
+/// JSONL files.
+pub struct ResultCache {
+    dir: PathBuf,
+    writer_name: String,
+    writer: Option<File>,
+    entries: HashMap<String, RunReport>,
+    /// Lines skipped at open: unparseable (truncated/corrupt) or a
+    /// mismatched `schema_version`.
+    skipped_lines: u64,
+}
+
+impl ResultCache {
+    /// Open (creating the directory if needed) with the default
+    /// writer file `cache.jsonl`.
+    pub fn open(dir: impl AsRef<Path>) -> std::io::Result<ResultCache> {
+        Self::open_with_writer(dir, "cache.jsonl")
+    }
+
+    /// Open with a caller-chosen writer file name — shard workers
+    /// sharing one cache directory each append to their own file so
+    /// concurrent writes never interleave.
+    pub fn open_with_writer(
+        dir: impl AsRef<Path>,
+        writer_name: impl Into<String>,
+    ) -> std::io::Result<ResultCache> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        let mut cache = ResultCache {
+            dir,
+            writer_name: writer_name.into(),
+            writer: None,
+            entries: HashMap::new(),
+            skipped_lines: 0,
+        };
+        cache.load()?;
+        Ok(cache)
+    }
+
+    fn load(&mut self) -> std::io::Result<()> {
+        let mut files: Vec<PathBuf> = fs::read_dir(&self.dir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().map(|x| x == "jsonl").unwrap_or(false))
+            .collect();
+        files.sort();
+        for path in files {
+            for line in BufReader::new(File::open(&path)?).lines() {
+                let line = line?;
+                if line.trim().is_empty() {
+                    continue;
+                }
+                match parse_entry(&line) {
+                    Ok((key, report)) => {
+                        self.entries.insert(key, report);
+                    }
+                    Err(_) => self.skipped_lines += 1,
+                }
+            }
+        }
+        Ok(())
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lines skipped at open because they were corrupt, truncated, or
+    /// carried a different schema version.
+    pub fn skipped_lines(&self) -> u64 {
+        self.skipped_lines
+    }
+
+    pub fn get(&self, key: &str) -> Option<&RunReport> {
+        self.entries.get(key)
+    }
+
+    /// Append an entry to this cache's writer file and the in-memory
+    /// map. Each entry is one line, written (and flushed) whole, so a
+    /// kill mid-insert corrupts at most the final line of one file.
+    pub fn insert(&mut self, key: &str, report: &RunReport) -> std::io::Result<()> {
+        if self.writer.is_none() {
+            self.writer = Some(
+                OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(self.dir.join(&self.writer_name))?,
+            );
+        }
+        let mut line = Json::obj()
+            .field("key", key)
+            .field("report", report.to_json())
+            .to_string_compact();
+        line.push('\n');
+        // One write_all per entry: O_APPEND keeps whole lines intact
+        // even if another process appends to the same file.
+        let writer = self.writer.as_mut().unwrap();
+        writer.write_all(line.as_bytes())?;
+        writer.flush()?;
+        self.entries.insert(key.to_string(), report.clone());
+        Ok(())
+    }
+}
+
+fn parse_entry(line: &str) -> Result<(String, RunReport), String> {
+    let doc = json::parse(line)?;
+    let key = doc
+        .get("key")
+        .and_then(Json::as_str)
+        .ok_or("missing key")?
+        .to_string();
+    // `RunReport::from_json` rejects mismatched schema_version.
+    let report = RunReport::from_json(doc.get("report").ok_or("missing report")?)?;
+    Ok((key, report))
+}

@@ -8,12 +8,14 @@
 //! so parallel and serial runs are byte-identical once rows are
 //! placed by job index.
 
+use crate::cache::{job_key, ResultCache};
 use crate::json::Json;
 use crate::runner::run_indexed;
-use crate::session::Session;
+use crate::session::{RunReport, Session, SCHEMA_VERSION};
+use crate::shard::Shard;
 use sfence_sim::{FenceConfig, MachineConfig, RunExit};
 use sfence_workloads::catalog;
-use sfence_workloads::{ScopeMode, WorkloadParams};
+use sfence_workloads::{Scale, ScopeMode, WorkloadParams};
 
 /// The swept parameter, orthogonal to the fence-config dimension.
 /// `Level` and `Scope` vary how the workload is *built*; the rest
@@ -179,6 +181,15 @@ impl Experiment {
         self
     }
 
+    /// Override the problem scale of every workload added *so far*
+    /// (the figure binaries' `--scale small` switch).
+    pub fn scale(mut self, scale: Scale) -> Self {
+        for (_, params) in &mut self.workloads {
+            params.scale = scale;
+        }
+        self
+    }
+
     fn jobs(&self) -> Vec<Job> {
         let mut jobs = Vec::new();
         for (workload, params) in &self.workloads {
@@ -201,6 +212,21 @@ impl Experiment {
         jobs
     }
 
+    /// Name of the swept axis (empty when there is none).
+    pub fn axis_name(&self) -> &'static str {
+        self.axis.name()
+    }
+
+    /// The problem scale shared by every workload of this experiment
+    /// — `None` when it has no workloads or mixes scales. This is the
+    /// value result-store metadata records, so history diffs only
+    /// compare runs of the same problem size.
+    pub fn uniform_scale(&self) -> Option<Scale> {
+        let mut scales = self.workloads.iter().map(|(_, p)| p.scale);
+        let first = scales.next()?;
+        scales.all(|s| s == first).then_some(first)
+    }
+
     /// Total number of runs this experiment performs.
     pub fn job_count(&self) -> usize {
         self.workloads.len() * self.axis.points().len() * self.fences.len()
@@ -215,39 +241,227 @@ impl Experiment {
     /// to the serial order no matter the thread count or scheduling:
     /// results are placed by job index.
     pub fn run(&self, threads: usize) -> SweepResult {
+        let outcome = self.run_with(RunOptions::new(threads));
+        SweepResult::from_indexed(&self.name, self.job_count(), outcome.rows)
+            .expect("an unsharded, unbudgeted run covers every job")
+    }
+
+    /// The job indices belonging to shard `index` of `count`:
+    /// round-robin over the deterministic job order, so every shard
+    /// gets a near-equal share of each workload and shards are
+    /// disjoint and jointly exhaustive.
+    pub fn shard(&self, index: usize, count: usize) -> Vec<usize> {
+        let shard = Shard::new(index, count);
+        (0..self.job_count())
+            .filter(|&i| shard.contains(i))
+            .collect()
+    }
+
+    /// Content-hash cache keys of every job, in job order. A key
+    /// commits to the workload name, its build parameters and the
+    /// complete machine configuration (fence config included), so a
+    /// key collision across distinct cells needs a SHA-256 collision.
+    pub fn job_keys(&self) -> Vec<String> {
+        self.jobs()
+            .iter()
+            .map(|job| job_key(&job.workload, &job.params, &job.cfg))
+            .collect()
+    }
+
+    /// The configurable execution engine behind [`Experiment::run`]:
+    /// optionally restricted to one shard, optionally backed by a
+    /// content-addressed result cache (hits skip the simulator,
+    /// misses execute and are inserted), optionally budgeted to at
+    /// most `max_cells` executed cells (the remainder is reported as
+    /// skipped — an interrupted sweep resumes by re-running with the
+    /// same cache). Rows come back sorted by job index, so shard
+    /// outputs merged with [`SweepResult::from_indexed`] are
+    /// byte-identical to a single-process run.
+    pub fn run_with(&self, opts: RunOptions) -> RunOutcome {
         let jobs = self.jobs();
         let axis_name = self.axis.name().to_string();
-        let rows = run_indexed(jobs.len(), threads, |i| {
+        let selected: Vec<usize> = match opts.shard {
+            Some(shard) => (0..jobs.len()).filter(|&i| shard.contains(i)).collect(),
+            None => (0..jobs.len()).collect(),
+        };
+
+        let mut cache = opts.cache;
+        let mut rows = Vec::with_capacity(selected.len());
+        let mut misses: Vec<(usize, Option<String>)> = Vec::new();
+        let mut cache_hits = 0;
+        for &i in &selected {
             let job = &jobs[i];
-            let built = catalog::build(&job.workload, &job.params);
-            let report = Session::for_workload(&built).config(job.cfg.clone()).run();
-            SweepRow {
-                workload: job.workload.clone(),
-                fence: job.fence.label().to_string(),
-                axis: axis_name.clone(),
-                value: job.point.value_string(),
-                cycles: report.cycles,
-                instrs_retired: report.total_retired(),
-                fence_stalls: report.total_fence_stalls(),
-                fence_stall_fraction: report.fence_stall_fraction(),
-                exit: match report.exit {
-                    RunExit::Completed => "completed".into(),
-                    RunExit::CycleLimit => "cycle_limit".into(),
-                },
+            match cache.as_ref() {
+                Some(c) => {
+                    let key = job_key(&job.workload, &job.params, &job.cfg);
+                    match c.get(&key) {
+                        Some(report) => {
+                            cache_hits += 1;
+                            rows.push(IndexedRow {
+                                index: i,
+                                row: row_from_report(job, &axis_name, report),
+                            });
+                        }
+                        None => misses.push((i, Some(key))),
+                    }
+                }
+                None => misses.push((i, None)),
             }
+        }
+
+        // Budget applies to *executed* cells only, in job order, so
+        // which cells an interrupted run completed is deterministic.
+        let budget = opts.max_cells.unwrap_or(misses.len()).min(misses.len());
+        let skipped = misses.len() - budget;
+        let to_run = &misses[..budget];
+        let reports = run_indexed(to_run.len(), opts.threads, |k| {
+            let job = &jobs[to_run[k].0];
+            let built = catalog::build(&job.workload, &job.params);
+            Session::for_workload(&built).config(job.cfg.clone()).run()
         });
-        SweepResult {
-            experiment: self.name.clone(),
+        let mut cache_write_errors = 0;
+        for ((i, key), report) in to_run.iter().zip(&reports) {
+            if let (Some(c), Some(key)) = (cache.as_deref_mut(), key.as_deref()) {
+                // A failed append (disk full, permissions) must not
+                // discard the simulated results already in hand: the
+                // cell just won't be cached. Callers surface the count.
+                if c.insert(key, report).is_err() {
+                    cache_write_errors += 1;
+                }
+            }
+            rows.push(IndexedRow {
+                index: *i,
+                row: row_from_report(&jobs[*i], &axis_name, report),
+            });
+        }
+        rows.sort_by_key(|r| r.index);
+        RunOutcome {
             rows,
+            stats: RunStats {
+                cache_hits,
+                executed: budget,
+                skipped,
+                cache_write_errors,
+            },
+            complete: skipped == 0,
         }
     }
 
     /// Run with one worker per available CPU (capped by job count).
     pub fn run_parallel(&self) -> SweepResult {
-        let cpus = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
-        self.run(cpus.min(self.job_count().max(1)))
+        self.run(default_threads(self.job_count()))
+    }
+}
+
+/// One worker per available CPU, capped by the job count.
+pub fn default_threads(job_count: usize) -> usize {
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    cpus.min(job_count.max(1))
+}
+
+/// Options for [`Experiment::run_with`].
+pub struct RunOptions<'c> {
+    pub threads: usize,
+    /// Look jobs up here before executing; insert fresh results.
+    pub cache: Option<&'c mut ResultCache>,
+    /// Restrict to one shard of the job list.
+    pub shard: Option<Shard>,
+    /// Execute at most this many uncached cells (`None` = no limit).
+    pub max_cells: Option<usize>,
+}
+
+impl<'c> RunOptions<'c> {
+    pub fn new(threads: usize) -> Self {
+        RunOptions {
+            threads,
+            cache: None,
+            shard: None,
+            max_cells: None,
+        }
+    }
+
+    pub fn cache(mut self, cache: &'c mut ResultCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    pub fn shard(mut self, shard: Shard) -> Self {
+        self.shard = Some(shard);
+        self
+    }
+
+    pub fn max_cells(mut self, max: usize) -> Self {
+        self.max_cells = Some(max);
+        self
+    }
+}
+
+/// Cache/execution accounting of one [`Experiment::run_with`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunStats {
+    /// Cells answered from the cache without touching the simulator.
+    pub cache_hits: usize,
+    /// Cells actually simulated this run.
+    pub executed: usize,
+    /// Cells left unrun because the `max_cells` budget ran out.
+    pub skipped: usize,
+    /// Executed cells whose cache append failed (disk full etc.); the
+    /// rows are still returned, the cells just aren't cached.
+    pub cache_write_errors: usize,
+}
+
+/// Rows (tagged with their global job index) plus accounting.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Completed rows, sorted by job index.
+    pub rows: Vec<IndexedRow>,
+    pub stats: RunStats,
+    /// Every selected job produced a row (nothing was skipped).
+    pub complete: bool,
+}
+
+/// A [`SweepRow`] tagged with its global job index — the unit shard
+/// workers emit so the parent can merge rows in stable order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexedRow {
+    pub index: usize,
+    pub row: SweepRow,
+}
+
+impl IndexedRow {
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("job", self.index)
+            .field("row", self.row.to_json())
+    }
+
+    pub fn from_json(json: &Json) -> Result<IndexedRow, String> {
+        Ok(IndexedRow {
+            index: json
+                .get("job")
+                .and_then(Json::as_u64)
+                .ok_or("missing job index")? as usize,
+            row: SweepRow::from_json(json.get("row").ok_or("missing row")?)?,
+        })
+    }
+}
+
+fn row_from_report(job: &Job, axis_name: &str, report: &RunReport) -> SweepRow {
+    SweepRow {
+        workload: job.workload.clone(),
+        fence: job.fence.label().to_string(),
+        axis: axis_name.to_string(),
+        value: job.point.value_string(),
+        cycles: report.cycles,
+        instrs_retired: report.total_retired(),
+        fence_stalls: report.total_fence_stalls(),
+        fence_stall_fraction: report.fence_stall_fraction(),
+        exit: match report.exit {
+            RunExit::Completed => "completed".into(),
+            RunExit::CycleLimit => "cycle_limit".into(),
+        },
     }
 }
 
@@ -284,6 +498,43 @@ impl SweepRow {
             .field("fence_stall_fraction", self.fence_stall_fraction)
             .field("exit", self.exit.as_str())
     }
+
+    pub fn from_json(json: &Json) -> Result<SweepRow, String> {
+        let str_field = |key: &str| -> Result<String, String> {
+            json.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing string field {key:?}"))
+        };
+        let u64_field = |key: &str| -> Result<u64, String> {
+            json.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("missing u64 field {key:?}"))
+        };
+        Ok(SweepRow {
+            workload: str_field("workload")?,
+            fence: str_field("fence")?,
+            // Axis fields are omitted on axis-less experiments.
+            axis: json
+                .get("axis")
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_string(),
+            value: json
+                .get("value")
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_string(),
+            cycles: u64_field("cycles")?,
+            instrs_retired: u64_field("instrs_retired")?,
+            fence_stalls: u64_field("fence_stalls")?,
+            fence_stall_fraction: json
+                .get("fence_stall_fraction")
+                .and_then(Json::as_f64)
+                .ok_or("missing f64 field \"fence_stall_fraction\"")?,
+            exit: str_field("exit")?,
+        })
+    }
 }
 
 /// All rows of one experiment, in spec order.
@@ -294,6 +545,38 @@ pub struct SweepResult {
 }
 
 impl SweepResult {
+    /// Reassemble a full result from indexed rows (one or many
+    /// shards' worth). Rows are sorted by job index; the merge fails
+    /// if any job is missing or duplicated, so a partial or
+    /// double-counted shard set cannot masquerade as a complete run.
+    pub fn from_indexed(
+        experiment: &str,
+        job_count: usize,
+        mut rows: Vec<IndexedRow>,
+    ) -> Result<SweepResult, String> {
+        rows.sort_by_key(|r| r.index);
+        if rows.len() != job_count {
+            return Err(format!(
+                "{}: {} rows for {} jobs",
+                experiment,
+                rows.len(),
+                job_count
+            ));
+        }
+        for (expect, row) in rows.iter().enumerate() {
+            if row.index != expect {
+                return Err(format!(
+                    "{}: job {} missing or duplicated (found index {})",
+                    experiment, expect, row.index
+                ));
+            }
+        }
+        Ok(SweepResult {
+            experiment: experiment.to_string(),
+            rows: rows.into_iter().map(|r| r.row).collect(),
+        })
+    }
+
     /// Find a row by workload / fence label / axis value.
     pub fn row(&self, workload: &str, fence: &str, value: &str) -> &SweepRow {
         self.rows
@@ -314,6 +597,7 @@ impl SweepResult {
 
     pub fn to_json(&self) -> Json {
         Json::obj()
+            .field("schema_version", SCHEMA_VERSION)
             .field("experiment", self.experiment.as_str())
             .field(
                 "rows",

@@ -97,6 +97,26 @@ impl Json {
         }
     }
 
+    /// Canonical form: every object's fields sorted by key,
+    /// recursively (arrays keep their order — element order is
+    /// semantically significant). Two documents that differ only in
+    /// field order canonicalize to identical values, so their compact
+    /// serializations — and therefore their content hashes — agree.
+    pub fn canonicalize(self) -> Json {
+        match self {
+            Json::Arr(items) => Json::Arr(items.into_iter().map(Json::canonicalize).collect()),
+            Json::Obj(fields) => {
+                let mut fields: Vec<(String, Json)> = fields
+                    .into_iter()
+                    .map(|(k, v)| (k, v.canonicalize()))
+                    .collect();
+                fields.sort_by(|a, b| a.0.cmp(&b.0));
+                Json::Obj(fields)
+            }
+            other => other,
+        }
+    }
+
     /// Compact serialization (no whitespace).
     pub fn to_string_compact(&self) -> String {
         let mut out = String::new();
@@ -494,6 +514,19 @@ mod tests {
         }
         // Integral floats keep their ".0" marker.
         assert_eq!(Json::Num(2.0).to_string_compact(), "2.0");
+    }
+
+    #[test]
+    fn canonicalize_sorts_keys_recursively() {
+        let a = parse(r#"{"b":{"y":1,"x":2},"a":[{"q":1,"p":2}]}"#).unwrap();
+        let b = parse(r#"{"a":[{"p":2,"q":1}],"b":{"x":2,"y":1}}"#).unwrap();
+        assert_eq!(
+            a.canonicalize().to_string_compact(),
+            b.canonicalize().to_string_compact()
+        );
+        // Arrays keep element order: [1,2] and [2,1] stay distinct.
+        let c = parse("[1,2]").unwrap().canonicalize();
+        assert_eq!(c.to_string_compact(), "[1,2]");
     }
 
     #[test]

@@ -17,13 +17,38 @@
 //! The paper figures in `sfence-bench` are thin `Experiment`
 //! descriptions; the examples and integration tests drive `Session`
 //! directly.
+//!
+//! On top of the two layers sits the sweep-at-scale machinery (see
+//! `README.md` and the ROADMAP's "Running sweeps" notes):
+//!
+//! - **[`cache`]**: a content-addressed on-disk `RunReport` cache —
+//!   each cell is keyed by the SHA-256 of its canonical JSON
+//!   description, so repeated sweeps only execute new cells and an
+//!   interrupted sweep resumes by skipping cache hits.
+//! - **[`store`]**: an append-only JSONL [`ResultStore`] of completed
+//!   runs with injected metadata (git describe, timestamp), plus
+//!   row-level diffing against history.
+//! - **[`shard`]**: deterministic round-robin partitioning of an
+//!   experiment's job list across processes; shard outputs merge (via
+//!   [`SweepResult::from_indexed`]) into rows byte-identical to a
+//!   single-process run.
 
+pub mod cache;
 pub mod experiment;
+pub mod hash;
 pub mod json;
 pub mod runner;
 pub mod session;
+pub mod shard;
+pub mod store;
 
-pub use experiment::{Axis, AxisPoint, Experiment, SweepResult, SweepRow};
+pub use cache::{job_canonical_json, job_key, ResultCache};
+pub use experiment::{
+    default_threads, Axis, AxisPoint, Experiment, IndexedRow, RunOptions, RunOutcome, RunStats,
+    SweepResult, SweepRow,
+};
 pub use json::Json;
 pub use runner::run_indexed;
-pub use session::{speedup_s_over_t, RunReport, Session};
+pub use session::{speedup_s_over_t, RunReport, Session, SCHEMA_VERSION};
+pub use shard::Shard;
+pub use store::{diff_rows, ResultStore, RunMeta, StoredRun, SweepDiff};

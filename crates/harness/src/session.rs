@@ -14,6 +14,13 @@ use sfence_workloads::BuiltWorkload;
 
 type CheckFn<'a> = &'a (dyn Fn(&Program, &[i64]) -> Result<(), String> + Send + Sync);
 
+/// Version tag stamped into every serialized [`RunReport`] (and, via
+/// the cache and the result store, every persisted artifact). Bump it
+/// whenever the JSON shape or the simulator's observable semantics
+/// change incompatibly; readers reject rows from a different version
+/// rather than silently mixing incomparable results.
+pub const SCHEMA_VERSION: u64 = 1;
+
 /// A configured run of one program on the simulated machine.
 ///
 /// ```text
@@ -178,6 +185,7 @@ impl RunReport {
 
     pub fn to_json(&self) -> Json {
         Json::obj()
+            .field("schema_version", SCHEMA_VERSION)
             .field("exit", exit_str(self.exit))
             .field("cycles", self.cycles)
             .field(
@@ -209,6 +217,12 @@ impl RunReport {
     }
 
     pub fn from_json(json: &Json) -> Result<RunReport, String> {
+        let version = get_u64(json, "schema_version")?;
+        if version != SCHEMA_VERSION {
+            return Err(format!(
+                "schema_version {version} (supported: {SCHEMA_VERSION})"
+            ));
+        }
         Ok(RunReport {
             exit: exit_from_str(get_str(json, "exit")?)?,
             cycles: get_u64(json, "cycles")?,

@@ -1,0 +1,163 @@
+//! The content-addressed result cache: key stability, hit/miss
+//! accounting, and recovery from corrupt or schema-mismatched
+//! entries.
+
+use sfence_harness::json::{self, Json};
+use sfence_harness::{
+    hash, job_canonical_json, job_key, Axis, Experiment, ResultCache, RunOptions, SweepResult,
+};
+use sfence_sim::{FenceConfig, MachineConfig};
+use sfence_workloads::WorkloadParams;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A fresh scratch directory per test (std-only; no tempfile crate).
+fn scratch_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "sfence-cache-test-{}-{}-{}",
+        std::process::id(),
+        tag,
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn small_experiment() -> Experiment {
+    Experiment::new("cache-test")
+        .workloads(["dekker", "msn"], WorkloadParams::small())
+        .fences(vec![FenceConfig::TRADITIONAL, FenceConfig::SFENCE])
+        .axis(Axis::Level(vec![1, 2]))
+}
+
+#[test]
+fn hash_is_stable_across_field_reorderings() {
+    // The same document with object fields permuted (nested too)
+    // must canonicalize — and therefore hash — identically.
+    let a = json::parse(
+        r#"{"workload":"dekker","cfg":{"num_cores":8,"core":{"rob_size":128,"trace":false}}}"#,
+    )
+    .unwrap();
+    let b = json::parse(
+        r#"{"cfg":{"core":{"trace":false,"rob_size":128},"num_cores":8},"workload":"dekker"}"#,
+    )
+    .unwrap();
+    let key = |j: Json| hash::sha256_hex(j.canonicalize().to_string_compact().as_bytes());
+    assert_eq!(key(a.clone()), key(b));
+    // ...and any value change must move the hash.
+    let c = json::parse(
+        r#"{"workload":"dekker","cfg":{"num_cores":4,"core":{"rob_size":128,"trace":false}}}"#,
+    )
+    .unwrap();
+    assert_ne!(key(a), key(c));
+}
+
+#[test]
+fn job_keys_separate_every_dimension() {
+    let params = WorkloadParams::small();
+    let cfg = MachineConfig::paper_default();
+    let base = job_key("dekker", &params, &cfg);
+    // Same inputs -> same key.
+    assert_eq!(base, job_key("dekker", &params, &cfg));
+    // Workload, params and machine config each move the key.
+    assert_ne!(base, job_key("msn", &params, &cfg));
+    assert_ne!(base, job_key("dekker", &params.level(5), &cfg));
+    assert_ne!(
+        base,
+        job_key(
+            "dekker",
+            &params,
+            &cfg.clone().with_fence(FenceConfig::TRADITIONAL)
+        )
+    );
+    assert_ne!(base, job_key("dekker", &params, &cfg.clone().with_rob(64)));
+    // The canonical description is itself in canonical (sorted) form.
+    let canon = job_canonical_json("dekker", &params, &cfg);
+    assert_eq!(
+        canon.to_string_compact(),
+        canon.clone().canonicalize().to_string_compact()
+    );
+}
+
+#[test]
+fn cache_hit_miss_accounting_and_round_trip() {
+    let dir = scratch_dir("hits");
+    let exp = small_experiment();
+
+    let mut cache = ResultCache::open(&dir).unwrap();
+    let first = exp.run_with(RunOptions::new(2).cache(&mut cache));
+    assert!(first.complete);
+    assert_eq!(first.stats.executed, exp.job_count());
+    assert_eq!(first.stats.cache_hits, 0);
+
+    // A second run over a fresh handle answers everything from disk.
+    let mut cache = ResultCache::open(&dir).unwrap();
+    assert_eq!(cache.len(), exp.job_count());
+    let second = exp.run_with(RunOptions::new(2).cache(&mut cache));
+    assert!(second.complete);
+    assert_eq!(second.stats.executed, 0);
+    assert_eq!(second.stats.cache_hits, exp.job_count());
+
+    // Cached rows are byte-identical to executed rows.
+    let a = SweepResult::from_indexed("cache-test", exp.job_count(), first.rows).unwrap();
+    let b = SweepResult::from_indexed("cache-test", exp.job_count(), second.rows).unwrap();
+    assert_eq!(a.to_json_string(), b.to_json_string());
+    // And both match an uncached parallel run.
+    assert_eq!(a.to_json_string(), exp.run_parallel().to_json_string());
+}
+
+#[test]
+fn truncated_cache_line_is_skipped_and_rerun() {
+    let dir = scratch_dir("truncate");
+    let exp = small_experiment();
+    let mut cache = ResultCache::open(&dir).unwrap();
+    exp.run_with(RunOptions::new(2).cache(&mut cache));
+    drop(cache);
+
+    // Chop the file mid-line, as a killed writer would.
+    let path = dir.join("cache.jsonl");
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() - 40]).unwrap();
+
+    let mut cache = ResultCache::open(&dir).unwrap();
+    assert_eq!(cache.skipped_lines(), 1, "exactly the torn line is lost");
+    assert_eq!(cache.len(), exp.job_count() - 1);
+
+    // The lost cell re-runs; everything else still hits.
+    let outcome = exp.run_with(RunOptions::new(2).cache(&mut cache));
+    assert!(outcome.complete);
+    assert_eq!(outcome.stats.executed, 1);
+    assert_eq!(outcome.stats.cache_hits, exp.job_count() - 1);
+    assert_eq!(
+        SweepResult::from_indexed("cache-test", exp.job_count(), outcome.rows)
+            .unwrap()
+            .to_json_string(),
+        exp.run_parallel().to_json_string()
+    );
+}
+
+#[test]
+fn garbage_and_schema_mismatch_entries_are_skipped() {
+    let dir = scratch_dir("garbage");
+    // Seed the directory with junk a cache must survive: non-JSON, a
+    // valid-JSON non-entry, and an entry from a future schema.
+    std::fs::write(
+        dir.join("junk.jsonl"),
+        "not json at all\n{\"key\":\"abc\"}\n{\"key\":\"abc\",\"report\":{\"schema_version\":999}}\n\n",
+    )
+    .unwrap();
+    let cache = ResultCache::open(&dir).unwrap();
+    assert!(cache.is_empty());
+    assert_eq!(cache.skipped_lines(), 3);
+
+    // A poisoned directory still caches correctly.
+    let exp = small_experiment();
+    let mut cache = ResultCache::open(&dir).unwrap();
+    let first = exp.run_with(RunOptions::new(2).cache(&mut cache));
+    assert_eq!(first.stats.executed, exp.job_count());
+    let mut cache = ResultCache::open(&dir).unwrap();
+    let second = exp.run_with(RunOptions::new(2).cache(&mut cache));
+    assert_eq!(second.stats.cache_hits, exp.job_count());
+}

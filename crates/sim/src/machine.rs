@@ -59,6 +59,116 @@ impl MachineConfig {
         self.core.trace = true;
         self
     }
+
+    /// Canonical JSON of the *complete* configuration, with object
+    /// keys in sorted order: the stable serialization that
+    /// content-addressed result caching hashes. Every field that can
+    /// change a run's output is listed here — adding a knob to any
+    /// config struct must extend this string, which (correctly)
+    /// invalidates old cache keys.
+    pub fn canonical_json(&self) -> String {
+        // Exhaustive destructuring (no `..`): adding a field to any of
+        // these config structs fails to compile here until the new
+        // knob is serialized — a forgotten knob would silently serve
+        // stale cached results for configurations that now differ.
+        let MachineConfig {
+            num_cores,
+            core,
+            mem,
+            max_cycles,
+        } = self;
+        let CoreConfig {
+            rob_size,
+            sb_size,
+            issue_width,
+            retire_width,
+            mispredict_penalty,
+            bpred_entries,
+            max_outstanding_stores,
+            sb_drain_in_order,
+            cas_drains_sb,
+            fence,
+            scope,
+            trace,
+        } = core;
+        let FenceConfig {
+            honor_scopes,
+            in_window_speculation,
+        } = fence;
+        let sfence_core::ScopeConfig {
+            fsb_entries,
+            fss_entries,
+            mapping_entries,
+            recovery,
+        } = scope;
+        let sfence_mem::MemConfig {
+            line_bytes,
+            l1_size,
+            l1_ways,
+            l1_latency,
+            l2_size,
+            l2_ways,
+            l2_latency,
+            mem_latency,
+            remote_dirty_penalty,
+        } = mem;
+        let recovery = match recovery {
+            sfence_core::ScopeRecovery::ShadowStack => "shadow_stack",
+            sfence_core::ScopeRecovery::Checkpoint => "checkpoint",
+        };
+        format!(
+            concat!(
+                "{{\"core\":{{",
+                "\"bpred_entries\":{},",
+                "\"cas_drains_sb\":{},",
+                "\"fence\":{{\"honor_scopes\":{},\"in_window_speculation\":{}}},",
+                "\"issue_width\":{},",
+                "\"max_outstanding_stores\":{},",
+                "\"mispredict_penalty\":{},",
+                "\"retire_width\":{},",
+                "\"rob_size\":{},",
+                "\"sb_drain_in_order\":{},",
+                "\"sb_size\":{},",
+                "\"scope\":{{\"fsb_entries\":{},\"fss_entries\":{},",
+                "\"mapping_entries\":{},\"recovery\":\"{}\"}},",
+                "\"trace\":{}}},",
+                "\"max_cycles\":{},",
+                "\"mem\":{{",
+                "\"l1_latency\":{},\"l1_size\":{},\"l1_ways\":{},",
+                "\"l2_latency\":{},\"l2_size\":{},\"l2_ways\":{},",
+                "\"line_bytes\":{},\"mem_latency\":{},",
+                "\"remote_dirty_penalty\":{}}},",
+                "\"num_cores\":{}}}"
+            ),
+            bpred_entries,
+            cas_drains_sb,
+            honor_scopes,
+            in_window_speculation,
+            issue_width,
+            max_outstanding_stores,
+            mispredict_penalty,
+            retire_width,
+            rob_size,
+            sb_drain_in_order,
+            sb_size,
+            fsb_entries,
+            fss_entries,
+            mapping_entries,
+            recovery,
+            trace,
+            max_cycles,
+            l1_latency,
+            l1_size,
+            l1_ways,
+            l2_latency,
+            l2_size,
+            l2_ways,
+            line_bytes,
+            mem_latency,
+            remote_dirty_penalty,
+            num_cores,
+        )
+    }
 }
 
 /// A watched write, recorded when a store/CAS to a watched address
