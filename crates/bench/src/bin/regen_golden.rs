@@ -1,12 +1,22 @@
-//! Regenerates the golden-row regression files under `tests/golden/`:
-//! for each pinned figure, the byte-exact output of
-//! `figN --json --scale small`. The CI golden job diffs the binaries'
-//! live output against these files; after an intentional simulator or
-//! schema change, rerun
+//! Regenerates the golden regression files under `tests/golden/`:
+//!
+//! - `figN.json` / `hwsweep.json`: byte-exact output of the
+//!   corresponding binary run as `--json --scale small`;
+//! - `table3.txt` / `table4.txt`: byte-exact output of the `table3` /
+//!   `table4` binaries.
+//!
+//! The CI golden job diffs the binaries' live output against these
+//! files; after an intentional simulator or schema change, rerun
 //! `cargo run -p sfence-bench --bin regen-golden` and commit the
 //! result.
 
 use std::path::Path;
+
+fn write(dir: &Path, name: &str, contents: &str) {
+    let path = dir.join(name);
+    std::fs::write(&path, contents).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    println!("wrote {}", path.display());
+}
 
 fn main() {
     let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden");
@@ -15,9 +25,21 @@ fn main() {
         let experiment = sfence_bench::experiment_by_name(name)
             .expect("golden names are registered experiments")
             .scale(sfence_workloads::Scale::Small);
-        let json = experiment.run_parallel().to_json_string();
-        let path = dir.join(format!("{name}.json"));
-        std::fs::write(&path, json).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
-        println!("wrote {}", path.display());
+        write(
+            &dir,
+            &format!("{name}.json"),
+            &experiment.run_parallel().to_json_string(),
+        );
     }
+    let hwsweep: Vec<_> = sfence_bench::hwsweep_experiments()
+        .into_iter()
+        .map(|e| e.scale(sfence_workloads::Scale::Small).run_parallel())
+        .collect();
+    write(
+        &dir,
+        "hwsweep.json",
+        &sfence_bench::hwsweep_merge(&hwsweep).to_json_string(),
+    );
+    write(&dir, "table3.txt", &sfence_bench::table3());
+    write(&dir, "table4.txt", &sfence_bench::table4());
 }

@@ -113,9 +113,7 @@ fn main() {
         std::process::exit(2);
     });
     if args.list {
-        for name in sfence_bench::experiment_names() {
-            println!("{name}");
-        }
+        print_list();
         return;
     }
     let name = args.experiment.clone().unwrap_or_else(|| {
@@ -285,6 +283,36 @@ fn run_spawned(
         }
     }
     Ok(rows)
+}
+
+/// `--list`: enumerate every registered experiment (axis, fence
+/// configs, job count, workloads) plus the litmus scenario families,
+/// so discovery never requires reading `catalog.rs`.
+fn print_list() {
+    println!("experiments (sfence-sweep --experiment <name>):");
+    for name in sfence_bench::experiment_names() {
+        let e = sfence_bench::experiment_by_name(name).expect("registered name");
+        let axis = if e.axis_name().is_empty() {
+            "-"
+        } else {
+            e.axis_name()
+        };
+        println!(
+            "  {:<12} axis={:<12} jobs={:<4} workloads: {}",
+            name,
+            axis,
+            e.job_count(),
+            e.workload_names().join(", ")
+        );
+    }
+    println!();
+    println!(
+        "litmus families (workload names litmus/<family>/<seed>; campaigns via sfence-litmus):"
+    );
+    print!(
+        "{}",
+        sfence_workloads::litmus::family_listing(|f| format!("litmus/{}/<seed>", f.name()))
+    );
 }
 
 fn git_describe() -> String {

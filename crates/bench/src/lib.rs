@@ -244,6 +244,71 @@ pub fn fig16_data() -> Vec<AppBars> {
 }
 
 // ---------------------------------------------------------------------
+// hwsweep: the §VI-D hardware-sensitivity sweeps over the
+// already-plumbed ROB / SB / FSB / FSS axes.
+
+pub const HWSWEEP_ROBS: [usize; 3] = [64, 128, 256];
+pub const HWSWEEP_SBS: [usize; 3] = [4, 8, 16];
+/// FSB columns (the last is reserved for set scope, so 2 is the
+/// minimum useful size).
+pub const HWSWEEP_FSBS: [usize; 3] = [2, 4, 8];
+/// FSS entries; 1 forces nested scopes to overflow and degrade.
+pub const HWSWEEP_FSSS: [usize; 3] = [1, 4, 8];
+
+/// Class-scope lock-free structures: the workloads whose fences the
+/// scope hardware actually serves, so FSB/FSS sizing shows up.
+pub fn hwsweep_apps() -> Vec<&'static str> {
+    vec!["wsq", "msn"]
+}
+
+/// The four single-axis experiments behind the `hwsweep` binary,
+/// individually runnable through `sfence-sweep` as `hwsweep-rob`,
+/// `hwsweep-sb`, `hwsweep-fsb`, `hwsweep-fss`.
+pub fn hwsweep_experiments() -> Vec<Experiment> {
+    let mk = |name: &str, axis: Axis| {
+        Experiment::new(name)
+            .base(machine())
+            .workloads(hwsweep_apps(), WorkloadParams::default())
+            .fences(vec![FenceConfig::TRADITIONAL, FenceConfig::SFENCE])
+            .axis(axis)
+    };
+    vec![
+        mk("hwsweep-rob", Axis::RobSize(HWSWEEP_ROBS.to_vec())),
+        mk("hwsweep-sb", Axis::SbSize(HWSWEEP_SBS.to_vec())),
+        mk("hwsweep-fsb", Axis::FsbEntries(HWSWEEP_FSBS.to_vec())),
+        mk("hwsweep-fss", Axis::FssEntries(HWSWEEP_FSSS.to_vec())),
+    ]
+}
+
+/// Concatenate the four axis sweeps into the one `hwsweep` result
+/// (each row keeps its own axis name, so the merged rows stay
+/// self-describing).
+pub fn hwsweep_merge(results: &[SweepResult]) -> SweepResult {
+    SweepResult {
+        experiment: "hwsweep".into(),
+        rows: results.iter().flat_map(|r| r.rows.clone()).collect(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// litmus: a sweep over generated scenarios, proving the litmus/*
+// registry names run through the ordinary experiment machinery.
+
+/// A small cross-section of litmus scenarios as a registered
+/// experiment (cycle comparisons, cache/shard smoke). Bulk verdict
+/// campaigns live in the `sfence-litmus` binary.
+pub fn litmus_experiment() -> Experiment {
+    let names: Vec<String> = ["mp", "sb", "sb-wrongset", "cas", "pc-deep"]
+        .iter()
+        .flat_map(|family| (0..2u64).map(move |seed| format!("litmus/{family}/{seed}")))
+        .collect();
+    Experiment::new("litmus")
+        .base(machine())
+        .workloads(names, WorkloadParams::small())
+        .fences(vec![FenceConfig::TRADITIONAL, FenceConfig::SFENCE])
+}
+
+// ---------------------------------------------------------------------
 // The experiment registry (sweep binary, CI smoke jobs)
 
 /// A deliberately tiny sweep (8 small-scale cells) for CI smoke and
@@ -258,8 +323,20 @@ pub fn smoke_experiment() -> Experiment {
 }
 
 /// Experiments runnable by name through `sfence-sweep`.
-pub fn experiment_names() -> [&'static str; 6] {
-    ["fig12", "fig13", "fig14", "fig15", "fig16", "smoke"]
+pub fn experiment_names() -> [&'static str; 11] {
+    [
+        "fig12",
+        "fig13",
+        "fig14",
+        "fig15",
+        "fig16",
+        "smoke",
+        "litmus",
+        "hwsweep-rob",
+        "hwsweep-sb",
+        "hwsweep-fsb",
+        "hwsweep-fss",
+    ]
 }
 
 /// Look an experiment up by name.
@@ -271,6 +348,10 @@ pub fn experiment_by_name(name: &str) -> Option<Experiment> {
         "fig15" => fig15_experiment(),
         "fig16" => fig16_experiment(),
         "smoke" => smoke_experiment(),
+        "litmus" => litmus_experiment(),
+        "hwsweep-rob" | "hwsweep-sb" | "hwsweep-fsb" | "hwsweep-fss" => {
+            hwsweep_experiments().into_iter().find(|e| e.name == name)?
+        }
         _ => return None,
     })
 }
@@ -472,5 +553,18 @@ mod tests {
         assert_eq!(fig14_experiment().job_count(), 4 * 2);
         assert_eq!(fig15_experiment().job_count(), 4 * 3 * 2);
         assert_eq!(fig16_experiment().job_count(), 4 * 3 * 2);
+        for e in hwsweep_experiments() {
+            assert_eq!(e.job_count(), 2 * 3 * 2, "{}", e.name);
+        }
+        assert_eq!(litmus_experiment().job_count(), 5 * 2 * 2);
+    }
+
+    #[test]
+    fn every_registered_experiment_resolves() {
+        for name in experiment_names() {
+            let e = experiment_by_name(name).unwrap_or_else(|| panic!("{name} not resolvable"));
+            assert!(e.job_count() > 0, "{name} has no jobs");
+        }
+        assert!(experiment_by_name("nonesuch").is_none());
     }
 }

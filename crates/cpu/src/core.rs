@@ -179,6 +179,13 @@ impl Core {
         (self.bpred.predictions, self.bpred.mispredictions)
     }
 
+    /// Snapshot of the architectural register file. Meaningful once
+    /// the core is [`finished`](Self::finished): retired state only —
+    /// in-flight speculative writes are not visible here.
+    pub fn arch_regs(&self) -> &[i64] {
+        &self.regs
+    }
+
     fn honor_scopes(&self) -> bool {
         self.cfg.fence.honor_scopes
     }

@@ -37,27 +37,33 @@ use std::path::{Path, PathBuf};
 pub fn job_canonical_json(workload: &str, params: &WorkloadParams, cfg: &MachineConfig) -> Json {
     let cfg_json =
         json::parse(&cfg.canonical_json()).expect("MachineConfig::canonical_json emits valid JSON");
+    // Litmus scenarios (`litmus/<family>/<seed>`) are fully
+    // parameterized by their name and the builder ignores `params`;
+    // keying on the no-op knobs would fork the cache (re-executing
+    // byte-identical cells) whenever e.g. `--scale` changes.
+    let params_json = if sfence_workloads::litmus::parse_name(workload).is_some() {
+        Json::obj().field("by_name", true)
+    } else {
+        Json::obj()
+            .field("level", params.level)
+            .field(
+                "scale",
+                match params.scale {
+                    Scale::Eval => "eval",
+                    Scale::Small => "small",
+                },
+            )
+            .field(
+                "scope",
+                match params.scope {
+                    ScopeMode::Class => "class",
+                    ScopeMode::Set => "set",
+                },
+            )
+    };
     Json::obj()
         .field("workload", workload)
-        .field(
-            "params",
-            Json::obj()
-                .field("level", params.level)
-                .field(
-                    "scale",
-                    match params.scale {
-                        Scale::Eval => "eval",
-                        Scale::Small => "small",
-                    },
-                )
-                .field(
-                    "scope",
-                    match params.scope {
-                        ScopeMode::Class => "class",
-                        ScopeMode::Set => "set",
-                    },
-                ),
-        )
+        .field("params", params_json)
         .field("cfg", cfg_json)
         .canonicalize()
 }

@@ -32,6 +32,8 @@ pub enum Axis {
     MemLatency(Vec<u64>),
     /// Fig. 16 ROB size sweep.
     RobSize(Vec<usize>),
+    /// Store-buffer size sweep (§VI-D sensitivity, `hwsweep`).
+    SbSize(Vec<usize>),
     /// Scope-hardware sizing sweeps (§VI-E).
     FsbEntries(Vec<usize>),
     FssEntries(Vec<usize>),
@@ -45,6 +47,7 @@ pub enum AxisPoint {
     Scope(ScopeMode),
     MemLatency(u64),
     RobSize(usize),
+    SbSize(usize),
     FsbEntries(usize),
     FssEntries(usize),
 }
@@ -57,6 +60,7 @@ impl Axis {
             Axis::Scope(_) => "scope",
             Axis::MemLatency(_) => "mem_latency",
             Axis::RobSize(_) => "rob_size",
+            Axis::SbSize(_) => "sb_size",
             Axis::FsbEntries(_) => "fsb_entries",
             Axis::FssEntries(_) => "fss_entries",
         }
@@ -69,6 +73,7 @@ impl Axis {
             Axis::Scope(v) => v.iter().map(|&x| AxisPoint::Scope(x)).collect(),
             Axis::MemLatency(v) => v.iter().map(|&x| AxisPoint::MemLatency(x)).collect(),
             Axis::RobSize(v) => v.iter().map(|&x| AxisPoint::RobSize(x)).collect(),
+            Axis::SbSize(v) => v.iter().map(|&x| AxisPoint::SbSize(x)).collect(),
             Axis::FsbEntries(v) => v.iter().map(|&x| AxisPoint::FsbEntries(x)).collect(),
             Axis::FssEntries(v) => v.iter().map(|&x| AxisPoint::FssEntries(x)).collect(),
         }
@@ -84,9 +89,10 @@ impl AxisPoint {
             AxisPoint::Scope(ScopeMode::Class) => "class".into(),
             AxisPoint::Scope(ScopeMode::Set) => "set".into(),
             AxisPoint::MemLatency(x) => x.to_string(),
-            AxisPoint::RobSize(x) | AxisPoint::FsbEntries(x) | AxisPoint::FssEntries(x) => {
-                x.to_string()
-            }
+            AxisPoint::RobSize(x)
+            | AxisPoint::SbSize(x)
+            | AxisPoint::FsbEntries(x)
+            | AxisPoint::FssEntries(x) => x.to_string(),
         }
     }
 
@@ -102,6 +108,7 @@ impl AxisPoint {
         match *self {
             AxisPoint::MemLatency(lat) => cfg.mem.mem_latency = lat,
             AxisPoint::RobSize(rob) => cfg.core.rob_size = rob,
+            AxisPoint::SbSize(n) => cfg.core.sb_size = n,
             AxisPoint::FsbEntries(n) => cfg.core.scope.fsb_entries = n,
             AxisPoint::FssEntries(n) => cfg.core.scope.fss_entries = n,
             _ => {}
@@ -146,15 +153,23 @@ impl Experiment {
         self
     }
 
-    /// Add one registry workload with explicit build parameters.
+    /// Add one registry workload with explicit build parameters. The
+    /// name is either a Table IV benchmark or a generated litmus
+    /// scenario (`litmus/<family>/<seed>`).
     pub fn workload(mut self, name: impl Into<String>, params: WorkloadParams) -> Self {
         let name = name.into();
         assert!(
-            catalog::find(&name).is_some(),
+            catalog::exists(&name),
             "unknown workload {name:?} (not in the registry)"
         );
         self.workloads.push((name, params));
         self
+    }
+
+    /// The workload names of this experiment, in spec order
+    /// (discovery surface for `sfence-sweep --list`).
+    pub fn workload_names(&self) -> Vec<&str> {
+        self.workloads.iter().map(|(n, _)| n.as_str()).collect()
     }
 
     /// Add several registry workloads sharing one parameter set.

@@ -19,7 +19,11 @@ type CheckFn<'a> = &'a (dyn Fn(&Program, &[i64]) -> Result<(), String> + Send + 
 /// whenever the JSON shape or the simulator's observable semantics
 /// change incompatibly; readers reject rows from a different version
 /// rather than silently mixing incomparable results.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// v2: [`RunReport`] gained the per-core architectural register
+/// snapshot (`regs`) — the final-state surface the litmus subsystem
+/// observes.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// A configured run of one program on the simulated machine.
 ///
@@ -52,7 +56,7 @@ impl<'a> Session<'a> {
     pub fn for_workload(workload: &'a BuiltWorkload) -> Self {
         Session {
             program: &workload.program,
-            name: workload.name,
+            name: &workload.name,
             check: Some(&workload.check),
             cfg: MachineConfig::paper_default(),
             watch: Vec::new(),
@@ -116,6 +120,7 @@ impl<'a> Session<'a> {
             watch_log: out.watch_log,
             traces: out.traces,
             mem: out.mem,
+            regs: out.regs,
         };
         if let Some(check) = self.check {
             assert_eq!(
@@ -148,6 +153,9 @@ pub struct RunReport {
     pub traces: Vec<Vec<RetiredEvent>>,
     /// Final flat memory image.
     pub mem: Vec<i64>,
+    /// Per-core architectural register snapshot (retired state) at
+    /// the end of the run.
+    pub regs: Vec<Vec<i64>>,
 }
 
 impl RunReport {
@@ -163,6 +171,13 @@ impl RunReport {
     /// Read a named global through the program's symbol table.
     pub fn read_var(&self, program: &Program, name: &str) -> i64 {
         self.mem[program.addr_of(name)]
+    }
+
+    /// The observed final state (values of the program's `obs_`
+    /// globals, in address order) — what the litmus differential
+    /// runner compares against the SC-allowed set.
+    pub fn observed_state(&self, program: &Program) -> Vec<i64> {
+        program.observed_state(&self.mem)
     }
 
     /// Average across active cores of the fraction of cycles stalled
@@ -214,6 +229,15 @@ impl RunReport {
                 "mem",
                 Json::Arr(self.mem.iter().map(|&w| Json::Int(w)).collect()),
             )
+            .field(
+                "regs",
+                Json::Arr(
+                    self.regs
+                        .iter()
+                        .map(|core| Json::Arr(core.iter().map(|&w| Json::Int(w)).collect()))
+                        .collect(),
+                ),
+            )
     }
 
     pub fn from_json(json: &Json) -> Result<RunReport, String> {
@@ -252,6 +276,16 @@ impl RunReport {
             mem: get_arr(json, "mem")?
                 .iter()
                 .map(|w| w.as_i64().ok_or_else(|| "bad memory word".to_string()))
+                .collect::<Result<_, _>>()?,
+            regs: get_arr(json, "regs")?
+                .iter()
+                .map(|core| {
+                    core.as_arr()
+                        .ok_or_else(|| "core regs is not an array".to_string())?
+                        .iter()
+                        .map(|w| w.as_i64().ok_or_else(|| "bad register word".to_string()))
+                        .collect::<Result<Vec<_>, _>>()
+                })
                 .collect::<Result<_, _>>()?,
         })
     }

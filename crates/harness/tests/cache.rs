@@ -161,3 +161,27 @@ fn garbage_and_schema_mismatch_entries_are_skipped() {
     let second = exp.run_with(RunOptions::new(2).cache(&mut cache));
     assert_eq!(second.stats.cache_hits, exp.job_count());
 }
+
+#[test]
+fn litmus_keys_ignore_the_noop_workload_params() {
+    // Litmus cells are fully parameterized by their registry name;
+    // the builder ignores WorkloadParams, so neither scale nor level
+    // may fork the key — while the machine config still must.
+    let cfg = MachineConfig::paper_default();
+    let a = job_key("litmus/sb/7", &WorkloadParams::small(), &cfg);
+    let b = job_key("litmus/sb/7", &WorkloadParams::default(), &cfg);
+    assert_eq!(a, b, "no-op params must not fork litmus cache keys");
+    let c = job_key("litmus/sb/8", &WorkloadParams::small(), &cfg);
+    assert_ne!(a, c, "the seed (via the name) must key the cell");
+    let d = job_key(
+        "litmus/sb/7",
+        &WorkloadParams::small(),
+        &cfg.clone().with_fence(FenceConfig::TRADITIONAL),
+    );
+    assert_ne!(a, d, "the machine config must still key the cell");
+
+    // Table IV benchmarks keep keying on their build parameters.
+    let e = job_key("dekker", &WorkloadParams::small(), &cfg);
+    let f = job_key("dekker", &WorkloadParams::default(), &cfg);
+    assert_ne!(e, f);
+}

@@ -49,6 +49,10 @@ fn run_report_round_trips_through_json() {
         report.traces.iter().any(|t| !t.is_empty()),
         "traces recorded"
     );
+    assert!(
+        report.regs.iter().any(|core| core.iter().any(|&r| r != 0)),
+        "register snapshot recorded"
+    );
 
     let text = report.to_json().to_string_pretty();
     let parsed = json::parse(&text).expect("report JSON parses");

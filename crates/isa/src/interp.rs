@@ -86,9 +86,16 @@ impl ThreadState {
         }
     }
 
-    /// Execute one instruction of `code` against `mem`. Returns false
-    /// when the thread halts (or was already halted).
-    fn step(
+    /// Execute one instruction of `code` against `mem` under SC
+    /// semantics (every instruction is atomic and immediately
+    /// visible). Returns false when the thread halts (or was already
+    /// halted).
+    ///
+    /// Public so external schedulers — in particular the
+    /// `sfence-litmus` SC reference checker, which enumerates
+    /// interleavings by driving one [`ThreadState`] per thread — can
+    /// step threads one instruction at a time.
+    pub fn step(
         &mut self,
         thread: usize,
         code: &[Instr],

@@ -300,6 +300,23 @@ impl IrProgram {
         self.add_global(name, crate::WORDS_PER_LINE, true)
     }
 
+    /// Declare an *observed* location: a private, line-padded scalar
+    /// named `obs_<name>` whose final value is part of the program's
+    /// final state (`Program::observed_symbols`). Litmus generators
+    /// store each thread's observations here; the SC reference
+    /// checker and the differential runner read exactly these cells.
+    pub fn observer(&mut self, name: &str) -> Global {
+        let full = format!("{}{}", crate::program::OBS_PREFIX, name);
+        self.add_global(&full, crate::WORDS_PER_LINE, false)
+    }
+
+    /// Declare a *shared* observed location (e.g. a contended counter
+    /// whose final value is itself the observation).
+    pub fn shared_observer(&mut self, name: &str) -> Global {
+        let full = format!("{}{}", crate::program::OBS_PREFIX, name);
+        self.add_global(&full, crate::WORDS_PER_LINE, true)
+    }
+
     /// Set the initial value of a scalar global.
     pub fn init(&mut self, g: Global, val: i64) {
         self.init_elem(g, 0, val);

@@ -24,7 +24,7 @@ pub mod program;
 
 pub use instr::{Addr, AluOp, ClassId, CmpOp, FenceKind, Instr, Operand, Reg, NUM_REGS};
 pub use lower::{CompileError, CompileOpts};
-pub use program::{Program, ProgramError, Symbol};
+pub use program::{Program, ProgramError, Symbol, OBS_PREFIX};
 
 /// Words per cache line in the simulated memory system. Word-addressed
 /// memory with 8 words per line models 64-byte lines of 8-byte words.

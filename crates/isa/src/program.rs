@@ -6,6 +6,11 @@ use crate::instr::{Addr, ClassId, Instr, NUM_REGS};
 use std::collections::HashMap;
 use std::fmt;
 
+/// Name prefix marking a global as an *observed* location: part of
+/// the final state of a litmus-style program (see
+/// [`Program::observed_symbols`]).
+pub const OBS_PREFIX: &str = "obs_";
+
 /// A symbol: a named region of the data segment.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Symbol {
@@ -172,6 +177,31 @@ impl Program {
             }
         }
         Ok(())
+    }
+
+    /// The observed symbols of a litmus-style program: every global
+    /// whose name starts with [`OBS_PREFIX`], in address order. The
+    /// values of these locations in the final memory image are the
+    /// program's *final state* — the tuple the SC reference checker
+    /// enumerates and the differential runner compares against.
+    pub fn observed_symbols(&self) -> Vec<&Symbol> {
+        let mut obs: Vec<&Symbol> = self
+            .symbols
+            .iter()
+            .filter(|s| s.name.starts_with(OBS_PREFIX))
+            .collect();
+        obs.sort_by_key(|s| s.addr);
+        obs
+    }
+
+    /// Read the observed final state out of a memory image: one word
+    /// per observed symbol, in address order. Returns an empty vector
+    /// when the program declares no `obs_` globals.
+    pub fn observed_state(&self, mem: &[i64]) -> Vec<i64> {
+        self.observed_symbols()
+            .iter()
+            .map(|s| mem[s.addr])
+            .collect()
     }
 
     /// Total static instruction count across threads.

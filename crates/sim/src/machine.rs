@@ -386,6 +386,13 @@ impl Machine {
         self.cores.iter().map(|c| c.trace.as_slice()).collect()
     }
 
+    /// Snapshot of every core's architectural register file (retired
+    /// state). Together with the final memory this is the complete
+    /// observable final state of a run.
+    pub fn reg_snapshot(&self) -> Vec<Vec<i64>> {
+        self.cores.iter().map(|c| c.arch_regs().to_vec()).collect()
+    }
+
     /// Read a word of the final memory by symbol, via the program.
     pub fn read_word(&self, addr: usize) -> i64 {
         self.mem[addr]
@@ -413,6 +420,9 @@ pub struct ExecOutput {
     pub watch_log: Vec<WatchEvent>,
     /// Per-core retired-event traces (empty unless `cfg.core.trace`).
     pub traces: Vec<Vec<sfence_core::RetiredEvent>>,
+    /// Per-core architectural register snapshot at the end of the run
+    /// (retired state).
+    pub regs: Vec<Vec<i64>>,
 }
 
 /// Run `program` under `cfg`, watching writes to `watch`, and return
@@ -429,10 +439,12 @@ pub fn execute(program: &Program, cfg: MachineConfig, watch: &[usize]) -> ExecOu
     } else {
         Vec::new()
     };
+    let regs = m.reg_snapshot();
     ExecOutput {
         summary,
         mem: m.mem,
         watch_log: m.watch_log,
         traces,
+        regs,
     }
 }

@@ -185,7 +185,7 @@ pub fn build(params: BarnesParams) -> BuiltWorkload {
     let program = compile(&p);
     let (ref_pos, ref_cell) = reference(&params);
     BuiltWorkload {
-        name: "barnes",
+        name: "barnes".into(),
         program,
         check: Box::new(move |prog, mem| {
             let pos_base = prog.addr_of("BPOS");

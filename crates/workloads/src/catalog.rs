@@ -289,14 +289,31 @@ pub const REGISTRY: [Workload; 8] = [
     },
 ];
 
-/// Look a benchmark up by name.
+/// Look a benchmark up by name. Generated litmus scenarios are not
+/// table entries; use [`exists`] / [`build`] for name-based dispatch
+/// that covers both.
 pub fn find(name: &str) -> Option<&'static Workload> {
     REGISTRY.iter().find(|w| w.info.name == name)
 }
 
+/// Is `name` buildable — a Table IV benchmark or a generated litmus
+/// scenario (`litmus/<family>/<seed>`)?
+pub fn exists(name: &str) -> bool {
+    find(name).is_some() || crate::litmus::parse_name(name).is_some()
+}
+
 /// Build a benchmark by name; panics on unknown names (experiment
 /// specs are static, so an unknown name is a programming error).
+///
+/// Names under `litmus/` dispatch to the deterministic scenario
+/// generator ([`crate::litmus`]); the seed is part of the name, so
+/// the sweep cache, sharding and the result store key litmus cells
+/// exactly like table benchmarks. `params` is ignored for litmus
+/// scenarios — their whole parameterization lives in the name.
 pub fn build(name: &str, params: &WorkloadParams) -> BuiltWorkload {
+    if let Some(w) = crate::litmus::build_named(name) {
+        return w;
+    }
     find(name)
         .unwrap_or_else(|| panic!("unknown workload {name:?}"))
         .build(params)
@@ -341,6 +358,17 @@ mod tests {
             assert_eq!(built.name, w.info.name);
         }
         assert!(find("nonesuch").is_none());
+    }
+
+    #[test]
+    fn litmus_names_dispatch_through_the_catalog() {
+        let name = "litmus/sb/17";
+        assert!(exists(name));
+        assert!(find(name).is_none(), "litmus names are not table entries");
+        let built = build(name, &WorkloadParams::small());
+        assert_eq!(built.name, name);
+        assert!(built.program.validate().is_ok());
+        assert!(!exists("litmus/nonesuch/17"));
     }
 
     #[test]

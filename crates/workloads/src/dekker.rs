@@ -86,7 +86,7 @@ pub fn build(params: DekkerParams) -> BuiltWorkload {
     let program = compile(&p);
     let total = 2 * params.iters as i64;
     BuiltWorkload {
-        name: "dekker",
+        name: "dekker".into(),
         program,
         check: Box::new(move |prog, mem| {
             let got = mem[prog.addr_of("COUNT")];

@@ -240,7 +240,7 @@ pub fn build(params: HarrisParams) -> BuiltWorkload {
     let program = compile(&p);
     let key_range = params.key_range;
     BuiltWorkload {
-        name: "harris",
+        name: "harris".into(),
         program,
         check: Box::new(move |prog, mem| {
             let val_base = prog.addr_of("HAR_VAL");

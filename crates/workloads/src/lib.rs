@@ -15,11 +15,18 @@
 //! Every workload carries an invariant checker that runs on the final
 //! memory image: timing comparisons are made only between runs whose
 //! semantics have been validated.
+//!
+//! Beyond Table IV, [`litmus`] synthesizes deterministic scenario
+//! families (message passing, store buffering, IRIW, CAS loops,
+//! producer/consumer — with covering and deliberately non-covering
+//! fence scopes) that register into the catalog as
+//! `litmus/<family>/<seed>`.
 
 pub mod barnes;
 pub mod catalog;
 pub mod dekker;
 pub mod harris;
+pub mod litmus;
 pub mod msn;
 pub mod pst;
 pub mod ptc;

@@ -198,7 +198,7 @@ pub fn build(params: MsnParams) -> BuiltWorkload {
     let consumers = params.consumers;
     let items = params.items as i64;
     BuiltWorkload {
-        name: "msn",
+        name: "msn".into(),
         program,
         check: Box::new(move |prog, mem| {
             let logs_base = prog.addr_of("LOGS");

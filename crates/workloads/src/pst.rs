@@ -162,7 +162,7 @@ pub fn build(params: PstParams) -> BuiltWorkload {
     let program = compile(&p);
     let (off_chk, adj_chk) = (off, adj);
     BuiltWorkload {
-        name: "pst",
+        name: "pst".into(),
         program,
         check: Box::new(move |prog, mem| {
             let color_base = prog.addr_of("COLOR");

@@ -164,7 +164,7 @@ pub fn build(params: PtcParams) -> BuiltWorkload {
 
     let program = compile(&p);
     BuiltWorkload {
-        name: "ptc",
+        name: "ptc".into(),
         program,
         check: Box::new(move |prog, mem| {
             let base = prog.addr_of("REACH");

@@ -151,7 +151,7 @@ pub fn build(params: RadiosityParams) -> BuiltWorkload {
 
     let program = compile(&p);
     BuiltWorkload {
-        name: "radiosity",
+        name: "radiosity".into(),
         program,
         check: Box::new(move |prog, mem| {
             let e_base = prog.addr_of("ENERGY");

@@ -21,7 +21,9 @@ pub enum ScopeMode {
 /// the final memory image) is the `sfence-harness` `Session`'s job —
 /// workloads never drive the machine themselves.
 pub struct BuiltWorkload {
-    pub name: &'static str,
+    /// Registry name. Table IV benchmarks use their static names;
+    /// generated litmus scenarios use `litmus/<family>/<seed>`.
+    pub name: String,
     pub program: Program,
     /// Validates the final memory image; returns a description of the
     /// violation if any.

@@ -219,7 +219,7 @@ pub fn build(params: WsqParams) -> BuiltWorkload {
     let exp_sum = n64 * (n64 + 1) / 2;
     let exp_sq: i64 = (1..=n64).map(|i| i * i).sum();
     BuiltWorkload {
-        name: "wsq",
+        name: "wsq".into(),
         program,
         check: Box::new(move |prog, mem| {
             let read = |name: &str| -> i64 {
