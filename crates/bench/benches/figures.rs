@@ -33,8 +33,8 @@ fn main() {
             .config(sfence_bench::machine())
             .fence(FenceConfig::SFENCE)
             .run();
-        assert!(s.cycles <= t.cycles);
-        t.cycles as f64 / s.cycles as f64
+        assert!(s.timed_cycles() <= t.timed_cycles());
+        t.timed_cycles() as f64 / s.timed_cycles() as f64
     });
 
     timed("fig13/radiosity_T_vs_S", 3, || {
@@ -47,8 +47,8 @@ fn main() {
             .config(sfence_bench::machine())
             .fence(FenceConfig::SFENCE)
             .run();
-        assert!(s.cycles <= t.cycles);
-        t.cycles as f64 / s.cycles as f64
+        assert!(s.timed_cycles() <= t.timed_cycles());
+        t.timed_cycles() as f64 / s.timed_cycles() as f64
     });
 
     timed("fig14/msn_class_vs_set", 3, || {
@@ -62,7 +62,7 @@ fn main() {
             .config(sfence_bench::machine())
             .fence(FenceConfig::SFENCE)
             .run();
-        (c.cycles, s.cycles)
+        (c.timed_cycles(), s.timed_cycles())
     });
 
     timed("fig15/barnes_latency500", 3, || {
@@ -73,8 +73,8 @@ fn main() {
         let s = Session::for_workload(&w)
             .config(cfg.with_fence(FenceConfig::SFENCE))
             .run();
-        assert!(s.cycles <= t.cycles);
-        t.cycles as f64 / s.cycles as f64
+        assert!(s.timed_cycles() <= t.timed_cycles());
+        t.timed_cycles() as f64 / s.timed_cycles() as f64
     });
 
     timed("fig16/wsq_rob256", 3, || {
@@ -86,7 +86,7 @@ fn main() {
         let s = Session::for_workload(&w)
             .config(base.with_fence(FenceConfig::SFENCE))
             .run();
-        assert!(s.cycles <= t.cycles);
-        t.cycles as f64 / s.cycles as f64
+        assert!(s.timed_cycles() <= t.timed_cycles());
+        t.timed_cycles() as f64 / s.timed_cycles() as f64
     });
 }

@@ -31,7 +31,7 @@ fn main() {
         let per_iter = start.elapsed() / iters;
         println!(
             "{label:<22} {per_iter:>12.2?}/iter   {} simulated cycles",
-            report.cycles
+            report.timed_cycles()
         );
     }
 }

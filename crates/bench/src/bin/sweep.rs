@@ -5,6 +5,7 @@
 //!
 //! ```text
 //! sfence-sweep --experiment fig13 [--scale small|eval]
+//!     [--backend B]            execution engine: sim (default) | functional | enumerative
 //!     [--threads N]            worker threads per process
 //!     [--cache-dir DIR]        content-addressed RunReport cache
 //!     [--resume]               documents resume intent (needs --cache-dir)
@@ -124,10 +125,10 @@ fn main() {
         eprintln!("error: unknown experiment {name:?} (--list for names)");
         std::process::exit(2);
     });
-    let experiment = match args.common.scale {
-        Some(scale) => experiment.scale(scale),
-        None => experiment,
-    };
+    let experiment = args.common.configure(experiment).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
     if let Err(e) = run(&name, &experiment, &args) {
         eprintln!("error: {e}");
         std::process::exit(1);
@@ -155,15 +156,21 @@ fn run(name: &str, experiment: &Experiment, args: &SweepArgs) -> Result<(), Stri
         Some(sfence_workloads::Scale::Eval) => "eval",
         None => "mixed",
     };
+    // Same idea for the execution engine: sim and functional runs of
+    // one experiment are separate histories ("mixed" = Axis::Backend).
+    let backend = match experiment.uniform_backend() {
+        Some(b) => b.name(),
+        None => "mixed",
+    };
 
     if args.diff {
         let store = args
             .store
             .as_ref()
             .ok_or("--diff requires --store (the history to diff against)")?;
-        match ResultStore::new(store).latest_at(&result.experiment, scale)? {
+        match ResultStore::new(store).latest_at(&result.experiment, scale, backend)? {
             None => eprintln!(
-                "diff: no stored run of {} at scale {scale} yet",
+                "diff: no stored run of {} at scale {scale} on the {backend} backend yet",
                 result.experiment
             ),
             Some(prev) => {
@@ -195,6 +202,7 @@ fn run(name: &str, experiment: &Experiment, args: &SweepArgs) -> Result<(), Stri
             &result.experiment,
             experiment.axis_name(),
             scale,
+            backend,
             git,
             timestamp,
         );
@@ -254,6 +262,9 @@ fn run_spawned(
                 sfence_workloads::Scale::Small => "small",
             });
         }
+        if let Some(backend) = args.common.backend {
+            cmd.arg("--backend").arg(backend.name());
+        }
         if let Some(dir) = &args.common.cache_dir {
             cmd.arg("--cache-dir").arg(dir);
         }
@@ -305,6 +316,10 @@ fn print_list() {
             e.workload_names().join(", ")
         );
     }
+    println!();
+    println!("backends (--backend): sim (default, cycle-accurate), functional (fast SC");
+    println!("  interpreter, no timing fields), enumerative (rows carry the SC allowed-state");
+    println!("  set size; full sets live in the cached reports)");
     println!();
     println!(
         "litmus families (workload names litmus/<family>/<seed>; campaigns via sfence-litmus):"

@@ -3,7 +3,9 @@
 //! crates); unknown flags are errors so typos fail loudly instead of
 //! silently running the default sweep.
 
-use sfence_harness::{default_threads, Experiment, IndexedRow, ResultCache, RunOptions, Shard};
+use sfence_harness::{
+    default_threads, BackendId, Experiment, IndexedRow, ResultCache, RunOptions, Shard,
+};
 use sfence_workloads::Scale;
 use std::path::PathBuf;
 
@@ -16,6 +18,9 @@ pub struct FigureArgs {
     pub rows: bool,
     /// Override every workload's problem scale.
     pub scale: Option<Scale>,
+    /// Execution engine override (`sim`, `functional`,
+    /// `enumerative`); default: the experiment's own backend (sim).
+    pub backend: Option<BackendId>,
     /// Content-addressed result cache directory.
     pub cache_dir: Option<PathBuf>,
     /// Documentation alias: with `--cache-dir`, an interrupted sweep
@@ -52,6 +57,9 @@ impl FigureArgs {
             "--scale" => {
                 self.scale = Some(parse_scale(&take(it, "--scale")?)?);
             }
+            "--backend" => {
+                self.backend = Some(BackendId::parse(&take(it, "--backend")?)?);
+            }
             "--cache-dir" => {
                 self.cache_dir = Some(PathBuf::from(take(it, "--cache-dir")?));
             }
@@ -78,6 +86,29 @@ impl FigureArgs {
             return Err("--resume requires --cache-dir (resume = skip cached cells)".into());
         }
         Ok(())
+    }
+
+    /// Apply the experiment-shaping overrides (`--scale`,
+    /// `--backend`) to a registered experiment. Errors rather than
+    /// silently no-ops: on an `Axis::Backend` experiment every axis
+    /// point picks its own engine, so a `--backend` flag would be
+    /// dead.
+    pub fn configure(&self, mut experiment: Experiment) -> Result<Experiment, String> {
+        if let Some(scale) = self.scale {
+            experiment = experiment.scale(scale);
+        }
+        if let Some(backend) = self.backend {
+            if experiment.axis_name() == "backend" {
+                return Err(format!(
+                    "--backend {} has no effect on {:?}: its backend axis selects \
+                     the engine per cell",
+                    backend.name(),
+                    experiment.name
+                ));
+            }
+            experiment = experiment.backend(backend);
+        }
+        Ok(experiment)
     }
 }
 

@@ -13,7 +13,7 @@
 //! one-shot convenience that runs the sweep in parallel.
 
 use sfence_core::{hw_cost, ScopeConfig};
-use sfence_harness::{Axis, Experiment, SweepResult};
+use sfence_harness::{Axis, BackendId, Experiment, SweepResult};
 use sfence_sim::{FenceConfig, MachineConfig};
 use sfence_workloads::{catalog, ScopeMode, WorkloadParams};
 
@@ -112,11 +112,11 @@ pub fn fig13_data_from(result: &SweepResult) -> Vec<AppBars> {
                     .iter()
                     .map(|fence| {
                         let row = result.row(app, fence.label(), "");
-                        let norm = row.cycles as f64 / baseline;
+                        let norm = row.timed_cycles() as f64 / baseline;
                         StackedBar {
                             label: fence.label().to_string(),
                             norm_time: norm,
-                            fence_part: row.fence_stall_fraction * norm,
+                            fence_part: row.timed_stall_fraction() * norm,
                         }
                     })
                     .collect(),
@@ -151,20 +151,20 @@ pub fn fig14_data_from(result: &SweepResult) -> Vec<AppBars> {
         .map(|app| {
             let class = result.row(app, "S", "class");
             let set = result.row(app, "S", "set");
-            let baseline = class.cycles as f64;
-            let set_norm = set.cycles as f64 / baseline;
+            let baseline = class.timed_cycles() as f64;
+            let set_norm = set.timed_cycles() as f64 / baseline;
             AppBars {
                 app,
                 bars: vec![
                     StackedBar {
                         label: "C.S.".into(),
                         norm_time: 1.0,
-                        fence_part: class.fence_stall_fraction,
+                        fence_part: class.timed_stall_fraction(),
                     },
                     StackedBar {
                         label: "S.S.".into(),
                         norm_time: set_norm,
-                        fence_part: set.fence_stall_fraction * set_norm,
+                        fence_part: set.timed_stall_fraction() * set_norm,
                     },
                 ],
             }
@@ -210,11 +210,11 @@ fn sweep_data_from(result: &SweepResult, points: &[String], baseline_value: &str
             for value in points {
                 for fence in [FenceConfig::TRADITIONAL, FenceConfig::SFENCE] {
                     let row = result.row(app, fence.label(), value);
-                    let norm = row.cycles as f64 / baseline;
+                    let norm = row.timed_cycles() as f64 / baseline;
                     bars.push(StackedBar {
                         label: format!("{value}{}", fence.label()),
                         norm_time: norm,
-                        fence_part: row.fence_stall_fraction * norm,
+                        fence_part: row.timed_stall_fraction() * norm,
                     });
                 }
             }
@@ -254,6 +254,14 @@ pub const HWSWEEP_SBS: [usize; 3] = [4, 8, 16];
 pub const HWSWEEP_FSBS: [usize; 3] = [2, 4, 8];
 /// FSS entries; 1 forces nested scopes to overflow and degrade.
 pub const HWSWEEP_FSSS: [usize; 3] = [1, 4, 8];
+/// Issue/retire widths (both move together; 2 is Table III's core).
+pub const HWSWEEP_WIDTHS: [usize; 3] = [1, 2, 4];
+/// Shared L2 capacities in bytes. The benchmark working sets are
+/// small (graphs of a few thousand nodes), so the sweep straddles
+/// *them* rather than Table III's 1 MB: sizes chosen so the
+/// golden-gated `--scale small` rows actually move with the L2 model
+/// (at 1 MB and beyond every size is equally cold for these apps).
+pub const HWSWEEP_L2S: [usize; 3] = [8 * 1024, 32 * 1024, 1024 * 1024];
 
 /// Class-scope lock-free structures: the workloads whose fences the
 /// scope hardware actually serves, so FSB/FSS sizing shows up.
@@ -261,22 +269,56 @@ pub fn hwsweep_apps() -> Vec<&'static str> {
     vec!["wsq", "msn"]
 }
 
-/// The four single-axis experiments behind the `hwsweep` binary,
+/// Workloads with L2-resident reuse (shared graphs revisited across
+/// phases). The lock-free `hwsweep_apps` stream a rotating pad region
+/// with no reuse, so L2 capacity is invisible to them at any size.
+pub fn hwsweep_l2_apps() -> Vec<&'static str> {
+    vec!["pst", "ptc"]
+}
+
+/// The six single-axis experiments behind the `hwsweep` binary,
 /// individually runnable through `sfence-sweep` as `hwsweep-rob`,
-/// `hwsweep-sb`, `hwsweep-fsb`, `hwsweep-fss`.
+/// `hwsweep-sb`, `hwsweep-fsb`, `hwsweep-fss`, `hwsweep-width`,
+/// `hwsweep-l2`.
 pub fn hwsweep_experiments() -> Vec<Experiment> {
-    let mk = |name: &str, axis: Axis| {
+    let mk = |name: &str, apps: Vec<&'static str>, axis: Axis| {
         Experiment::new(name)
             .base(machine())
-            .workloads(hwsweep_apps(), WorkloadParams::default())
+            .workloads(apps, WorkloadParams::default())
             .fences(vec![FenceConfig::TRADITIONAL, FenceConfig::SFENCE])
             .axis(axis)
     };
     vec![
-        mk("hwsweep-rob", Axis::RobSize(HWSWEEP_ROBS.to_vec())),
-        mk("hwsweep-sb", Axis::SbSize(HWSWEEP_SBS.to_vec())),
-        mk("hwsweep-fsb", Axis::FsbEntries(HWSWEEP_FSBS.to_vec())),
-        mk("hwsweep-fss", Axis::FssEntries(HWSWEEP_FSSS.to_vec())),
+        mk(
+            "hwsweep-rob",
+            hwsweep_apps(),
+            Axis::RobSize(HWSWEEP_ROBS.to_vec()),
+        ),
+        mk(
+            "hwsweep-sb",
+            hwsweep_apps(),
+            Axis::SbSize(HWSWEEP_SBS.to_vec()),
+        ),
+        mk(
+            "hwsweep-fsb",
+            hwsweep_apps(),
+            Axis::FsbEntries(HWSWEEP_FSBS.to_vec()),
+        ),
+        mk(
+            "hwsweep-fss",
+            hwsweep_apps(),
+            Axis::FssEntries(HWSWEEP_FSSS.to_vec()),
+        ),
+        mk(
+            "hwsweep-width",
+            hwsweep_apps(),
+            Axis::IssueWidth(HWSWEEP_WIDTHS.to_vec()),
+        ),
+        mk(
+            "hwsweep-l2",
+            hwsweep_l2_apps(),
+            Axis::L2Size(HWSWEEP_L2S.to_vec()),
+        ),
     ]
 }
 
@@ -322,8 +364,17 @@ pub fn smoke_experiment() -> Experiment {
         .axis(Axis::Level(vec![1, 2]))
 }
 
+/// The litmus cross-section with the engines side by side: every cell
+/// once on the cycle simulator, once on the functional interpreter —
+/// the sweep-level face of the differential-testing story.
+pub fn backends_experiment() -> Experiment {
+    litmus_experiment()
+        .axis(Axis::Backend(vec![BackendId::Sim, BackendId::Functional]))
+        .rename("backends")
+}
+
 /// Experiments runnable by name through `sfence-sweep`.
-pub fn experiment_names() -> [&'static str; 11] {
+pub fn experiment_names() -> [&'static str; 14] {
     [
         "fig12",
         "fig13",
@@ -332,10 +383,13 @@ pub fn experiment_names() -> [&'static str; 11] {
         "fig16",
         "smoke",
         "litmus",
+        "backends",
         "hwsweep-rob",
         "hwsweep-sb",
         "hwsweep-fsb",
         "hwsweep-fss",
+        "hwsweep-width",
+        "hwsweep-l2",
     ]
 }
 
@@ -349,9 +403,9 @@ pub fn experiment_by_name(name: &str) -> Option<Experiment> {
         "fig16" => fig16_experiment(),
         "smoke" => smoke_experiment(),
         "litmus" => litmus_experiment(),
-        "hwsweep-rob" | "hwsweep-sb" | "hwsweep-fsb" | "hwsweep-fss" => {
-            hwsweep_experiments().into_iter().find(|e| e.name == name)?
-        }
+        "backends" => backends_experiment(),
+        "hwsweep-rob" | "hwsweep-sb" | "hwsweep-fsb" | "hwsweep-fss" | "hwsweep-width"
+        | "hwsweep-l2" => hwsweep_experiments().into_iter().find(|e| e.name == name)?,
         _ => return None,
     })
 }
@@ -473,20 +527,34 @@ pub fn print_bars(title: &str, data: &[AppBars]) {
 ///
 /// Further switches: `--scale small|eval` overrides the problem size
 /// (the golden CI job pins `--json --scale small` output),
-/// `--cache-dir DIR` backs the run with the content-addressed result
-/// cache (`--resume` documents the intent; cached runs always skip
-/// hit cells), `--shard I/N` runs one shard and emits indexed rows as
-/// JSONL for a parent `sfence-sweep` to merge, and `--threads N` caps
-/// the worker pool.
+/// `--backend sim|functional|enumerative` swaps the execution engine
+/// (figure renderings need cycle counts, so non-sim backends pair
+/// with `--json`/`--rows`), `--cache-dir DIR` backs the run with the
+/// content-addressed result cache (`--resume` documents the intent;
+/// cached runs always skip hit cells), `--shard I/N` runs one shard
+/// and emits indexed rows as JSONL for a parent `sfence-sweep` to
+/// merge, and `--threads N` caps the worker pool.
 pub fn figure_main(experiment: Experiment, render: impl Fn(&SweepResult), paper_notes: &[&str]) {
     let args = cli::FigureArgs::parse().unwrap_or_else(|e| {
         eprintln!("error: {e}");
         std::process::exit(2);
     });
-    let experiment = match args.scale {
-        Some(scale) => experiment.scale(scale),
-        None => experiment,
-    };
+    // The figure renderings are built from cycle counts; an untimed
+    // engine can only emit the structured rows. Shard workers are
+    // exempt: they emit indexed JSONL and never render.
+    if let Some(backend) = args.backend {
+        if !backend.timed() && !args.json && !args.rows && args.shard.is_none() {
+            eprintln!(
+                "error: --backend {} reports no cycle data; pair it with --json or --rows",
+                backend.name()
+            );
+            std::process::exit(2);
+        }
+    }
+    let experiment = args.configure(experiment).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
     let result = run_experiment(&experiment, &args).unwrap_or_else(|e| {
         eprintln!("error: {e}");
         std::process::exit(1);

@@ -1,14 +1,16 @@
-//! Content-addressed result caching: `(workload params, fence config,
-//! machine config) -> RunReport`, persisted on disk so repeated
-//! sweeps only execute cells they have never seen.
+//! Content-addressed result caching: `(backend, workload params,
+//! fence config, machine config) -> RunReport`, persisted on disk so
+//! repeated sweeps only execute cells they have never seen.
 //!
 //! **Keys.** A job's key is the SHA-256 of the compact serialization
-//! of its *canonical* JSON description — workload name, build
-//! parameters and the complete `MachineConfig` (which includes the
-//! fence config) with every object's fields sorted. Field order
-//! therefore never changes a key; any change to a value that could
-//! change the run's output does. The simulator is deterministic, so a
-//! key names exactly one possible `RunReport`.
+//! of its *canonical* JSON description — the executing backend's
+//! [`BackendId`], workload name, build parameters and the complete
+//! `MachineConfig` (which includes the fence config) with every
+//! object's fields sorted. Field order therefore never changes a key;
+//! any change to a value that could change the run's output does, and
+//! cells produced by different engines (cycle-accurate vs functional)
+//! can never collide. Every engine is deterministic, so a key names
+//! exactly one possible `RunReport`.
 //!
 //! **Store layout.** A cache directory holds append-only JSONL files;
 //! every `*.jsonl` file in the directory is read at open. Each line is
@@ -20,6 +22,7 @@
 //! `schema_version` are counted and skipped, never fatal: the cell
 //! simply re-runs and is re-appended.
 
+use crate::backend::BackendId;
 use crate::hash::sha256_hex;
 use crate::json::{self, Json};
 use crate::session::RunReport;
@@ -34,7 +37,12 @@ use std::path::{Path, PathBuf};
 /// string comes from `MachineConfig::canonical_json` (the one place
 /// that enumerates every simulator knob) and is re-parsed here so the
 /// whole document canonicalizes as a unit.
-pub fn job_canonical_json(workload: &str, params: &WorkloadParams, cfg: &MachineConfig) -> Json {
+pub fn job_canonical_json(
+    workload: &str,
+    params: &WorkloadParams,
+    cfg: &MachineConfig,
+    backend: BackendId,
+) -> Json {
     let cfg_json =
         json::parse(&cfg.canonical_json()).expect("MachineConfig::canonical_json emits valid JSON");
     // Litmus scenarios (`litmus/<family>/<seed>`) are fully
@@ -61,17 +69,31 @@ pub fn job_canonical_json(workload: &str, params: &WorkloadParams, cfg: &Machine
                 },
             )
     };
-    Json::obj()
+    let mut doc = Json::obj()
+        .field("backend", backend.name())
         .field("workload", workload)
         .field("params", params_json)
-        .field("cfg", cfg_json)
-        .canonicalize()
+        .field("cfg", cfg_json);
+    // Engine knobs that live outside the MachineConfig (the
+    // enumerator's search bounds) must key the cell too — tuning
+    // their defaults correctly invalidates previously cached cells.
+    if let Some(engine_params) = backend.cache_params() {
+        doc = doc.field("engine_params", engine_params);
+    }
+    doc.canonicalize()
 }
 
 /// Content-hash key of one sweep cell: SHA-256 over the canonical
-/// description's compact serialization, as lowercase hex.
-pub fn job_key(workload: &str, params: &WorkloadParams, cfg: &MachineConfig) -> String {
-    let canonical = job_canonical_json(workload, params, cfg).to_string_compact();
+/// description's compact serialization, as lowercase hex. The backend
+/// id is part of the description, so sim and functional cells of the
+/// same `(workload, cfg)` occupy distinct keys.
+pub fn job_key(
+    workload: &str,
+    params: &WorkloadParams,
+    cfg: &MachineConfig,
+    backend: BackendId,
+) -> String {
+    let canonical = job_canonical_json(workload, params, cfg, backend).to_string_compact();
     sha256_hex(canonical.as_bytes())
 }
 

@@ -8,6 +8,7 @@
 //! so parallel and serial runs are byte-identical once rows are
 //! placed by job index.
 
+use crate::backend::BackendId;
 use crate::cache::{job_key, ResultCache};
 use crate::json::Json;
 use crate::runner::run_indexed;
@@ -18,8 +19,8 @@ use sfence_workloads::catalog;
 use sfence_workloads::{Scale, ScopeMode, WorkloadParams};
 
 /// The swept parameter, orthogonal to the fence-config dimension.
-/// `Level` and `Scope` vary how the workload is *built*; the rest
-/// vary the machine.
+/// `Level` and `Scope` vary how the workload is *built*; `Backend`
+/// varies the execution engine; the rest vary the machine.
 #[derive(Debug, Clone, Default)]
 pub enum Axis {
     #[default]
@@ -37,6 +38,14 @@ pub enum Axis {
     /// Scope-hardware sizing sweeps (§VI-E).
     FsbEntries(Vec<usize>),
     FssEntries(Vec<usize>),
+    /// Issue/retire width sweep (both widths move together — the
+    /// machine's front/back-end width).
+    IssueWidth(Vec<usize>),
+    /// Shared L2 capacity sweep (bytes).
+    L2Size(Vec<usize>),
+    /// Execution-engine sweep: the same cells side by side under
+    /// different backends (sim vs functional differential rows).
+    Backend(Vec<BackendId>),
 }
 
 /// One concrete point of an [`Axis`].
@@ -50,6 +59,9 @@ pub enum AxisPoint {
     SbSize(usize),
     FsbEntries(usize),
     FssEntries(usize),
+    IssueWidth(usize),
+    L2Size(usize),
+    Backend(BackendId),
 }
 
 impl Axis {
@@ -63,6 +75,9 @@ impl Axis {
             Axis::SbSize(_) => "sb_size",
             Axis::FsbEntries(_) => "fsb_entries",
             Axis::FssEntries(_) => "fss_entries",
+            Axis::IssueWidth(_) => "issue_width",
+            Axis::L2Size(_) => "l2_size",
+            Axis::Backend(_) => "backend",
         }
     }
 
@@ -76,6 +91,9 @@ impl Axis {
             Axis::SbSize(v) => v.iter().map(|&x| AxisPoint::SbSize(x)).collect(),
             Axis::FsbEntries(v) => v.iter().map(|&x| AxisPoint::FsbEntries(x)).collect(),
             Axis::FssEntries(v) => v.iter().map(|&x| AxisPoint::FssEntries(x)).collect(),
+            Axis::IssueWidth(v) => v.iter().map(|&x| AxisPoint::IssueWidth(x)).collect(),
+            Axis::L2Size(v) => v.iter().map(|&x| AxisPoint::L2Size(x)).collect(),
+            Axis::Backend(v) => v.iter().map(|&x| AxisPoint::Backend(x)).collect(),
         }
     }
 }
@@ -92,7 +110,10 @@ impl AxisPoint {
             AxisPoint::RobSize(x)
             | AxisPoint::SbSize(x)
             | AxisPoint::FsbEntries(x)
-            | AxisPoint::FssEntries(x) => x.to_string(),
+            | AxisPoint::FssEntries(x)
+            | AxisPoint::IssueWidth(x)
+            | AxisPoint::L2Size(x) => x.to_string(),
+            AxisPoint::Backend(b) => b.name().into(),
         }
     }
 
@@ -111,7 +132,20 @@ impl AxisPoint {
             AxisPoint::SbSize(n) => cfg.core.sb_size = n,
             AxisPoint::FsbEntries(n) => cfg.core.scope.fsb_entries = n,
             AxisPoint::FssEntries(n) => cfg.core.scope.fss_entries = n,
+            AxisPoint::IssueWidth(n) => {
+                cfg.core.issue_width = n;
+                cfg.core.retire_width = n;
+            }
+            AxisPoint::L2Size(n) => cfg.mem.l2_size = n,
             _ => {}
+        }
+    }
+
+    /// The engine this point selects, if it is a backend point.
+    fn backend(&self) -> Option<BackendId> {
+        match *self {
+            AxisPoint::Backend(b) => Some(b),
+            _ => None,
         }
     }
 }
@@ -124,6 +158,7 @@ pub struct Experiment {
     workloads: Vec<(String, WorkloadParams)>,
     fences: Vec<FenceConfig>,
     axis: Axis,
+    backend: BackendId,
 }
 
 /// One fully-resolved unit of work.
@@ -134,6 +169,7 @@ struct Job {
     fence: FenceConfig,
     point: AxisPoint,
     cfg: MachineConfig,
+    backend: BackendId,
 }
 
 impl Experiment {
@@ -144,12 +180,28 @@ impl Experiment {
             workloads: Vec::new(),
             fences: vec![FenceConfig::TRADITIONAL, FenceConfig::SFENCE],
             axis: Axis::None,
+            backend: BackendId::Sim,
         }
     }
 
     /// Base machine configuration every job starts from.
     pub fn base(mut self, cfg: MachineConfig) -> Self {
         self.base = cfg;
+        self
+    }
+
+    /// Rename the experiment (derived experiments that reuse another
+    /// spec under their own registry name).
+    pub fn rename(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Execution engine every job runs on (default: the
+    /// cycle-accurate simulator). An [`Axis::Backend`] point
+    /// overrides this per cell.
+    pub fn backend(mut self, backend: BackendId) -> Self {
+        self.backend = backend;
         self
     }
 
@@ -220,6 +272,7 @@ impl Experiment {
                         fence,
                         point,
                         cfg,
+                        backend: point.backend().unwrap_or(self.backend),
                     });
                 }
             }
@@ -240,6 +293,20 @@ impl Experiment {
         let mut scales = self.workloads.iter().map(|(_, p)| p.scale);
         let first = scales.next()?;
         scales.all(|s| s == first).then_some(first)
+    }
+
+    /// The execution backend shared by every job of this experiment —
+    /// `None` when an [`Axis::Backend`] sweep mixes engines. Result
+    ///-store metadata records this, so history diffs only compare
+    /// runs of the same engine.
+    pub fn uniform_backend(&self) -> Option<BackendId> {
+        let mut backends = self
+            .axis
+            .points()
+            .into_iter()
+            .map(|p| p.backend().unwrap_or(self.backend));
+        let first = backends.next()?;
+        backends.all(|b| b == first).then_some(first)
     }
 
     /// Total number of runs this experiment performs.
@@ -273,13 +340,14 @@ impl Experiment {
     }
 
     /// Content-hash cache keys of every job, in job order. A key
-    /// commits to the workload name, its build parameters and the
-    /// complete machine configuration (fence config included), so a
-    /// key collision across distinct cells needs a SHA-256 collision.
+    /// commits to the executing backend, the workload name, its build
+    /// parameters and the complete machine configuration (fence
+    /// config included), so a key collision across distinct cells
+    /// needs a SHA-256 collision.
     pub fn job_keys(&self) -> Vec<String> {
         self.jobs()
             .iter()
-            .map(|job| job_key(&job.workload, &job.params, &job.cfg))
+            .map(|job| job_key(&job.workload, &job.params, &job.cfg, job.backend))
             .collect()
     }
 
@@ -308,7 +376,7 @@ impl Experiment {
             let job = &jobs[i];
             match cache.as_ref() {
                 Some(c) => {
-                    let key = job_key(&job.workload, &job.params, &job.cfg);
+                    let key = job_key(&job.workload, &job.params, &job.cfg, job.backend);
                     match c.get(&key) {
                         Some(report) => {
                             cache_hits += 1;
@@ -332,7 +400,11 @@ impl Experiment {
         let reports = run_indexed(to_run.len(), opts.threads, |k| {
             let job = &jobs[to_run[k].0];
             let built = catalog::build(&job.workload, &job.params);
-            Session::for_workload(&built).config(job.cfg.clone()).run()
+            let backend = job.backend.instantiate();
+            Session::for_workload(&built)
+                .config(job.cfg.clone())
+                .backend(backend.as_ref())
+                .run()
         });
         let mut cache_write_errors = 0;
         for ((i, key), report) in to_run.iter().zip(&reports) {
@@ -464,15 +536,18 @@ impl IndexedRow {
 }
 
 fn row_from_report(job: &Job, axis_name: &str, report: &RunReport) -> SweepRow {
+    let timed = report.cycles.is_some();
     SweepRow {
         workload: job.workload.clone(),
         fence: job.fence.label().to_string(),
         axis: axis_name.to_string(),
         value: job.point.value_string(),
+        backend: report.backend.name().to_string(),
         cycles: report.cycles,
         instrs_retired: report.total_retired(),
-        fence_stalls: report.total_fence_stalls(),
-        fence_stall_fraction: report.fence_stall_fraction(),
+        fence_stalls: timed.then(|| report.total_fence_stalls()),
+        fence_stall_fraction: timed.then(|| report.fence_stall_fraction()),
+        sc_states: report.sc_states.as_ref().map(|s| s.len() as u64),
         exit: match report.exit {
             RunExit::Completed => "completed".into(),
             RunExit::CycleLimit => "cycle_limit".into(),
@@ -480,7 +555,10 @@ fn row_from_report(job: &Job, axis_name: &str, report: &RunReport) -> SweepRow {
     }
 }
 
-/// One structured result row.
+/// One structured result row. Timing columns (`cycles`,
+/// `fence_stalls`, `fence_stall_fraction`) are absent on rows from
+/// engines without a clock — the JSON omits them rather than
+/// fabricating zeros.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepRow {
     pub workload: String,
@@ -490,14 +568,42 @@ pub struct SweepRow {
     pub axis: String,
     /// Axis value rendered as a string (empty when no axis).
     pub value: String,
-    pub cycles: u64,
+    /// Name of the engine that executed this cell.
+    pub backend: String,
+    pub cycles: Option<u64>,
     pub instrs_retired: u64,
-    pub fence_stalls: u64,
-    pub fence_stall_fraction: f64,
+    pub fence_stalls: Option<u64>,
+    pub fence_stall_fraction: Option<f64>,
+    /// Size of the SC-allowed final-state set (enumerative rows
+    /// only; the full sets live in the cached `RunReport`s).
+    pub sc_states: Option<u64>,
     pub exit: String,
 }
 
 impl SweepRow {
+    /// Cycle count of a cycle-accurate row; panics on rows from
+    /// engines without a clock.
+    pub fn timed_cycles(&self) -> u64 {
+        self.cycles.unwrap_or_else(|| {
+            panic!(
+                "row ({}, {}, {:?}) from the {} backend has no cycle count",
+                self.workload, self.fence, self.value, self.backend
+            )
+        })
+    }
+
+    /// Fence-stall fraction of a cycle-accurate row; panics on rows
+    /// from engines without a clock — like [`SweepRow::timed_cycles`],
+    /// a missing value is never silently rendered as zero.
+    pub fn timed_stall_fraction(&self) -> f64 {
+        self.fence_stall_fraction.unwrap_or_else(|| {
+            panic!(
+                "row ({}, {}, {:?}) from the {} backend has no fence-stall fraction",
+                self.workload, self.fence, self.value, self.backend
+            )
+        })
+    }
+
     pub fn to_json(&self) -> Json {
         let mut row = Json::obj()
             .field("workload", self.workload.as_str())
@@ -507,11 +613,21 @@ impl SweepRow {
                 .field("axis", self.axis.as_str())
                 .field("value", self.value.as_str());
         }
-        row.field("cycles", self.cycles)
-            .field("instrs_retired", self.instrs_retired)
-            .field("fence_stalls", self.fence_stalls)
-            .field("fence_stall_fraction", self.fence_stall_fraction)
-            .field("exit", self.exit.as_str())
+        row = row.field("backend", self.backend.as_str());
+        if let Some(cycles) = self.cycles {
+            row = row.field("cycles", cycles);
+        }
+        row = row.field("instrs_retired", self.instrs_retired);
+        if let Some(stalls) = self.fence_stalls {
+            row = row.field("fence_stalls", stalls);
+        }
+        if let Some(fraction) = self.fence_stall_fraction {
+            row = row.field("fence_stall_fraction", fraction);
+        }
+        if let Some(states) = self.sc_states {
+            row = row.field("sc_states", states);
+        }
+        row.field("exit", self.exit.as_str())
     }
 
     pub fn from_json(json: &Json) -> Result<SweepRow, String> {
@@ -521,10 +637,14 @@ impl SweepRow {
                 .map(str::to_string)
                 .ok_or_else(|| format!("missing string field {key:?}"))
         };
-        let u64_field = |key: &str| -> Result<u64, String> {
-            json.get(key)
-                .and_then(Json::as_u64)
-                .ok_or_else(|| format!("missing u64 field {key:?}"))
+        let opt_u64_field = |key: &str| -> Result<Option<u64>, String> {
+            match json.get(key) {
+                None | Some(Json::Null) => Ok(None),
+                Some(v) => v
+                    .as_u64()
+                    .map(Some)
+                    .ok_or_else(|| format!("bad u64 field {key:?}")),
+            }
         };
         Ok(SweepRow {
             workload: str_field("workload")?,
@@ -540,13 +660,18 @@ impl SweepRow {
                 .and_then(Json::as_str)
                 .unwrap_or("")
                 .to_string(),
-            cycles: u64_field("cycles")?,
-            instrs_retired: u64_field("instrs_retired")?,
-            fence_stalls: u64_field("fence_stalls")?,
-            fence_stall_fraction: json
-                .get("fence_stall_fraction")
-                .and_then(Json::as_f64)
-                .ok_or("missing f64 field \"fence_stall_fraction\"")?,
+            backend: str_field("backend")?,
+            cycles: opt_u64_field("cycles")?,
+            instrs_retired: json
+                .get("instrs_retired")
+                .and_then(Json::as_u64)
+                .ok_or("missing u64 field \"instrs_retired\"")?,
+            fence_stalls: opt_u64_field("fence_stalls")?,
+            fence_stall_fraction: match json.get("fence_stall_fraction") {
+                None | Some(Json::Null) => None,
+                Some(v) => Some(v.as_f64().ok_or("bad f64 field \"fence_stall_fraction\"")?),
+            },
+            sc_states: opt_u64_field("sc_states")?,
             exit: str_field("exit")?,
         })
     }
@@ -605,9 +730,10 @@ impl SweepResult {
             })
     }
 
-    /// Cycle count of one row (the common lookup).
+    /// Cycle count of one row (the common lookup); panics when the
+    /// row came from an engine without a clock.
     pub fn cycles(&self, workload: &str, fence: &str, value: &str) -> u64 {
-        self.row(workload, fence, value).cycles
+        self.row(workload, fence, value).timed_cycles()
     }
 
     pub fn to_json(&self) -> Json {
@@ -648,24 +774,22 @@ impl SweepResult {
             );
         }
         for r in &self.rows {
+            // Timing columns print "-" for rows from engines without
+            // a clock (functional/enumerative cells).
+            let cycles = r.cycles.map_or("-".into(), |c| c.to_string());
+            let stalls = r.fence_stalls.map_or("-".into(), |s| s.to_string());
+            let fraction = r
+                .fence_stall_fraction
+                .map_or("-".into(), |f| format!("{:.2}%", 100.0 * f));
             if has_axis {
                 out += &format!(
-                    "{:<10} {:<5} {:>12} {:>12} {:>14} {:>7.2}%\n",
-                    r.workload,
-                    r.fence,
-                    r.value,
-                    r.cycles,
-                    r.fence_stalls,
-                    100.0 * r.fence_stall_fraction
+                    "{:<10} {:<5} {:>12} {:>12} {:>14} {:>8}\n",
+                    r.workload, r.fence, r.value, cycles, stalls, fraction
                 );
             } else {
                 out += &format!(
-                    "{:<10} {:<5} {:>12} {:>14} {:>7.2}%\n",
-                    r.workload,
-                    r.fence,
-                    r.cycles,
-                    r.fence_stalls,
-                    100.0 * r.fence_stall_fraction
+                    "{:<10} {:<5} {:>12} {:>14} {:>8}\n",
+                    r.workload, r.fence, cycles, stalls, fraction
                 );
             }
         }

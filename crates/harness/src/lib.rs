@@ -8,6 +8,11 @@
 //!   and returns a [`RunReport`] — exit status, cycles, per-core /
 //!   memory / scope-unit stats, watchpoint log, retired traces and
 //!   the final memory, all JSON-serializable through [`json`].
+//!   Sessions execute through a pluggable [`Backend`] — the
+//!   cycle-accurate simulator (default), a fast functional SC
+//!   interpreter, or the SC interleaving enumerator ([`enumerate`]) —
+//!   selected per run with [`Session::backend`] / per sweep with
+//!   [`Experiment::backend`] and keyed into every cache entry.
 //! - **[`Experiment`]** (layer 2): a declarative sweep over the
 //!   workload registry (`sfence_workloads::catalog`) crossed with
 //!   fence configs and machine/workload axes, executed
@@ -33,7 +38,9 @@
 //!   [`SweepResult::from_indexed`]) into rows byte-identical to a
 //!   single-process run.
 
+pub mod backend;
 pub mod cache;
+pub mod enumerate;
 pub mod experiment;
 pub mod hash;
 pub mod json;
@@ -42,7 +49,11 @@ pub mod session;
 pub mod shard;
 pub mod store;
 
+pub use backend::{
+    Backend, BackendId, EngineOutput, EnumerativeBackend, FunctionalBackend, SimBackend,
+};
 pub use cache::{job_canonical_json, job_key, ResultCache};
+pub use enumerate::{enumerate_sc, CheckerConfig, ScOutcomes};
 pub use experiment::{
     default_threads, Axis, AxisPoint, Experiment, IndexedRow, RunOptions, RunOutcome, RunStats,
     SweepResult, SweepRow,

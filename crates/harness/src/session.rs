@@ -3,13 +3,19 @@
 //! the old `(RunSummary, Vec<i64>)` tuple — exit status, cycles,
 //! per-core/mem/scope stats, the watchpoint log, retired traces and
 //! the final memory image, all JSON-serializable.
+//!
+//! A session executes through a pluggable [`Backend`] (default: the
+//! cycle-accurate simulator); [`Session::backend`] swaps in the fast
+//! functional engine or the SC enumerator without changing anything
+//! above the session.
 
+use crate::backend::{Backend, BackendId, SimBackend};
 use crate::json::Json;
 use sfence_core::{RetiredEvent, ScopeUnitStats};
 use sfence_cpu::CoreStats;
 use sfence_isa::{Addr, ClassId, FenceKind, Program};
 use sfence_mem::CoreMemStats;
-use sfence_sim::{execute, FenceConfig, MachineConfig, RunExit, WatchEvent};
+use sfence_sim::{FenceConfig, MachineConfig, RunExit, WatchEvent};
 use sfence_workloads::BuiltWorkload;
 
 type CheckFn<'a> = &'a (dyn Fn(&Program, &[i64]) -> Result<(), String> + Send + Sync);
@@ -23,7 +29,15 @@ type CheckFn<'a> = &'a (dyn Fn(&Program, &[i64]) -> Result<(), String> + Send + 
 /// v2: [`RunReport`] gained the per-core architectural register
 /// snapshot (`regs`) — the final-state surface the litmus subsystem
 /// observes.
-pub const SCHEMA_VERSION: u64 = 2;
+///
+/// v3: execution went multi-backend. Every report carries the
+/// [`BackendId`] that produced it, `cycles` became optional (absent —
+/// not fabricated — on engines without a clock), and enumerative
+/// reports carry the SC-allowed state set (`sc_states`,
+/// `sc_states_explored`). v2 artifacts are rejected by readers —
+/// cache entries are silently skipped and re-run; stores and shard
+/// rows error out. Regenerate goldens with `regen-golden`.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// A configured run of one program on the simulated machine.
 ///
@@ -36,6 +50,7 @@ pub struct Session<'a> {
     check: Option<CheckFn<'a>>,
     cfg: MachineConfig,
     watch: Vec<Addr>,
+    backend: &'a dyn Backend,
 }
 
 impl<'a> Session<'a> {
@@ -47,6 +62,7 @@ impl<'a> Session<'a> {
             check: None,
             cfg: MachineConfig::paper_default(),
             watch: Vec::new(),
+            backend: &SimBackend,
         }
     }
 
@@ -60,7 +76,15 @@ impl<'a> Session<'a> {
             check: Some(&workload.check),
             cfg: MachineConfig::paper_default(),
             watch: Vec::new(),
+            backend: &SimBackend,
         }
+    }
+
+    /// Select the execution engine (default: the cycle-accurate
+    /// [`SimBackend`]).
+    pub fn backend(mut self, backend: &'a dyn Backend) -> Self {
+        self.backend = backend;
+        self
     }
 
     /// Replace the whole machine configuration.
@@ -108,21 +132,27 @@ impl<'a> Session<'a> {
 
     /// Execute and report. Workload sessions panic on cycle-limit
     /// exits and invariant violations, exactly like the old
-    /// `BuiltWorkload::run`.
+    /// `BuiltWorkload::run`. The enumerative backend is exempt from
+    /// both: it produces no single final memory to check, and an
+    /// exhausted state budget is an ordinary reportable outcome
+    /// (`exit = CycleLimit`), not a broken workload run.
     pub fn run(self) -> RunReport {
-        let out = execute(self.program, self.cfg, &self.watch);
+        let out = self.backend.run(self.program, &self.cfg, &self.watch);
         let report = RunReport {
-            exit: out.summary.exit,
-            cycles: out.summary.cycles,
-            core_stats: out.summary.core_stats,
-            mem_stats: out.summary.mem_stats,
-            scope_stats: out.summary.scope_stats,
+            backend: out.backend,
+            exit: out.exit,
+            cycles: out.cycles,
+            core_stats: out.core_stats,
+            mem_stats: out.mem_stats,
+            scope_stats: out.scope_stats,
             watch_log: out.watch_log,
             traces: out.traces,
             mem: out.mem,
             regs: out.regs,
+            sc_states: out.sc_states,
+            sc_states_explored: out.sc_states_explored,
         };
-        if let Some(check) = self.check {
+        if let (Some(check), true) = (self.check, report.backend != BackendId::Enumerative) {
             assert_eq!(
                 report.exit,
                 RunExit::Completed,
@@ -138,12 +168,17 @@ impl<'a> Session<'a> {
 }
 
 /// Everything one run produced, behind one typed, serializable
-/// surface.
+/// surface. Fields an engine does not model are empty/absent —
+/// see [`crate::backend::EngineOutput`] for the per-backend contract.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
+    /// The engine that produced this report.
+    pub backend: BackendId,
     pub exit: RunExit,
-    /// Total execution time: the cycle at which the last core drained.
-    pub cycles: u64,
+    /// Total execution time: the cycle at which the last core
+    /// drained. `None` on engines without a clock (functional,
+    /// enumerative) — absent, never fabricated.
+    pub cycles: Option<u64>,
     pub core_stats: Vec<CoreStats>,
     pub mem_stats: CoreMemStats,
     pub scope_stats: Vec<ScopeUnitStats>,
@@ -151,16 +186,32 @@ pub struct RunReport {
     pub watch_log: Vec<WatchEvent>,
     /// Per-core retired-event traces (empty unless tracing was on).
     pub traces: Vec<Vec<RetiredEvent>>,
-    /// Final flat memory image.
+    /// Final flat memory image (empty on the enumerative backend).
     pub mem: Vec<i64>,
     /// Per-core architectural register snapshot (retired state) at
     /// the end of the run.
     pub regs: Vec<Vec<i64>>,
+    /// The complete SC-allowed final-state set (enumerative only).
+    pub sc_states: Option<Vec<Vec<i64>>>,
+    /// Distinct states the enumeration visited (enumerative only).
+    pub sc_states_explored: Option<u64>,
 }
 
 impl RunReport {
     pub fn completed(&self) -> bool {
         self.exit == RunExit::Completed
+    }
+
+    /// Cycle count of a cycle-accurate run; panics on reports from
+    /// engines without a clock — call sites comparing timing are
+    /// sim-only by construction.
+    pub fn timed_cycles(&self) -> u64 {
+        self.cycles.unwrap_or_else(|| {
+            panic!(
+                "report from the {} backend has no cycle count",
+                self.backend
+            )
+        })
     }
 
     /// Read a word of the final memory.
@@ -181,9 +232,10 @@ impl RunReport {
     }
 
     /// Average across active cores of the fraction of cycles stalled
-    /// on fences (the paper's "Fence Stalls" bar component).
+    /// on fences (the paper's "Fence Stalls" bar component). Zero on
+    /// engines without a clock.
     pub fn fence_stall_fraction(&self) -> f64 {
-        sfence_sim::fence_stall_fraction(&self.core_stats, self.cycles)
+        sfence_sim::fence_stall_fraction(&self.core_stats, self.cycles.unwrap_or(0))
     }
 
     /// Aggregate fence stall cycles.
@@ -201,8 +253,9 @@ impl RunReport {
     pub fn to_json(&self) -> Json {
         Json::obj()
             .field("schema_version", SCHEMA_VERSION)
+            .field("backend", self.backend.name())
             .field("exit", exit_str(self.exit))
-            .field("cycles", self.cycles)
+            .field("cycles", opt_u64_to_json(self.cycles))
             .field(
                 "core_stats",
                 Json::Arr(self.core_stats.iter().map(core_stats_to_json).collect()),
@@ -238,6 +291,22 @@ impl RunReport {
                         .collect(),
                 ),
             )
+            .field(
+                "sc_states",
+                match &self.sc_states {
+                    None => Json::Null,
+                    Some(states) => Json::Arr(
+                        states
+                            .iter()
+                            .map(|s| Json::Arr(s.iter().map(|&w| Json::Int(w)).collect()))
+                            .collect(),
+                    ),
+                },
+            )
+            .field(
+                "sc_states_explored",
+                opt_u64_to_json(self.sc_states_explored),
+            )
     }
 
     pub fn from_json(json: &Json) -> Result<RunReport, String> {
@@ -248,8 +317,9 @@ impl RunReport {
             ));
         }
         Ok(RunReport {
+            backend: BackendId::parse(get_str(json, "backend")?)?,
             exit: exit_from_str(get_str(json, "exit")?)?,
-            cycles: get_u64(json, "cycles")?,
+            cycles: get_opt_u64(json, "cycles")?,
             core_stats: get_arr(json, "core_stats")?
                 .iter()
                 .map(core_stats_from_json)
@@ -287,6 +357,23 @@ impl RunReport {
                         .collect::<Result<Vec<_>, _>>()
                 })
                 .collect::<Result<_, _>>()?,
+            sc_states: match json.get("sc_states") {
+                None | Some(Json::Null) => None,
+                Some(v) => Some(
+                    v.as_arr()
+                        .ok_or("sc_states is not an array")?
+                        .iter()
+                        .map(|s| {
+                            s.as_arr()
+                                .ok_or_else(|| "sc state is not an array".to_string())?
+                                .iter()
+                                .map(|w| w.as_i64().ok_or_else(|| "bad sc state word".to_string()))
+                                .collect::<Result<Vec<_>, _>>()
+                        })
+                        .collect::<Result<_, _>>()?,
+                ),
+            },
+            sc_states_explored: get_opt_u64(json, "sc_states_explored")?,
         })
     }
 }
@@ -529,5 +616,5 @@ pub fn speedup_s_over_t(w: &BuiltWorkload, base: &MachineConfig) -> f64 {
         .config(base.clone())
         .fence(FenceConfig::SFENCE)
         .run();
-    t.cycles as f64 / s.cycles as f64
+    t.timed_cycles() as f64 / s.timed_cycles() as f64
 }

@@ -5,7 +5,7 @@
 //! in stable row order:
 //!
 //! ```text
-//! {"kind":"meta","schema_version":1,"experiment":"fig12","axis":"level","scale":"eval","git":"v0.1.0-3-gabc","timestamp":1700000000,"rows":48}
+//! {"kind":"meta","schema_version":3,"experiment":"fig12","axis":"level","scale":"eval","backend":"sim","git":"v0.1.0-3-gabc","timestamp":1700000000,"rows":48}
 //! {"kind":"row","row":{"workload":"dekker","fence":"T",...}}
 //! ...
 //! ```
@@ -43,6 +43,11 @@ pub struct RunMeta {
     /// identity a diff matches on: cycle counts across scales are
     /// incomparable.
     pub scale: String,
+    /// Execution backend the run used (`sim` / `functional` /
+    /// `enumerative`, or `mixed` for `Axis::Backend` sweeps). Part of
+    /// the identity a diff matches on for the same reason as `scale`:
+    /// rows from different engines are incomparable.
+    pub backend: String,
     /// `git describe` (or whatever provenance string the caller
     /// injects).
     pub git: String,
@@ -56,6 +61,7 @@ impl RunMeta {
         experiment: impl Into<String>,
         axis: impl Into<String>,
         scale: impl Into<String>,
+        backend: impl Into<String>,
         git: impl Into<String>,
         timestamp: u64,
     ) -> RunMeta {
@@ -63,6 +69,7 @@ impl RunMeta {
             experiment: experiment.into(),
             axis: axis.into(),
             scale: scale.into(),
+            backend: backend.into(),
             git: git.into(),
             timestamp,
             schema_version: SCHEMA_VERSION,
@@ -116,6 +123,7 @@ impl ResultStore {
             .field("experiment", meta.experiment.as_str())
             .field("axis", meta.axis.as_str())
             .field("scale", meta.scale.as_str())
+            .field("backend", meta.backend.as_str())
             .field("git", meta.git.as_str())
             .field("timestamp", meta.timestamp)
             .field("rows", result.rows.len())
@@ -237,16 +245,20 @@ impl ResultStore {
             .find(|run| run.meta.experiment == experiment))
     }
 
-    /// The most recent stored run of `experiment` at `scale` — the
-    /// lookup diffing uses, since cycle counts across scales are
-    /// incomparable.
-    pub fn latest_at(&self, experiment: &str, scale: &str) -> Result<Option<StoredRun>, String> {
-        Ok(self
-            .read()?
-            .runs
-            .into_iter()
-            .rev()
-            .find(|run| run.meta.experiment == experiment && run.meta.scale == scale))
+    /// The most recent stored run of `experiment` at `scale` on
+    /// `backend` — the lookup diffing uses, since cycle counts across
+    /// scales (or engines) are incomparable.
+    pub fn latest_at(
+        &self,
+        experiment: &str,
+        scale: &str,
+        backend: &str,
+    ) -> Result<Option<StoredRun>, String> {
+        Ok(self.read()?.runs.into_iter().rev().find(|run| {
+            run.meta.experiment == experiment
+                && run.meta.scale == scale
+                && run.meta.backend == backend
+        }))
     }
 }
 
@@ -268,6 +280,7 @@ fn parse_meta(doc: &Json) -> Result<(RunMeta, u64), String> {
         experiment: get_str(doc, "experiment")?,
         axis: get_str(doc, "axis")?,
         scale: get_str(doc, "scale")?,
+        backend: get_str(doc, "backend")?,
         git: get_str(doc, "git")?,
         timestamp: doc
             .get("timestamp")
@@ -307,17 +320,26 @@ impl SweepDiff {
 
     /// Human-readable one-line-per-entry rendering.
     pub fn to_report(&self) -> String {
+        // Untimed rows (functional/enumerative cells) have no cycle
+        // count to print.
+        let fmt = |v: Option<u64>| v.map_or("-".to_string(), |x| x.to_string());
         let mut out = String::new();
         for row in &self.removed {
             out += &format!(
                 "- {} {} {}: {} cycles\n",
-                row.workload, row.fence, row.value, row.cycles
+                row.workload,
+                row.fence,
+                row.value,
+                fmt(row.cycles)
             );
         }
         for row in &self.added {
             out += &format!(
                 "+ {} {} {}: {} cycles\n",
-                row.workload, row.fence, row.value, row.cycles
+                row.workload,
+                row.fence,
+                row.value,
+                fmt(row.cycles)
             );
         }
         for change in &self.changed {
@@ -326,10 +348,10 @@ impl SweepDiff {
                 change.new.workload,
                 change.new.fence,
                 change.new.value,
-                change.old.cycles,
-                change.new.cycles,
-                change.old.fence_stalls,
-                change.new.fence_stalls,
+                fmt(change.old.cycles),
+                fmt(change.new.cycles),
+                fmt(change.old.fence_stalls),
+                fmt(change.new.fence_stalls),
             );
         }
         out

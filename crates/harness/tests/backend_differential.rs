@@ -1,0 +1,155 @@
+//! Cross-backend differential suite: every registry workload (at
+//! `Scale::Small`, fences enabled) runs under both the cycle-accurate
+//! `SimBackend` and the functional SC `FunctionalBackend`, and the
+//! two engines must agree on everything that is schedule-independent:
+//!
+//! - both complete and pass the workload's invariant checker (the
+//!   `Session` enforces this on every run);
+//! - the observed (`obs_*`) state is identical;
+//! - for workloads whose final memory is a function of the program
+//!   alone (no CAS races deciding *which* thread does what), the
+//!   entire final memory image is bit-identical. Racy workloads
+//!   (work stealing, lock-free queues/sets, graph races) legitimately
+//!   differ in who-did-what bookkeeping — there the invariant checker
+//!   is the schedule-independent equivalence, and this suite pins
+//!   that both engines satisfy it.
+//!
+//! Litmus scenarios close the loop with the third engine: the
+//! functional backend's observed state must be in the enumerative
+//! backend's SC-allowed set for every family.
+
+use sfence_harness::{
+    Axis, BackendId, EnumerativeBackend, Experiment, FunctionalBackend, RunReport, Session,
+};
+use sfence_sim::{FenceConfig, MachineConfig};
+use sfence_workloads::litmus::FAMILIES;
+use sfence_workloads::{catalog, BuiltWorkload, WorkloadParams};
+
+fn run_both(built: &BuiltWorkload) -> (RunReport, RunReport) {
+    let cfg = MachineConfig::paper_default().with_fence(FenceConfig::SFENCE);
+    let sim = Session::for_workload(built).config(cfg.clone()).run();
+    let fun = Session::for_workload(built)
+        .config(cfg)
+        .backend(&FunctionalBackend)
+        .run();
+    (sim, fun)
+}
+
+/// Workloads whose final memory is schedule-independent: every store
+/// a thread performs is determined by the program, not by which
+/// thread wins a race.
+const MEM_DETERMINISTIC: [&str; 2] = ["dekker", "barnes"];
+
+#[test]
+fn every_registry_workload_agrees_across_backends() {
+    for w in &catalog::REGISTRY {
+        let built = catalog::build(w.name(), &WorkloadParams::small());
+        // `Session::for_workload` already asserts completion and the
+        // workload invariants on both engines.
+        let (sim, fun) = run_both(&built);
+        assert!(sim.completed() && fun.completed(), "{}", w.name());
+        assert_eq!(
+            sim.observed_state(&built.program),
+            fun.observed_state(&built.program),
+            "{}: observed state must not depend on the engine",
+            w.name()
+        );
+        assert_eq!(sim.backend, BackendId::Sim);
+        assert_eq!(fun.backend, BackendId::Functional);
+        assert!(sim.cycles.is_some(), "{}: sim must report time", w.name());
+        assert_eq!(fun.cycles, None, "{}: no fabricated cycles", w.name());
+        if MEM_DETERMINISTIC.contains(&w.name()) {
+            assert_eq!(
+                sim.mem,
+                fun.mem,
+                "{}: schedule-independent workload must agree on all of memory",
+                w.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn every_litmus_family_agrees_with_the_enumerator() {
+    let enumerator = EnumerativeBackend::default();
+    for family in FAMILIES {
+        let name = format!("litmus/{}/0", family.name());
+        let built = catalog::build(&name, &WorkloadParams::small());
+        let cfg = MachineConfig::paper_default().with_fence(FenceConfig::SFENCE);
+        let fun = Session::for_workload(&built)
+            .config(cfg.clone())
+            .backend(&FunctionalBackend)
+            .run();
+        let en = Session::for_workload(&built)
+            .config(cfg)
+            .backend(&enumerator)
+            .run();
+        assert!(en.completed(), "{name}: enumeration incomplete");
+        let allowed = en.sc_states.expect("enumerative report carries the set");
+        let observed = fun.observed_state(&built.program);
+        assert!(
+            allowed.binary_search(&observed).is_ok(),
+            "{name}: functional (SC) outcome {observed:?} not in the SC set {allowed:?}"
+        );
+    }
+}
+
+/// An `Axis::Backend` sweep puts the engines side by side in one
+/// result: same workload and config, one row per backend, rows
+/// carrying exactly the fields their engine measures.
+#[test]
+fn backend_axis_produces_side_by_side_rows() {
+    let exp = Experiment::new("backend-axis")
+        .workloads(["dekker"], WorkloadParams::small())
+        .fences(vec![FenceConfig::SFENCE])
+        .axis(Axis::Backend(vec![BackendId::Sim, BackendId::Functional]));
+    assert_eq!(exp.job_count(), 2);
+    let result = exp.run_parallel();
+    let sim_row = result.row("dekker", "S", "sim");
+    let fun_row = result.row("dekker", "S", "functional");
+    assert_eq!(sim_row.backend, "sim");
+    assert_eq!(fun_row.backend, "functional");
+    assert!(sim_row.cycles.is_some() && sim_row.fence_stalls.is_some());
+    assert!(fun_row.cycles.is_none() && fun_row.fence_stalls.is_none());
+    assert!(fun_row.instrs_retired > 0, "real architectural counts");
+    // Serialization round-trips the mixed-backend rows.
+    let json = result.to_json_string();
+    let parsed = sfence_harness::json::parse(&json).unwrap();
+    assert!(parsed.get("rows").is_some());
+}
+
+/// A whole experiment moved onto the functional backend executes zero
+/// cycle-accurate cells and reports untimed rows throughout.
+#[test]
+fn functional_experiment_runs_registry_workloads() {
+    let exp = Experiment::new("functional-sweep")
+        .workloads(["dekker", "msn", "wsq"], WorkloadParams::small())
+        .fences(vec![FenceConfig::TRADITIONAL, FenceConfig::SFENCE])
+        .backend(BackendId::Functional);
+    let result = exp.run_parallel();
+    assert_eq!(result.rows.len(), 6);
+    for row in &result.rows {
+        assert_eq!(row.backend, "functional");
+        assert_eq!(row.cycles, None);
+        assert_eq!(row.exit, "completed");
+        assert!(row.instrs_retired > 0);
+    }
+}
+
+/// An exhausted enumeration budget on a workload session is a
+/// reportable outcome (`exit = cycle_limit`), not a panic: sweeps
+/// over the enumerative backend emit rows instead of aborting.
+#[test]
+fn enumerative_budget_exhaustion_reports_not_panics() {
+    use sfence_harness::CheckerConfig;
+
+    let built = catalog::build("dekker", &WorkloadParams::small());
+    let tiny = EnumerativeBackend::new(CheckerConfig {
+        max_states: 50,
+        ..Default::default()
+    });
+    let report = Session::for_workload(&built).backend(&tiny).run();
+    assert!(!report.completed(), "50 states cannot cover dekker");
+    assert_eq!(report.backend, BackendId::Enumerative);
+    assert!(report.sc_states_explored.unwrap() > 0);
+}

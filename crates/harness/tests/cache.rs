@@ -4,7 +4,8 @@
 
 use sfence_harness::json::{self, Json};
 use sfence_harness::{
-    hash, job_canonical_json, job_key, Axis, Experiment, ResultCache, RunOptions, SweepResult,
+    hash, job_canonical_json, job_key, Axis, BackendId, Experiment, ResultCache, RunOptions,
+    SweepResult,
 };
 use sfence_sim::{FenceConfig, MachineConfig};
 use sfence_workloads::WorkloadParams;
@@ -58,23 +59,30 @@ fn hash_is_stable_across_field_reorderings() {
 fn job_keys_separate_every_dimension() {
     let params = WorkloadParams::small();
     let cfg = MachineConfig::paper_default();
-    let base = job_key("dekker", &params, &cfg);
+    let base = job_key("dekker", &params, &cfg, BackendId::Sim);
     // Same inputs -> same key.
-    assert_eq!(base, job_key("dekker", &params, &cfg));
+    assert_eq!(base, job_key("dekker", &params, &cfg, BackendId::Sim));
     // Workload, params and machine config each move the key.
-    assert_ne!(base, job_key("msn", &params, &cfg));
-    assert_ne!(base, job_key("dekker", &params.level(5), &cfg));
+    assert_ne!(base, job_key("msn", &params, &cfg, BackendId::Sim));
+    assert_ne!(
+        base,
+        job_key("dekker", &params.level(5), &cfg, BackendId::Sim)
+    );
     assert_ne!(
         base,
         job_key(
             "dekker",
             &params,
-            &cfg.clone().with_fence(FenceConfig::TRADITIONAL)
+            &cfg.clone().with_fence(FenceConfig::TRADITIONAL),
+            BackendId::Sim,
         )
     );
-    assert_ne!(base, job_key("dekker", &params, &cfg.clone().with_rob(64)));
+    assert_ne!(
+        base,
+        job_key("dekker", &params, &cfg.clone().with_rob(64), BackendId::Sim)
+    );
     // The canonical description is itself in canonical (sorted) form.
-    let canon = job_canonical_json("dekker", &params, &cfg);
+    let canon = job_canonical_json("dekker", &params, &cfg, BackendId::Sim);
     assert_eq!(
         canon.to_string_compact(),
         canon.clone().canonicalize().to_string_compact()
@@ -168,20 +176,121 @@ fn litmus_keys_ignore_the_noop_workload_params() {
     // the builder ignores WorkloadParams, so neither scale nor level
     // may fork the key — while the machine config still must.
     let cfg = MachineConfig::paper_default();
-    let a = job_key("litmus/sb/7", &WorkloadParams::small(), &cfg);
-    let b = job_key("litmus/sb/7", &WorkloadParams::default(), &cfg);
+    let a = job_key(
+        "litmus/sb/7",
+        &WorkloadParams::small(),
+        &cfg,
+        BackendId::Sim,
+    );
+    let b = job_key(
+        "litmus/sb/7",
+        &WorkloadParams::default(),
+        &cfg,
+        BackendId::Sim,
+    );
     assert_eq!(a, b, "no-op params must not fork litmus cache keys");
-    let c = job_key("litmus/sb/8", &WorkloadParams::small(), &cfg);
+    let c = job_key(
+        "litmus/sb/8",
+        &WorkloadParams::small(),
+        &cfg,
+        BackendId::Sim,
+    );
     assert_ne!(a, c, "the seed (via the name) must key the cell");
     let d = job_key(
         "litmus/sb/7",
         &WorkloadParams::small(),
         &cfg.clone().with_fence(FenceConfig::TRADITIONAL),
+        BackendId::Sim,
     );
     assert_ne!(a, d, "the machine config must still key the cell");
 
     // Table IV benchmarks keep keying on their build parameters.
-    let e = job_key("dekker", &WorkloadParams::small(), &cfg);
-    let f = job_key("dekker", &WorkloadParams::default(), &cfg);
+    let e = job_key("dekker", &WorkloadParams::small(), &cfg, BackendId::Sim);
+    let f = job_key("dekker", &WorkloadParams::default(), &cfg, BackendId::Sim);
     assert_ne!(e, f);
+}
+
+#[test]
+fn backend_id_forks_the_cache_key() {
+    // The same cell under different engines must occupy distinct
+    // keys: a functional result can never answer (or poison) a
+    // cycle-accurate query.
+    let params = WorkloadParams::small();
+    let cfg = MachineConfig::paper_default();
+    let sim = job_key("dekker", &params, &cfg, BackendId::Sim);
+    let fun = job_key("dekker", &params, &cfg, BackendId::Functional);
+    let en = job_key("dekker", &params, &cfg, BackendId::Enumerative);
+    assert_ne!(sim, fun);
+    assert_ne!(sim, en);
+    assert_ne!(fun, en);
+    // The backend is part of the canonical description itself.
+    let canon = job_canonical_json("dekker", &params, &cfg, BackendId::Functional);
+    assert_eq!(
+        canon.get("backend").and_then(Json::as_str),
+        Some("functional")
+    );
+}
+
+#[test]
+fn sim_and_functional_cells_coexist_in_one_cache() {
+    let dir = scratch_dir("backends");
+    let exp = Experiment::new("backend-cache-test")
+        .workloads(["dekker"], WorkloadParams::small())
+        .fences(vec![FenceConfig::SFENCE])
+        .axis(Axis::Backend(vec![BackendId::Sim, BackendId::Functional]));
+
+    let mut cache = ResultCache::open(&dir).unwrap();
+    let first = exp.run_with(RunOptions::new(2).cache(&mut cache));
+    assert_eq!(first.stats.executed, 2, "one sim cell, one functional cell");
+
+    // Both land in the cache under their own keys; a second run of
+    // either backend alone hits without executing.
+    let mut cache = ResultCache::open(&dir).unwrap();
+    assert_eq!(cache.len(), 2);
+    for backend in [BackendId::Sim, BackendId::Functional] {
+        let one = Experiment::new("backend-cache-test")
+            .workloads(["dekker"], WorkloadParams::small())
+            .fences(vec![FenceConfig::SFENCE])
+            .backend(backend);
+        let out = one.run_with(RunOptions::new(1).cache(&mut cache));
+        assert_eq!(out.stats.executed, 0, "{}: must hit", backend.name());
+        assert_eq!(out.stats.cache_hits, 1);
+        assert_eq!(out.rows[0].row.backend, backend.name());
+        assert_eq!(
+            out.rows[0].row.cycles.is_some(),
+            backend == BackendId::Sim,
+            "only the sim row carries cycles"
+        );
+    }
+}
+
+#[test]
+fn old_schema_v2_entries_are_skipped_not_fatal() {
+    let dir = scratch_dir("v2");
+    // A realistic-looking v2 line (u64 cycles, no backend field) from
+    // before the multi-backend schema bump: it must be skipped and
+    // re-run, never parsed into a v3 report and never an error.
+    std::fs::write(
+        dir.join("old.jsonl"),
+        concat!(
+            r#"{"key":"deadbeef","report":{"schema_version":2,"exit":"completed","#,
+            r#""cycles":123,"core_stats":[],"mem_stats":{},"scope_stats":[],"#,
+            r#""watch_log":[],"traces":[],"mem":[],"regs":[]}}"#,
+            "\n"
+        ),
+    )
+    .unwrap();
+    let cache = ResultCache::open(&dir).unwrap();
+    assert!(cache.is_empty(), "v2 entries must not load");
+    assert_eq!(cache.skipped_lines(), 1);
+
+    // The poisoned directory still serves a normal run/hit cycle.
+    let exp = small_experiment();
+    let mut cache = ResultCache::open(&dir).unwrap();
+    let first = exp.run_with(RunOptions::new(2).cache(&mut cache));
+    assert_eq!(first.stats.executed, exp.job_count());
+    let mut cache = ResultCache::open(&dir).unwrap();
+    let second = exp.run_with(RunOptions::new(2).cache(&mut cache));
+    assert_eq!(second.stats.cache_hits, exp.job_count());
+    assert_eq!(second.stats.executed, 0);
 }

@@ -38,7 +38,8 @@ fn sweep_rows_match_direct_session_runs() {
         let report = Session::for_workload(&w).fence(fence).run();
         let row = result.row(name, fence.label(), &level.to_string());
         assert_eq!(row.cycles, report.cycles);
-        assert_eq!(row.fence_stalls, report.total_fence_stalls());
+        assert_eq!(row.backend, "sim");
+        assert_eq!(row.fence_stalls, Some(report.total_fence_stalls()));
         assert_eq!(row.instrs_retired, report.total_retired());
         assert_eq!(row.exit, "completed");
     }

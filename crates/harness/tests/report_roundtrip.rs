@@ -69,3 +69,48 @@ fn compact_and_pretty_agree() {
     let pretty = json::parse(&report.to_json().to_string_pretty()).unwrap();
     assert_eq!(compact, pretty);
 }
+
+/// Reports from the untimed engines round-trip too: absent cycle
+/// fields stay absent, the backend tag survives, and enumerative
+/// reports carry their SC state set through JSON unchanged.
+#[test]
+fn functional_and_enumerative_reports_round_trip() {
+    use sfence_harness::{EnumerativeBackend, FunctionalBackend};
+
+    let mut p = IrProgram::new();
+    let data = p.shared_line("data");
+    let flag = p.shared_line("flag");
+    let od = p.observer("data");
+    p.thread(move |b| {
+        b.store(data.cell(), c(9));
+        b.fence();
+        b.store(flag.cell(), c(1));
+        b.halt();
+    });
+    p.thread(move |b| {
+        b.spin_until(ld(flag.cell()).eq(c(1)));
+        b.fence();
+        b.store(od.cell(), ld(data.cell()));
+        b.halt();
+    });
+    let prog = p.compile(&CompileOpts::default()).unwrap();
+
+    let functional = Session::for_program(&prog)
+        .cores(2)
+        .backend(&FunctionalBackend)
+        .run();
+    assert_eq!(functional.cycles, None);
+    let enumerative = Session::for_program(&prog)
+        .cores(2)
+        .backend(&EnumerativeBackend::default())
+        .run();
+    assert_eq!(enumerative.sc_states.as_deref(), Some(&[vec![9]][..]));
+
+    for report in [functional, enumerative] {
+        let text = report.to_json().to_string_pretty();
+        let parsed = json::parse(&text).expect("report JSON parses");
+        let back = RunReport::from_json(&parsed).expect("report deserializes");
+        assert_eq!(back, report);
+        assert_eq!(back.to_json().to_string_pretty(), text);
+    }
+}

@@ -136,7 +136,7 @@ fn store_round_trips_and_diffs() {
     let exp = small_experiment();
     let result = exp.run_parallel();
 
-    let meta = RunMeta::new("shard-test", "level", "small", "v-test", 1234);
+    let meta = RunMeta::new("shard-test", "level", "small", "sim", "v-test", 1234);
     store.append(&meta, &result).unwrap();
     store.append(&meta, &result).unwrap();
 
@@ -152,11 +152,14 @@ fn store_round_trips_and_diffs() {
 
     // A changed cell shows up in the diff; so do added/removed rows.
     let mut moved = result.clone();
-    moved.rows[0].cycles += 1;
+    moved.rows[0].cycles = moved.rows[0].cycles.map(|c| c + 1);
     let extra = moved.rows.pop().unwrap();
     let diff = diff_rows(&latest.rows, &moved.rows);
     assert_eq!(diff.changed.len(), 1);
-    assert_eq!(diff.changed[0].new.cycles, diff.changed[0].old.cycles + 1);
+    assert_eq!(
+        diff.changed[0].new.cycles,
+        diff.changed[0].old.cycles.map(|c| c + 1)
+    );
     assert_eq!(diff.removed.len(), 1);
     assert_eq!(diff.removed[0], extra);
     assert!(diff.added.is_empty());
@@ -171,23 +174,68 @@ fn store_matches_diff_history_by_scale() {
     let result = exp.run_parallel();
     store
         .append(
-            &RunMeta::new("shard-test", "level", "small", "g1", 1),
+            &RunMeta::new("shard-test", "level", "small", "sim", "g1", 1),
             &result,
         )
         .unwrap();
     store
         .append(
-            &RunMeta::new("shard-test", "level", "eval", "g2", 2),
+            &RunMeta::new("shard-test", "level", "eval", "sim", "g2", 2),
             &result,
         )
         .unwrap();
     // Diffing must pick the latest run of the *same scale*, not just
     // the latest run of the experiment.
-    let at_small = store.latest_at("shard-test", "small").unwrap().unwrap();
+    let at_small = store
+        .latest_at("shard-test", "small", "sim")
+        .unwrap()
+        .unwrap();
     assert_eq!(at_small.meta.git, "g1");
-    let at_eval = store.latest_at("shard-test", "eval").unwrap().unwrap();
+    let at_eval = store
+        .latest_at("shard-test", "eval", "sim")
+        .unwrap()
+        .unwrap();
     assert_eq!(at_eval.meta.git, "g2");
-    assert!(store.latest_at("shard-test", "default").unwrap().is_none());
+    assert!(store
+        .latest_at("shard-test", "default", "sim")
+        .unwrap()
+        .is_none());
+}
+
+#[test]
+fn store_matches_diff_history_by_backend() {
+    // Sim and functional runs of one experiment are separate
+    // histories: a functional run must never become (or diff
+    // against) the sim baseline.
+    let dir = scratch_dir("backends");
+    let store = ResultStore::new(dir.join("results.jsonl"));
+    let result = small_experiment().run_parallel();
+    store
+        .append(
+            &RunMeta::new("shard-test", "level", "small", "sim", "g-sim", 1),
+            &result,
+        )
+        .unwrap();
+    store
+        .append(
+            &RunMeta::new("shard-test", "level", "small", "functional", "g-fn", 2),
+            &result,
+        )
+        .unwrap();
+    let at_sim = store
+        .latest_at("shard-test", "small", "sim")
+        .unwrap()
+        .unwrap();
+    assert_eq!(at_sim.meta.git, "g-sim");
+    let at_fn = store
+        .latest_at("shard-test", "small", "functional")
+        .unwrap()
+        .unwrap();
+    assert_eq!(at_fn.meta.git, "g-fn");
+    assert!(store
+        .latest_at("shard-test", "small", "enumerative")
+        .unwrap()
+        .is_none());
 }
 
 #[test]
@@ -199,7 +247,7 @@ fn run_killed_mid_append_is_dropped_on_read() {
     let result = exp.run_parallel();
     store
         .append(
-            &RunMeta::new("shard-test", "level", "small", "g", 0),
+            &RunMeta::new("shard-test", "level", "small", "sim", "g", 0),
             &result,
         )
         .unwrap();
@@ -253,7 +301,7 @@ fn malformed_meta_lines_are_skipped_not_fatal() {
     std::fs::write(&path, "{\"kind\":\"meta\",\"x\":1}\n").unwrap();
     store
         .append(
-            &RunMeta::new("shard-test", "level", "small", "g", 0),
+            &RunMeta::new("shard-test", "level", "small", "sim", "g", 0),
             &result,
         )
         .unwrap();
@@ -272,7 +320,7 @@ fn store_skips_torn_tail_lines() {
     let result = exp.run_parallel();
     store
         .append(
-            &RunMeta::new("shard-test", "level", "small", "g", 0),
+            &RunMeta::new("shard-test", "level", "small", "sim", "g", 0),
             &result,
         )
         .unwrap();

@@ -4,6 +4,7 @@
 //! sfence-litmus [--families all|mp,sb,...]  scenario families (default: all)
 //!               [--seeds N]                 seeds per family (default: 10)
 //!               [--threads N]               worker threads (default: one per CPU)
+//!               [--backend sim|functional]  execution engine (default: sim)
 //!               [--shard I/N]               run one shard; emit indexed JSONL cases
 //!               [--json]                    machine-readable campaign verdict
 //!               [--list-families]           print the families and exit
@@ -15,6 +16,12 @@
 //! `S-nofence` (fences stripped), and judges each observed final
 //! state against the SC reference checker's allowed set.
 //!
+//! `--backend functional` runs the matrix on the fast SC interpreter
+//! instead of the cycle simulator: every observed state must then be
+//! SC-allowed (it cross-checks the interpreter against the
+//! enumerator), and the relaxed-outcome demonstration requirement is
+//! waived — an SC engine cannot exhibit relaxation.
+//!
 //! Output is deterministic: byte-identical across `--threads`
 //! choices, and `--shard` outputs (JSONL, tagged with case indices)
 //! merge into exactly the unsharded document.
@@ -24,7 +31,7 @@
 //! or a non-covering family failed to demonstrate any relaxed
 //! outcome.
 
-use sfence_harness::{default_threads, Json, Shard};
+use sfence_harness::{default_threads, BackendId, Json, Shard};
 use sfence_litmus::{
     case_to_json, cases, parse_families, run_campaign, run_case, Campaign, CheckerConfig, Family,
     FAMILIES,
@@ -34,6 +41,7 @@ struct Args {
     families: Vec<Family>,
     seeds: u64,
     threads: Option<usize>,
+    backend: BackendId,
     shard: Option<Shard>,
     json: bool,
     list: bool,
@@ -44,6 +52,7 @@ fn parse_args() -> Result<Args, String> {
         families: FAMILIES.to_vec(),
         seeds: 10,
         threads: None,
+        backend: BackendId::Sim,
         shard: None,
         json: false,
         list: false,
@@ -59,6 +68,15 @@ fn parse_args() -> Result<Args, String> {
                 args.seeds = take(&mut it, "--seeds")?
                     .parse()
                     .map_err(|_| "--seeds expects a non-negative integer".to_string())?;
+            }
+            "--backend" => {
+                let backend = BackendId::parse(&take(&mut it, "--backend")?)?;
+                if backend == BackendId::Enumerative {
+                    // The enumerator already judges every case; it is
+                    // not an execution engine for the matrix.
+                    return Err("--backend expects sim or functional".into());
+                }
+                args.backend = backend;
             }
             "--threads" => {
                 let n: usize = take(&mut it, "--threads")?
@@ -81,7 +99,10 @@ fn parse_args() -> Result<Args, String> {
 fn main() {
     let args = parse_args().unwrap_or_else(|e| {
         eprintln!("error: {e}");
-        eprintln!("usage: sfence-litmus [--families all|a,b] [--seeds N] [--shard I/N] [--json]");
+        eprintln!(
+            "usage: sfence-litmus [--families all|a,b] [--seeds N] [--backend sim|functional] \
+             [--shard I/N] [--json]"
+        );
         std::process::exit(2);
     });
     if args.list {
@@ -109,7 +130,7 @@ fn run(args: &Args) -> Result<(), String> {
         // per shard.
         let selected: Vec<usize> = (0..list.len()).filter(|&i| shard.contains(i)).collect();
         let verdicts = sfence_harness::run_indexed(selected.len(), threads, |k| {
-            run_case(list[selected[k]], &checker)
+            run_case(list[selected[k]], &checker, args.backend)
         });
         let mut out = String::new();
         for (k, verdict) in verdicts.into_iter().enumerate() {
@@ -124,7 +145,7 @@ fn run(args: &Args) -> Result<(), String> {
         return Ok(());
     }
 
-    let campaign = run_campaign(&args.families, args.seeds, threads, &checker)?;
+    let campaign = run_campaign(&args.families, args.seeds, threads, &checker, args.backend)?;
     if args.json {
         print!("{}", campaign.to_json().to_string_pretty());
         eprintln!("{}", campaign.summary_line());
@@ -147,7 +168,11 @@ fn enforce_expectations(campaign: &Campaign) {
         );
         failed = true;
     }
-    let ran_noncovering = campaign.families.iter().any(|f| !f.covering()) && campaign.seeds > 0;
+    // Only the weakly-ordered simulator can demonstrate relaxed
+    // outcomes; a functional (SC) campaign is judged on safety alone.
+    let ran_noncovering = campaign.families.iter().any(|f| !f.covering())
+        && campaign.seeds > 0
+        && campaign.can_demonstrate_relaxation();
     if ran_noncovering && s.noncovering_scope_violations == 0 {
         eprintln!(
             "FAIL: non-covering families ran but demonstrated no relaxed outcome \

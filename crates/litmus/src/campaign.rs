@@ -1,7 +1,14 @@
-//! The differential campaign: run every generated scenario on the
-//! cycle simulator under traditional fences, scoped fences, forced
-//! FSB/FSS overflow and with fences removed, and judge each observed
-//! final state against the SC reference checker's allowed set.
+//! The differential campaign: run every generated scenario — through
+//! the harness `Backend` trait, on the cycle simulator by default —
+//! under traditional fences, scoped fences, forced FSB/FSS overflow
+//! and with fences removed, and judge each observed final state
+//! against the allowed set the enumerative backend computes.
+//!
+//! A campaign on the functional backend checks the SC interpreter
+//! against the enumerator (every observed state must be allowed) and
+//! exercises the whole pipeline without the timing model; relaxed
+//! outcomes can only be *demonstrated* on the simulator, so that
+//! expectation is waived off-sim ([`Campaign::can_demonstrate_relaxation`]).
 //!
 //! Expectations encode the paper's safety argument (§IV, §VI-E):
 //!
@@ -26,7 +33,7 @@
 //! merge into exactly the unsharded document.
 
 use crate::checker::{enumerate_sc, CheckerConfig};
-use sfence_harness::{run_indexed, Json, Session, SCHEMA_VERSION};
+use sfence_harness::{run_indexed, BackendId, Json, Session, SCHEMA_VERSION};
 use sfence_sim::{FenceConfig, MachineConfig, RunExit};
 use sfence_workloads::litmus::{build, Family, LitmusSpec, FAMILIES};
 
@@ -76,7 +83,7 @@ pub fn parse_families(arg: &str) -> Result<Vec<Family>, String> {
     Ok(ordered)
 }
 
-/// One simulator run of a case.
+/// One execution of a case on the campaign's execution backend.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunVerdict {
     /// Configuration label: `T`, `S`, `S-overflow` or `S-nofence`.
@@ -88,9 +95,11 @@ pub struct RunVerdict {
     /// Does the campaign require `sc_allowed` for this run?
     pub expect_sc: bool,
     /// Degraded (scope-overflowed) fences across all cores — proof
-    /// the degrade path actually ran in the overflow config.
+    /// the degrade path actually ran in the overflow config. Zero on
+    /// backends without scope hardware (functional).
     pub degraded_fences: u64,
-    pub cycles: u64,
+    /// Execution time; absent on backends without a clock.
+    pub cycles: Option<u64>,
 }
 
 /// A fully-judged case.
@@ -118,9 +127,25 @@ pub fn overflow_scope() -> sfence_core::ScopeConfig {
     }
 }
 
-/// Run one case end to end: generate, enumerate SC outcomes, run the
-/// differential matrix, judge.
-pub fn run_case(case: Case, checker: &CheckerConfig) -> Result<CaseVerdict, String> {
+/// Run one case end to end: generate, enumerate SC outcomes (the
+/// enumerative engine's fallible entry point), run the differential
+/// matrix on `backend` (sim by default; functional for
+/// correctness-only campaigns), judge.
+pub fn run_case(
+    case: Case,
+    checker: &CheckerConfig,
+    backend: BackendId,
+) -> Result<CaseVerdict, String> {
+    if backend == BackendId::Enumerative {
+        // The enumerator is the campaign's oracle, not an execution
+        // engine: it reports a state *set*, never the single final
+        // memory the matrix observes.
+        return Err(
+            "campaigns execute on sim or functional; the enumerative backend \
+                    is already the oracle every case is judged against"
+                .into(),
+        );
+    }
     let fenced = build(&LitmusSpec::new(case.family, case.seed));
     let stripped = build(&LitmusSpec::new(case.family, case.seed).stripped());
 
@@ -129,15 +154,21 @@ pub fn run_case(case: Case, checker: &CheckerConfig) -> Result<CaseVerdict, Stri
     // enumeration also judges the stripped runs: stripping only
     // removes fence/scope-marker instructions, which never touch
     // memory or registers.
+    //
+    // The oracle is the harness's enumerative engine; calling its
+    // fallible entry point directly (rather than `Backend::run`,
+    // which panics on malformed programs) keeps interpreter errors on
+    // the campaign's clean `Err` → exit-1 path.
     let outcomes = enumerate_sc(&fenced.program, checker)
         .map_err(|e| format!("{}: checker: {e}", fenced.name))?;
+    let states_explored = outcomes.states_explored;
     if !outcomes.complete {
         return Err(format!(
             "{}: SC enumeration incomplete after {} states — raise the checker bounds",
-            fenced.name, outcomes.states_explored
+            fenced.name, states_explored
         ));
     }
-
+    let exec = backend.instantiate();
     let covering = case.family.covering();
     let mut runs = Vec::with_capacity(4);
     let mut matrix: Vec<(&str, &sfence_workloads::BuiltWorkload, MachineConfig, bool)> = Vec::new();
@@ -164,7 +195,16 @@ pub fn run_case(case: Case, checker: &CheckerConfig) -> Result<CaseVerdict, Stri
     ));
 
     for (label, workload, cfg, expect_sc) in matrix {
-        let report = Session::for_program(&workload.program).config(cfg).run();
+        // An engine that cannot exhibit relaxation (the SC
+        // interpreter) must stay SC-allowed in *every* configuration,
+        // fences or not: a non-SC state there is an interpreter bug,
+        // not a demonstration. Only the weak simulator earns the
+        // relaxed-outcome allowances.
+        let expect_sc = expect_sc || !backend.timed();
+        let report = Session::for_program(&workload.program)
+            .config(cfg)
+            .backend(exec.as_ref())
+            .run();
         if report.exit != RunExit::Completed {
             return Err(format!(
                 "{}: {label}: run hit the cycle limit",
@@ -187,7 +227,7 @@ pub fn run_case(case: Case, checker: &CheckerConfig) -> Result<CaseVerdict, Stri
         seed: case.seed,
         sc_states: outcomes.states.into_iter().collect(),
         sc_complete: true,
-        states_explored: outcomes.states_explored,
+        states_explored,
         runs,
     })
 }
@@ -250,12 +290,24 @@ pub fn summarize(cases: &[CaseVerdict]) -> Summary {
 pub struct Campaign {
     pub families: Vec<Family>,
     pub seeds: u64,
+    /// The engine the differential matrix ran on. Relaxed-outcome
+    /// demonstrations are only expected of the weakly-ordered
+    /// simulator: a functional (SC) campaign can never demonstrate
+    /// them, and callers must not require it to.
+    pub backend: BackendId,
     pub cases: Vec<CaseVerdict>,
 }
 
 impl Campaign {
     pub fn summary(&self) -> Summary {
         summarize(&self.cases)
+    }
+
+    /// Can this campaign's engine exhibit relaxed (non-SC) outcomes
+    /// at all? Only the cycle-accurate simulator models the weak
+    /// memory system.
+    pub fn can_demonstrate_relaxation(&self) -> bool {
+        self.backend.timed()
     }
 
     /// The machine-readable artifact `sfence-litmus --json` emits.
@@ -270,6 +322,7 @@ impl Campaign {
                 Json::Arr(self.families.iter().map(|f| Json::from(f.name())).collect()),
             )
             .field("seeds", self.seeds)
+            .field("backend", self.backend.name())
             .field(
                 "cases",
                 Json::Arr(self.cases.iter().map(case_to_json).collect()),
@@ -293,10 +346,11 @@ impl Campaign {
     pub fn to_ascii(&self) -> String {
         let mut out = String::new();
         out += &format!(
-            "litmus campaign: {} families x {} seeds = {} cases\n",
+            "litmus campaign: {} families x {} seeds = {} cases ({} backend)\n",
             self.families.len(),
             self.seeds,
-            self.cases.len()
+            self.cases.len(),
+            self.backend
         );
         out += &format!(
             "{:<16} {:>4} {:>10} {:>3}  {}\n",
@@ -346,20 +400,23 @@ impl Campaign {
     }
 }
 
-/// Run a campaign over `threads` workers. Case order (and therefore
-/// every byte of the output) is independent of the thread count.
+/// Run a campaign over `threads` workers on the given execution
+/// backend. Case order (and therefore every byte of the output) is
+/// independent of the thread count.
 pub fn run_campaign(
     families: &[Family],
     seeds: u64,
     threads: usize,
     checker: &CheckerConfig,
+    backend: BackendId,
 ) -> Result<Campaign, String> {
     let list = cases(families, seeds);
-    let verdicts = run_indexed(list.len(), threads, |i| run_case(list[i], checker));
+    let verdicts = run_indexed(list.len(), threads, |i| run_case(list[i], checker, backend));
     let cases = verdicts.into_iter().collect::<Result<Vec<_>, _>>()?;
     Ok(Campaign {
         families: families.to_vec(),
         seeds,
+        backend,
         cases,
     })
 }
@@ -393,7 +450,13 @@ pub fn case_to_json(case: &CaseVerdict) -> Json {
                             .field("sc_allowed", r.sc_allowed)
                             .field("expect_sc", r.expect_sc)
                             .field("degraded_fences", r.degraded_fences)
-                            .field("cycles", r.cycles)
+                            .field(
+                                "cycles",
+                                match r.cycles {
+                                    Some(c) => Json::UInt(c),
+                                    None => Json::Null,
+                                },
+                            )
                     })
                     .collect(),
             ),
@@ -441,10 +504,10 @@ pub fn case_from_json(json: &Json) -> Result<CaseVerdict, String> {
                     .get("degraded_fences")
                     .and_then(Json::as_u64)
                     .ok_or("missing degraded_fences")?,
-                cycles: r
-                    .get("cycles")
-                    .and_then(Json::as_u64)
-                    .ok_or("missing cycles")?,
+                cycles: match r.get("cycles") {
+                    None | Some(Json::Null) => None,
+                    Some(v) => Some(v.as_u64().ok_or("bad cycles")?),
+                },
             })
         })
         .collect::<Result<Vec<_>, String>>()?;

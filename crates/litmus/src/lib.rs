@@ -18,14 +18,18 @@
 //! - **[`checker`]**: an SC reference checker that enumerates the
 //!   interleavings of a compiled program (bounded, with a
 //!   commuting-step partial-order reduction and state memoization)
-//!   and computes the complete set of SC-allowed final states.
+//!   and computes the complete set of SC-allowed final states. The
+//!   implementation lives in `sfence_harness::enumerate` (it is the
+//!   harness's `EnumerativeBackend`); this module re-exports it.
 //! - **[`campaign`]**: the differential runner — every scenario
-//!   executes under traditional fences, scoped fences, forced
-//!   FSB/FSS overflow and with fences removed; observed final states
-//!   are judged against the checker's set. Covering scopes must stay
-//!   SC (including under overflow, where fences degrade to full
-//!   fences); non-covering scopes are expected to demonstrate relaxed
-//!   outcomes, and the campaign counts the demonstrations.
+//!   executes (through the harness `Backend` trait, on the simulator
+//!   by default or the functional engine with `--backend functional`)
+//!   under traditional fences, scoped fences, forced FSB/FSS overflow
+//!   and with fences removed; observed final states are judged
+//!   against the enumerator's set. Covering scopes must stay SC
+//!   (including under overflow, where fences degrade to full fences);
+//!   non-covering scopes are expected to demonstrate relaxed outcomes
+//!   on the simulator, and the campaign counts the demonstrations.
 //!
 //! The `sfence-litmus` binary drives bulk campaigns
 //! (`--families all --seeds 50 --shard I/N --json`) with the same

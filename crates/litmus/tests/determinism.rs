@@ -3,7 +3,7 @@
 //! worker-thread counts and shard splits; generated scenarios run
 //! through the ordinary `Experiment` sweep machinery unchanged.
 
-use sfence_harness::{Axis, Experiment, Shard};
+use sfence_harness::{Axis, BackendId, Experiment, Shard};
 use sfence_litmus::{cases, run_campaign, run_case, CheckerConfig, Family, LitmusSpec, FAMILIES};
 use sfence_sim::FenceConfig;
 use sfence_workloads::litmus::build;
@@ -32,8 +32,8 @@ fn same_seed_byte_identical_programs() {
 #[test]
 fn campaign_json_identical_across_thread_counts() {
     let checker = CheckerConfig::default();
-    let serial = run_campaign(&FAMILIES, SEEDS, 1, &checker).unwrap();
-    let parallel = run_campaign(&FAMILIES, SEEDS, 8, &checker).unwrap();
+    let serial = run_campaign(&FAMILIES, SEEDS, 1, &checker, BackendId::Sim).unwrap();
+    let parallel = run_campaign(&FAMILIES, SEEDS, 8, &checker, BackendId::Sim).unwrap();
     assert_eq!(
         serial.to_json().to_string_pretty(),
         parallel.to_json().to_string_pretty(),
@@ -45,7 +45,7 @@ fn campaign_json_identical_across_thread_counts() {
 fn shard_union_equals_full_campaign() {
     let checker = CheckerConfig::default();
     let families = [Family::Sb, Family::SbWrongSet, Family::PcDeep];
-    let full = run_campaign(&families, SEEDS, 4, &checker).unwrap();
+    let full = run_campaign(&families, SEEDS, 4, &checker, BackendId::Sim).unwrap();
     let list = cases(&families, SEEDS);
     let mut merged: Vec<Option<sfence_litmus::CaseVerdict>> = vec![None; list.len()];
     for index in 0..3 {
@@ -53,7 +53,7 @@ fn shard_union_equals_full_campaign() {
         for (i, &case) in list.iter().enumerate() {
             if shard.contains(i) {
                 assert!(merged[i].is_none(), "shards must be disjoint");
-                merged[i] = Some(run_case(case, &checker).unwrap());
+                merged[i] = Some(run_case(case, &checker, BackendId::Sim).unwrap());
             }
         }
     }
@@ -65,7 +65,12 @@ fn shard_union_equals_full_campaign() {
 fn case_json_round_trips() {
     let checker = CheckerConfig::default();
     for family in [Family::Mp, Family::SbWrongSet, Family::Cas] {
-        let verdict = run_case(sfence_litmus::Case { family, seed: 1 }, &checker).unwrap();
+        let verdict = run_case(
+            sfence_litmus::Case { family, seed: 1 },
+            &checker,
+            BackendId::Sim,
+        )
+        .unwrap();
         let json = sfence_litmus::case_to_json(&verdict);
         let back = sfence_litmus::case_from_json(&json).unwrap();
         assert_eq!(back, verdict);
@@ -79,7 +84,7 @@ fn case_json_round_trips() {
 #[test]
 fn expectations_hold_on_a_small_campaign() {
     let checker = CheckerConfig::default();
-    let campaign = run_campaign(&FAMILIES, SEEDS, 8, &checker).unwrap();
+    let campaign = run_campaign(&FAMILIES, SEEDS, 8, &checker, BackendId::Sim).unwrap();
     let s = campaign.summary();
     assert_eq!(s.covering_violations, 0, "covering scopes must stay SC");
     assert!(
@@ -106,6 +111,7 @@ fn pc_deep_overflows_default_hardware() {
                 seed,
             },
             &checker,
+            BackendId::Sim,
         )
         .unwrap();
         let s_run = verdict.runs.iter().find(|r| r.config == "S").unwrap();

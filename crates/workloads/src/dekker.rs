@@ -139,10 +139,10 @@ mod tests {
         let t = run(&w, cfg(FenceConfig::TRADITIONAL));
         let s = run(&w, cfg(FenceConfig::SFENCE));
         assert!(
-            s.cycles < t.cycles,
+            s.timed_cycles() < t.timed_cycles(),
             "S ({}) must beat T ({})",
-            s.cycles,
-            t.cycles
+            s.timed_cycles(),
+            t.timed_cycles()
         );
     }
 

@@ -306,10 +306,10 @@ mod tests {
         let t = run(&w, cfg(FenceConfig::TRADITIONAL, 4));
         let s = run(&w, cfg(FenceConfig::SFENCE, 4));
         assert!(
-            s.cycles < t.cycles,
+            s.timed_cycles() < t.timed_cycles(),
             "S ({}) must beat T ({})",
-            s.cycles,
-            t.cycles
+            s.timed_cycles(),
+            t.timed_cycles()
         );
     }
 }

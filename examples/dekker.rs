@@ -75,10 +75,33 @@ fn main() {
         .cores(2)
         .fence(FenceConfig::SFENCE)
         .run();
-    println!("  traditional: {:>8} cycles", t.cycles);
-    println!("  S-Fence:     {:>8} cycles", s.cycles);
+    println!("  traditional: {:>8} cycles", t.timed_cycles());
+    println!("  S-Fence:     {:>8} cycles", s.timed_cycles());
     println!(
         "  speedup:     {:.3}x  (mutual exclusion verified: exact counter)",
-        t.cycles as f64 / s.cycles as f64
+        t.timed_cycles() as f64 / s.timed_cycles() as f64
+    );
+
+    // Functional-vs-sim differential check: the fast SC interpreter
+    // (no timing model) must agree with the weakly-ordered machine on
+    // the algorithm's final state — Dekker's fences make the critical
+    // section exact on both engines.
+    println!("\n== Functional-vs-sim differential check ==");
+    let f = Session::for_workload(&w)
+        .cores(2)
+        .fence(FenceConfig::SFENCE)
+        .backend(&FunctionalBackend)
+        .run();
+    assert_eq!(f.cycles, None, "the functional engine reports no cycles");
+    assert_eq!(
+        s.read_var(&w.program, "COUNT"),
+        f.read_var(&w.program, "COUNT"),
+        "sim and functional backends must agree on the final counter"
+    );
+    println!(
+        "  COUNT = {} on both backends ({} functional instructions vs {} sim cycles)",
+        f.read_var(&w.program, "COUNT"),
+        f.total_retired(),
+        s.timed_cycles()
     );
 }

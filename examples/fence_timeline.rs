@@ -42,7 +42,7 @@ fn main() {
         println!(
             "{:<12} {:>8} {:>14}",
             fence.label(),
-            report.cycles,
+            report.timed_cycles(),
             report.total_fence_stalls()
         );
         for t in &report.traces {

@@ -49,10 +49,25 @@ fn main() {
         println!(
             "{:<3} {:>8} cycles   fence stalls {:>8} ({:>5.1}%)",
             fence.label(),
-            report.cycles,
+            report.timed_cycles(),
             report.total_fence_stalls(),
             100.0 * report.fence_stall_fraction()
         );
     }
+
+    // The same session surface runs on the fast functional engine —
+    // no timing model, so the report carries no cycles, but the final
+    // state must match.
+    let f = Session::for_program(&prog)
+        .cores(1)
+        .backend(&FunctionalBackend)
+        .run();
+    assert_eq!(f.cycles, None);
+    assert_eq!(f.read_var(&prog, "LOG_HEAD"), 64);
+    println!(
+        "\nfunctional backend agrees: LOG_HEAD = {} after {} interpreted instructions",
+        f.read_var(&prog, "LOG_HEAD"),
+        f.total_retired()
+    );
     println!("\nS-Fence skips the out-of-scope scratch stores; a traditional fence drains them.");
 }

@@ -44,18 +44,26 @@ fn main() {
             ..Default::default()
         }),
     ] {
+        // Cheap correctness gate first: the functional (SC) engine
+        // validates the workload invariants without paying for the
+        // timing model, so a broken build fails in milliseconds.
+        let f = Session::for_workload(&w)
+            .fence(FenceConfig::SFENCE)
+            .backend(&FunctionalBackend)
+            .run();
         let t = Session::for_workload(&w)
             .fence(FenceConfig::TRADITIONAL)
             .run();
         let s = Session::for_workload(&w).fence(FenceConfig::SFENCE).run();
         println!(
-            "{:<10} T {:>8} cycles ({:>4.1}% stalls)   S {:>8} cycles ({:>4.1}% stalls)   speedup {:.3}x",
+            "{:<10} T {:>8} cycles ({:>4.1}% stalls)   S {:>8} cycles ({:>4.1}% stalls)   speedup {:.3}x   (functional pre-check: {} instrs)",
             w.name,
-            t.cycles,
+            t.timed_cycles(),
             100.0 * t.fence_stall_fraction(),
-            s.cycles,
+            s.timed_cycles(),
             100.0 * s.fence_stall_fraction(),
-            t.cycles as f64 / s.cycles as f64
+            t.timed_cycles() as f64 / s.timed_cycles() as f64,
+            f.total_retired()
         );
     }
     println!("\nBoth applications' results are checked against exact host-side replays.");

@@ -22,11 +22,11 @@ fn main() {
         .fence(FenceConfig::TRADITIONAL)
         .run();
     let s = Session::for_workload(&w).fence(FenceConfig::SFENCE).run();
-    println!("  traditional: {:>8} cycles", t.cycles);
-    println!("  S-Fence:     {:>8} cycles", s.cycles);
+    println!("  traditional: {:>8} cycles", t.timed_cycles());
+    println!("  S-Fence:     {:>8} cycles", s.timed_cycles());
     println!(
         "  speedup:     {:.3}x  (every task consumed exactly once, checked)",
-        t.cycles as f64 / s.cycles as f64
+        t.timed_cycles() as f64 / s.timed_cycles() as f64
     );
 
     // Then the full application built on top of it.
@@ -44,17 +44,17 @@ fn main() {
     let s = Session::for_workload(&app).fence(FenceConfig::SFENCE).run();
     println!(
         "  traditional: {:>8} cycles  ({:>4.1}% fence stalls)",
-        t.cycles,
+        t.timed_cycles(),
         100.0 * t.fence_stall_fraction()
     );
     println!(
         "  S-Fence:     {:>8} cycles  ({:>4.1}% fence stalls)",
-        s.cycles,
+        s.timed_cycles(),
         100.0 * s.fence_stall_fraction()
     );
     println!(
         "  speedup:     {:.3}x  (spanning tree validated against the input graph)",
-        t.cycles as f64 / s.cycles as f64
+        t.timed_cycles() as f64 / s.timed_cycles() as f64
     );
     println!("\nThe gain is limited by pst's internal full fence between the");
     println!("color/parent stores, exactly as the paper observes (Sec. VI-B).");

@@ -22,7 +22,9 @@
 //! - [`workloads`] — dekker, wsq, msn, harris, pst, ptc, barnes,
 //!   radiosity, behind a named registry (`workloads::catalog`).
 //! - [`harness`] — the `Session`/`Experiment` API: typed single runs
-//!   and declarative, parallel parameter sweeps.
+//!   and declarative, parallel parameter sweeps, executing through a
+//!   pluggable `Backend` (cycle-accurate sim, fast functional SC
+//!   interpreter, or bounded SC enumerator).
 //!
 //! ## Quickstart
 //!
@@ -48,7 +50,8 @@
 //! let prog = p.compile(&CompileOpts::default()).unwrap();
 //!
 //! // Layer 1: a Session is one configured run, reported as a typed,
-//! // JSON-serializable RunReport.
+//! // JSON-serializable RunReport. Sessions execute through a
+//! // pluggable backend (cycle-accurate simulator by default).
 //! let t = Session::for_program(&prog)
 //!     .cores(1)
 //!     .fence(FenceConfig::TRADITIONAL)
@@ -57,7 +60,16 @@
 //!     .cores(1)
 //!     .fence(FenceConfig::SFENCE)
 //!     .run();
-//! assert!(s.cycles <= t.cycles, "a scoped fence never loses");
+//! assert!(s.timed_cycles() <= t.timed_cycles(), "a scoped fence never loses");
+//!
+//! // The fast functional (SC) engine answers correctness questions
+//! // without the timing model — and reports no fabricated cycles.
+//! let f = Session::for_program(&prog)
+//!     .cores(1)
+//!     .backend(&FunctionalBackend)
+//!     .run();
+//! assert_eq!(f.cycles, None);
+//! assert_eq!(f.read_var(&prog, "fast"), s.read_var(&prog, "fast"));
 //!
 //! // Layer 2: an Experiment sweeps the workload registry across
 //! // fence configs and machine axes, in parallel, deterministically.
@@ -80,7 +92,8 @@ pub use sfence_workloads as workloads;
 pub mod prelude {
     pub use sfence_core::{ClassId, ScopeConfig, ScopeRecovery};
     pub use sfence_harness::{
-        speedup_s_over_t, Axis, Experiment, Json, RunReport, Session, SweepResult, SweepRow,
+        speedup_s_over_t, Axis, Backend, BackendId, EnumerativeBackend, Experiment,
+        FunctionalBackend, Json, RunReport, Session, SimBackend, SweepResult, SweepRow,
     };
     pub use sfence_isa::ir::*;
     pub use sfence_isa::passes::{enforce_sc, ScStyle};
