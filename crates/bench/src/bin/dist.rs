@@ -1,0 +1,166 @@
+//! `sfence-dist`: the distributed sweep service CLI — a coordinator
+//! that fans a registered experiment's cells out to TCP workers, and
+//! the worker that serves them.
+//!
+//! ```text
+//! sfence-dist serve ADDR --experiment NAME     # e.g. 0.0.0.0:7077
+//!     [--scale small|eval] [--backend B]       experiment shaping (as sfence-sweep)
+//!     [--lease N]                              jobs per lease (default 4)
+//!     [--lease-ttl SECS]                       silent-worker lease expiry (default 30)
+//!     [--store FILE] [--git STR] [--timestamp SECS]
+//!     [--diff] [--diff-run K]                  diff against stored history
+//!     [--json | --rows]                        stdout rendering
+//!     [--quiet]
+//!
+//! sfence-dist work ADDR                        # connect and serve leases
+//!     [--cache-dir DIR]                        worker-local result cache
+//!     [--threads N]                            threads per lease (default: CPUs)
+//!     [--name STR]                             worker name (default host-pid)
+//!     [--quiet]
+//! ```
+//!
+//! The coordinator's merged stdout/store output is byte-identical to
+//! `sfence-sweep --experiment NAME` run single-process; workers may
+//! join late, die mid-lease, and re-join freely. Mismatched binaries
+//! (schema, protocol, or experiment fingerprint) are rejected at the
+//! handshake. Exit codes: 0 ok, 1 runtime error, 2 usage error.
+
+use sfence_bench::cli::{self, OutputArgs};
+use sfence_dist::{serve, work, CoordinatorOpts, ExperimentSpec, WorkerOpts};
+use sfence_harness::{BackendId, SweepResult};
+use std::net::TcpListener;
+use std::path::PathBuf;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let verb = args.next().unwrap_or_default();
+    let result = match verb.as_str() {
+        "serve" => cmd_serve(args),
+        "work" => cmd_work(args),
+        "" | "--help" | "-h" => {
+            eprintln!("usage: sfence-dist serve ADDR --experiment NAME [options]");
+            eprintln!("       sfence-dist work ADDR [options]");
+            std::process::exit(2);
+        }
+        other => {
+            eprintln!("error: unknown subcommand {other:?} (expected serve|work)");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn usage(e: String) -> ! {
+    eprintln!("error: {e}");
+    eprintln!("usage: sfence-dist serve ADDR --experiment NAME [options] | work ADDR [options]");
+    std::process::exit(2);
+}
+
+fn cmd_serve(mut it: impl Iterator<Item = String>) -> Result<(), String> {
+    let mut addr: Option<String> = None;
+    let mut experiment_name: Option<String> = None;
+    let mut scale = None;
+    let mut backend: Option<BackendId> = None;
+    let mut output = OutputArgs::default();
+    let mut opts = CoordinatorOpts::default();
+    let mut json = false;
+    while let Some(arg) = it.next() {
+        let parsed = output.accept(&arg, &mut it).unwrap_or_else(|e| usage(e));
+        if parsed {
+            continue;
+        }
+        match arg.as_str() {
+            "--experiment" => {
+                experiment_name =
+                    Some(cli::take(&mut it, "--experiment").unwrap_or_else(|e| usage(e)))
+            }
+            "--scale" => {
+                scale = Some(
+                    cli::parse_scale(&cli::take(&mut it, "--scale").unwrap_or_else(|e| usage(e)))
+                        .unwrap_or_else(|e| usage(e)),
+                )
+            }
+            "--backend" => {
+                backend = Some(
+                    BackendId::parse(&cli::take(&mut it, "--backend").unwrap_or_else(|e| usage(e)))
+                        .unwrap_or_else(|e| usage(e)),
+                )
+            }
+            "--lease" => {
+                opts.lease_size = cli::take(&mut it, "--lease")
+                    .unwrap_or_else(|e| usage(e))
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage("--lease expects a positive integer".into()))
+            }
+            "--lease-ttl" => {
+                let secs: u64 = cli::take(&mut it, "--lease-ttl")
+                    .unwrap_or_else(|e| usage(e))
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage("--lease-ttl expects seconds".into()));
+                opts.lease_ttl_ms = secs * 1000;
+            }
+            "--json" => json = true,
+            "--rows" => json = false,
+            "--quiet" => opts.quiet = true,
+            other if !other.starts_with('-') && addr.is_none() => addr = Some(other.to_string()),
+            other => usage(format!("unknown flag {other:?}")),
+        }
+    }
+    let addr =
+        addr.unwrap_or_else(|| usage("serve needs a bind address (e.g. 0.0.0.0:7077)".into()));
+    let name = experiment_name
+        .unwrap_or_else(|| usage("--experiment is required (see sfence-sweep --list)".into()));
+    let spec = ExperimentSpec::new(&name).scale(scale).backend(backend);
+    let experiment = spec
+        .resolve(sfence_bench::experiment_by_name)
+        .unwrap_or_else(|e| usage(e));
+
+    let listener = TcpListener::bind(&addr).map_err(|e| format!("bind {addr}: {e}"))?;
+    let local = listener.local_addr().map(|a| a.to_string()).unwrap_or(addr);
+    eprintln!(
+        "dist: serving {} ({} jobs, fingerprint {}) on {local}",
+        experiment.name,
+        experiment.job_count(),
+        &experiment.fingerprint()[..12]
+    );
+    let summary = serve(&listener, &experiment, &spec, &opts)?;
+    eprintln!("{}", summary.summary_line());
+    let result = SweepResult::from_indexed(&experiment.name, experiment.job_count(), summary.rows)?;
+    cli::finish_run(&experiment, &result, &output, json)
+}
+
+fn cmd_work(mut it: impl Iterator<Item = String>) -> Result<(), String> {
+    let mut addr: Option<String> = None;
+    let mut opts = WorkerOpts::default();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--cache-dir" => {
+                opts.cache_dir = Some(PathBuf::from(
+                    cli::take(&mut it, "--cache-dir").unwrap_or_else(|e| usage(e)),
+                ))
+            }
+            "--threads" => {
+                opts.threads = cli::take(&mut it, "--threads")
+                    .unwrap_or_else(|e| usage(e))
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage("--threads expects a positive integer".into()))
+            }
+            "--name" => opts.name = Some(cli::take(&mut it, "--name").unwrap_or_else(|e| usage(e))),
+            "--quiet" => opts.quiet = true,
+            other if !other.starts_with('-') && addr.is_none() => addr = Some(other.to_string()),
+            other => usage(format!("unknown flag {other:?}")),
+        }
+    }
+    let addr =
+        addr.unwrap_or_else(|| usage("work needs the coordinator address (host:port)".into()));
+    work(&addr, sfence_bench::experiment_by_name, &opts).map(|_| ())
+}

@@ -1,7 +1,8 @@
 //! `sfence-sweep`: the production sweep runner. Runs any registered
 //! experiment (fig12..fig16, smoke) with content-addressed result
-//! caching, process-level sharding, resume after interruption, and an
-//! append-only JSONL results store with history diffing.
+//! caching, process-level sharding, resume after interruption, an
+//! append-only JSONL results store with history diffing, and a
+//! loopback-distributed mode that drives `sfence-dist` workers.
 //!
 //! ```text
 //! sfence-sweep --experiment fig13 [--scale small|eval]
@@ -11,13 +12,15 @@
 //!     [--resume]               documents resume intent (needs --cache-dir)
 //!     [--shard I/N]            run one shard; emit indexed rows as JSONL
 //!     [--spawn N]              spawn N shard worker processes and merge
+//!     [--workers N]            spawn N sfence-dist workers over loopback and merge
 //!     [--max-cells N]          execute at most N uncached cells, then stop
 //!     [--store FILE]           append the completed run to a JSONL store
 //!     [--git STR]              provenance string (default: git describe)
 //!     [--timestamp SECS]       unix time stamped on the store meta line
 //!     [--diff]                 diff against the latest stored run
+//!     [--diff-run K]           diff against the K-th most recent stored run
 //!     [--json | --rows]        machine-readable / raw-table output
-//!     [--list]                 print the experiment names and exit
+//!     [--list]                 print the experiment names and exit (--json for machine-readable)
 //! ```
 //!
 //! Exit codes: 0 complete, 1 runtime error, 2 usage error,
@@ -26,37 +29,39 @@
 //! complete runs, so an interrupted-then-resumed sweep produces a
 //! store byte-identical to an uninterrupted one.
 
-use sfence_bench::cli::{self, FigureArgs};
-use sfence_harness::{diff_rows, Experiment, IndexedRow, ResultStore, RunMeta, SweepResult};
-use std::path::PathBuf;
-use std::process::{Command, Stdio};
+use sfence_bench::cli::{self, FigureArgs, OutputArgs};
+use sfence_dist::{serve, CoordinatorOpts, ExperimentSpec};
+use sfence_harness::{Experiment, IndexedRow, SweepResult};
+use std::net::TcpListener;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 struct SweepArgs {
     common: FigureArgs,
+    output: OutputArgs,
     experiment: Option<String>,
     spawn: Option<usize>,
+    workers: Option<usize>,
     max_cells: Option<usize>,
-    store: Option<PathBuf>,
-    git: Option<String>,
-    timestamp: Option<u64>,
-    diff: bool,
     list: bool,
 }
 
 fn parse_args() -> Result<SweepArgs, String> {
     let mut args = SweepArgs {
         common: FigureArgs::default(),
+        output: OutputArgs::default(),
         experiment: None,
         spawn: None,
+        workers: None,
         max_cells: None,
-        store: None,
-        git: None,
-        timestamp: None,
-        diff: false,
         list: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
+        if args.output.accept(&arg, &mut it)? {
+            continue;
+        }
         match arg.as_str() {
             "--experiment" => args.experiment = Some(cli::take(&mut it, "--experiment")?),
             "--spawn" => {
@@ -68,6 +73,15 @@ fn parse_args() -> Result<SweepArgs, String> {
                 }
                 args.spawn = Some(n);
             }
+            "--workers" => {
+                let n: usize = cli::take(&mut it, "--workers")?
+                    .parse()
+                    .map_err(|_| "--workers expects a positive integer".to_string())?;
+                if n == 0 {
+                    return Err("--workers expects a positive integer".into());
+                }
+                args.workers = Some(n);
+            }
             "--max-cells" => {
                 args.max_cells = Some(
                     cli::take(&mut it, "--max-cells")?
@@ -75,16 +89,6 @@ fn parse_args() -> Result<SweepArgs, String> {
                         .map_err(|_| "--max-cells expects an integer".to_string())?,
                 );
             }
-            "--store" => args.store = Some(PathBuf::from(cli::take(&mut it, "--store")?)),
-            "--git" => args.git = Some(cli::take(&mut it, "--git")?),
-            "--timestamp" => {
-                args.timestamp = Some(
-                    cli::take(&mut it, "--timestamp")?
-                        .parse()
-                        .map_err(|_| "--timestamp expects unix seconds".to_string())?,
-                );
-            }
-            "--diff" => args.diff = true,
             "--list" => args.list = true,
             other if !other.starts_with('-') && args.experiment.is_none() => {
                 args.experiment = Some(other.to_string());
@@ -93,13 +97,19 @@ fn parse_args() -> Result<SweepArgs, String> {
         }
     }
     args.common.validate()?;
+    if args.spawn.is_some() && args.workers.is_some() {
+        return Err("--spawn and --workers are mutually exclusive".into());
+    }
+    if args.workers.is_some() && args.common.shard.is_some() {
+        return Err("--workers and --shard are mutually exclusive".into());
+    }
     if args.spawn.is_some() && args.common.shard.is_some() {
         return Err("--spawn and --shard are mutually exclusive".into());
     }
-    if args.spawn.is_some() && args.max_cells.is_some() {
-        return Err("--max-cells applies to in-process runs, not --spawn workers".into());
+    if (args.spawn.is_some() || args.workers.is_some()) && args.max_cells.is_some() {
+        return Err("--max-cells applies to in-process runs, not spawned workers".into());
     }
-    if args.common.shard.is_some() && (args.store.is_some() || args.diff) {
+    if args.common.shard.is_some() && args.output.wants_store_or_diff() {
         // A shard worker emits partial rows for a parent to merge;
         // silently skipping the store/diff would look like data loss.
         return Err("--store/--diff apply to merged runs, not --shard workers".into());
@@ -114,7 +124,11 @@ fn main() {
         std::process::exit(2);
     });
     if args.list {
-        print_list();
+        if args.common.json {
+            print!("{}", sfence_bench::list_json().to_string_pretty());
+        } else {
+            print_list();
+        }
         return;
     }
     let name = args.experiment.clone().unwrap_or_else(|| {
@@ -136,7 +150,9 @@ fn main() {
 }
 
 fn run(name: &str, experiment: &Experiment, args: &SweepArgs) -> Result<(), String> {
-    let rows = if let Some(workers) = args.spawn {
+    let rows = if let Some(workers) = args.workers {
+        run_distributed(name, experiment, args, workers)?
+    } else if let Some(workers) = args.spawn {
         run_spawned(name, experiment, args, workers)?
     } else {
         match run_local(experiment, args)? {
@@ -146,77 +162,7 @@ fn run(name: &str, experiment: &Experiment, args: &SweepArgs) -> Result<(), Stri
         }
     };
     let result = SweepResult::from_indexed(&experiment.name, experiment.job_count(), rows)?;
-    // Stamped into the store meta and matched on diff: cycle counts
-    // across problem scales are incomparable. Derived from the
-    // experiment's resolved parameters (not the --scale flag), so a
-    // run without the flag and one naming the same scale explicitly
-    // land in — and diff against — the same history.
-    let scale = match experiment.uniform_scale() {
-        Some(sfence_workloads::Scale::Small) => "small",
-        Some(sfence_workloads::Scale::Eval) => "eval",
-        None => "mixed",
-    };
-    // Same idea for the execution engine: sim and functional runs of
-    // one experiment are separate histories ("mixed" = Axis::Backend).
-    let backend = match experiment.uniform_backend() {
-        Some(b) => b.name(),
-        None => "mixed",
-    };
-
-    if args.diff {
-        let store = args
-            .store
-            .as_ref()
-            .ok_or("--diff requires --store (the history to diff against)")?;
-        match ResultStore::new(store).latest_at(&result.experiment, scale, backend)? {
-            None => eprintln!(
-                "diff: no stored run of {} at scale {scale} on the {backend} backend yet",
-                result.experiment
-            ),
-            Some(prev) => {
-                let diff = diff_rows(&prev.rows, &result.rows);
-                if diff.is_empty() {
-                    eprintln!(
-                        "diff: identical to the stored run from {} ({})",
-                        prev.meta.git, prev.meta.timestamp
-                    );
-                } else {
-                    eprint!("{}", diff.to_report());
-                }
-            }
-        }
-    }
-    if let Some(store) = &args.store {
-        let git = match &args.git {
-            Some(git) => git.clone(),
-            None => git_describe(),
-        };
-        let timestamp = match args.timestamp {
-            Some(t) => t,
-            None => std::time::SystemTime::now()
-                .duration_since(std::time::UNIX_EPOCH)
-                .map(|d| d.as_secs())
-                .unwrap_or(0),
-        };
-        let meta = RunMeta::new(
-            &result.experiment,
-            experiment.axis_name(),
-            scale,
-            backend,
-            git,
-            timestamp,
-        );
-        ResultStore::new(store)
-            .append(&meta, &result)
-            .map_err(|e| format!("append to {}: {e}", store.display()))?;
-    }
-
-    if args.common.json {
-        print!("{}", result.to_json_string());
-    } else {
-        print!("{}", result.to_ascii_table());
-    }
-    Ok(())
+    cli::finish_run(experiment, &result, &args.output, args.common.json)
 }
 
 /// Run (a shard of) the experiment in this process via the shared
@@ -232,6 +178,110 @@ fn run_local(experiment: &Experiment, args: &SweepArgs) -> Result<Option<Vec<Ind
     Ok(local.rows)
 }
 
+/// Split the machine across worker processes so N of them don't each
+/// start a per-CPU thread pool (N-fold oversubscription).
+fn threads_per_worker(requested: Option<usize>, workers: usize) -> usize {
+    requested.unwrap_or_else(|| {
+        let cpus = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        (cpus / workers).max(1)
+    })
+}
+
+/// `--workers N`: the convenience face of the distributed runner —
+/// an in-process coordinator on a loopback port and N spawned
+/// `sfence-dist work` processes, merged exactly like remote workers
+/// would be.
+fn run_distributed(
+    name: &str,
+    experiment: &Experiment,
+    args: &SweepArgs,
+    workers: usize,
+) -> Result<Vec<IndexedRow>, String> {
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let dist = exe
+        .parent()
+        .map(|dir| dir.join("sfence-dist"))
+        .filter(|p| p.exists())
+        .ok_or("sfence-dist binary not found next to sfence-sweep (build sfence-bench)")?;
+    let listener = TcpListener::bind("127.0.0.1:0").map_err(|e| format!("bind loopback: {e}"))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| format!("local_addr: {e}"))?
+        .to_string();
+    let spec = ExperimentSpec::new(name)
+        .scale(args.common.scale)
+        .backend(args.common.backend);
+    let threads = threads_per_worker(args.common.threads, workers);
+
+    let mut children = Vec::new();
+    for index in 0..workers {
+        let mut cmd = Command::new(&dist);
+        cmd.arg("work")
+            .arg(&addr)
+            .arg("--threads")
+            .arg(threads.to_string())
+            .arg("--name")
+            .arg(format!("local-{index}"))
+            .stdout(Stdio::null());
+        if let Some(dir) = &args.common.cache_dir {
+            cmd.arg("--cache-dir").arg(dir);
+        }
+        let child = cmd
+            .spawn()
+            .map_err(|e| format!("spawn worker {index}: {e}"))?;
+        children.push(child);
+    }
+
+    // If every worker dies (bad binary, panic) the coordinator must
+    // error out rather than wait forever for jobs nobody will run.
+    let abort = Arc::new(AtomicBool::new(false));
+    let served_done = Arc::new(AtomicBool::new(false));
+    let monitor = {
+        let abort = Arc::clone(&abort);
+        let done = Arc::clone(&served_done);
+        std::thread::spawn(move || -> Vec<Child> {
+            loop {
+                if done.load(Ordering::SeqCst) {
+                    return children;
+                }
+                let all_exited = children
+                    .iter_mut()
+                    .all(|c| matches!(c.try_wait(), Ok(Some(_))));
+                if all_exited {
+                    abort.store(true, Ordering::SeqCst);
+                    return children;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(100));
+            }
+        })
+    };
+
+    let opts = CoordinatorOpts {
+        abort: Some(Arc::clone(&abort)),
+        ..CoordinatorOpts::default()
+    };
+    let served = serve(&listener, experiment, &spec, &opts);
+    served_done.store(true, Ordering::SeqCst);
+    // Close the listen socket before waiting: a worker that tries to
+    // connect from here on gets an immediate reset instead of a
+    // connection nobody will ever serve.
+    drop(listener);
+    let children = monitor.join().expect("monitor thread");
+    for (index, mut child) in children.into_iter().enumerate() {
+        let status = child
+            .wait()
+            .map_err(|e| format!("wait for worker {index}: {e}"))?;
+        if !status.success() && served.is_ok() {
+            eprintln!("warning: worker {index} exited with {status}");
+        }
+    }
+    let summary = served?;
+    eprintln!("{}", summary.summary_line());
+    Ok(summary.rows)
+}
+
 /// Spawn one worker process per shard and merge their indexed rows.
 fn run_spawned(
     name: &str,
@@ -240,14 +290,7 @@ fn run_spawned(
     workers: usize,
 ) -> Result<Vec<IndexedRow>, String> {
     let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
-    // Split the machine across workers so N processes don't each
-    // start a per-CPU thread pool (N-fold oversubscription).
-    let threads_per_worker = args.common.threads.unwrap_or_else(|| {
-        let cpus = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
-        (cpus / workers).max(1)
-    });
+    let threads_per_worker = threads_per_worker(args.common.threads, workers);
     let mut children = Vec::new();
     for index in 0..workers {
         let mut cmd = Command::new(&exe);
@@ -298,7 +341,9 @@ fn run_spawned(
 
 /// `--list`: enumerate every registered experiment (axis, fence
 /// configs, job count, workloads) plus the litmus scenario families,
-/// so discovery never requires reading `catalog.rs`.
+/// so discovery never requires reading `catalog.rs`. `--list --json`
+/// emits the same inventory machine-readably ([`sfence_bench::list_json`]) —
+/// coordinators and tooling validate requests against it.
 fn print_list() {
     println!("experiments (sfence-sweep --experiment <name>):");
     for name in sfence_bench::experiment_names() {
@@ -328,16 +373,4 @@ fn print_list() {
         "{}",
         sfence_workloads::litmus::family_listing(|f| format!("litmus/{}/<seed>", f.name()))
     );
-}
-
-fn git_describe() -> String {
-    Command::new("git")
-        .args(["describe", "--always", "--dirty"])
-        .output()
-        .ok()
-        .filter(|out| out.status.success())
-        .and_then(|out| String::from_utf8(out.stdout).ok())
-        .map(|s| s.trim().to_string())
-        .filter(|s| !s.is_empty())
-        .unwrap_or_else(|| "unknown".to_string())
 }

@@ -4,7 +4,8 @@
 //! silently running the default sweep.
 
 use sfence_harness::{
-    default_threads, BackendId, Experiment, IndexedRow, ResultCache, RunOptions, Shard,
+    default_threads, diff_rows, BackendId, Experiment, IndexedRow, ResultCache, ResultStore,
+    RunMeta, RunOptions, Shard, SweepResult,
 };
 use sfence_workloads::Scale;
 use std::path::PathBuf;
@@ -136,14 +137,16 @@ pub fn run_local(
         .unwrap_or_else(|| default_threads(experiment.job_count()));
     let mut cache = match &args.cache_dir {
         Some(dir) => {
-            // Shard workers sharing one cache directory each append
-            // to their own file, so concurrent writes never collide.
-            let writer = match args.shard {
-                Some(shard) => format!("shard-{}.jsonl", shard.index),
-                None => "cache.jsonl".to_string(),
+            // Writers sharing one cache directory — shard workers,
+            // concurrent sweeps, or whole other hosts on a network
+            // filesystem — each append to their own file (host token +
+            // pid + nonce), so writes can never collide.
+            let prefix = match args.shard {
+                Some(shard) => format!("shard-{}", shard.index),
+                None => "cache".to_string(),
             };
             Some(
-                ResultCache::open_with_writer(dir, writer)
+                ResultCache::open_unique(dir, &prefix)
                     .map_err(|e| format!("open cache {}: {e}", dir.display()))?,
             )
         }
@@ -187,6 +190,160 @@ pub fn run_local(
         rows,
         complete: outcome.complete,
     })
+}
+
+/// The store/diff/output switches shared by `sfence-sweep` and
+/// `sfence-dist serve`, so a distributed campaign lands in — and
+/// diffs against — exactly the same history a local one would.
+#[derive(Debug, Clone, Default)]
+pub struct OutputArgs {
+    /// Append the completed run to this JSONL store.
+    pub store: Option<PathBuf>,
+    /// Provenance string (default: `git describe`).
+    pub git: Option<String>,
+    /// Unix seconds stamped on the store meta line.
+    pub timestamp: Option<u64>,
+    /// Diff against the K-th most recent comparable stored run
+    /// (1 = latest; `--diff` is shorthand for `--diff-run 1`).
+    pub diff_run: Option<usize>,
+}
+
+impl OutputArgs {
+    /// Try to consume one store/diff flag.
+    pub fn accept(
+        &mut self,
+        arg: &str,
+        it: &mut impl Iterator<Item = String>,
+    ) -> Result<bool, String> {
+        match arg {
+            "--store" => self.store = Some(PathBuf::from(take(it, "--store")?)),
+            "--git" => self.git = Some(take(it, "--git")?),
+            "--timestamp" => {
+                self.timestamp = Some(
+                    take(it, "--timestamp")?
+                        .parse()
+                        .map_err(|_| "--timestamp expects unix seconds".to_string())?,
+                );
+            }
+            "--diff" => self.diff_run = Some(self.diff_run.unwrap_or(1)),
+            "--diff-run" => {
+                let k: usize = take(it, "--diff-run")?
+                    .parse()
+                    .map_err(|_| "--diff-run expects a positive integer".to_string())?;
+                if k == 0 {
+                    return Err("--diff-run counts back from 1 = latest".into());
+                }
+                self.diff_run = Some(k);
+            }
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    pub fn wants_store_or_diff(&self) -> bool {
+        self.store.is_some() || self.diff_run.is_some()
+    }
+}
+
+/// Post-run handling of one merged result: history diff, store
+/// append, and stdout rendering — the one implementation behind
+/// `sfence-sweep` and `sfence-dist serve`.
+pub fn finish_run(
+    experiment: &Experiment,
+    result: &SweepResult,
+    out: &OutputArgs,
+    json: bool,
+) -> Result<(), String> {
+    // Stamped into the store meta and matched on diff: cycle counts
+    // across problem scales are incomparable. Derived from the
+    // experiment's resolved parameters (not the --scale flag), so a
+    // run without the flag and one naming the same scale explicitly
+    // land in — and diff against — the same history.
+    let scale = match experiment.uniform_scale() {
+        Some(Scale::Small) => "small",
+        Some(Scale::Eval) => "eval",
+        None => "mixed",
+    };
+    // Same idea for the execution engine: sim and functional runs of
+    // one experiment are separate histories ("mixed" = Axis::Backend).
+    let backend = match experiment.uniform_backend() {
+        Some(b) => b.name(),
+        None => "mixed",
+    };
+
+    if let Some(k) = out.diff_run {
+        let store = out
+            .store
+            .as_ref()
+            .ok_or("--diff/--diff-run require --store (the history to diff against)")?;
+        let history = ResultStore::new(store).history_at(&result.experiment, scale, backend)?;
+        match history.get(k - 1) {
+            None => eprintln!(
+                "diff: only {} stored run(s) of {} at scale {scale} on the {backend} \
+                 backend (wanted the {k}th most recent)",
+                history.len(),
+                result.experiment
+            ),
+            Some(prev) => {
+                let diff = diff_rows(&prev.rows, &result.rows);
+                if diff.is_empty() {
+                    eprintln!(
+                        "diff: identical to stored run {k} back, from {} ({})",
+                        prev.meta.git, prev.meta.timestamp
+                    );
+                } else {
+                    eprintln!(
+                        "diff: against stored run {k} back, from {} ({}):",
+                        prev.meta.git, prev.meta.timestamp
+                    );
+                    eprint!("{}", diff.to_report());
+                }
+            }
+        }
+    }
+    if let Some(store) = &out.store {
+        let git = match &out.git {
+            Some(git) => git.clone(),
+            None => git_describe(),
+        };
+        let timestamp = match out.timestamp {
+            Some(t) => t,
+            None => std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0),
+        };
+        let meta = RunMeta::new(
+            &result.experiment,
+            experiment.axis_name(),
+            scale,
+            backend,
+            git,
+            timestamp,
+        );
+        ResultStore::new(store)
+            .append(&meta, result)
+            .map_err(|e| format!("append to {}: {e}", store.display()))?;
+    }
+
+    if json {
+        print!("{}", result.to_json_string());
+    } else {
+        print!("{}", result.to_ascii_table());
+    }
+    Ok(())
+}
+
+pub fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
 }
 
 pub fn parse_scale(s: &str) -> Result<Scale, String> {

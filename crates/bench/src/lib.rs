@@ -417,6 +417,63 @@ pub fn golden_names() -> [&'static str; 5] {
     ["fig12", "fig13", "fig14", "fig15", "fig16"]
 }
 
+/// The machine-readable inventory behind `sfence-sweep --list --json`:
+/// every registered experiment (axis, job count, default backend,
+/// uniform scale, workloads, fingerprint), the backends, and the
+/// litmus families. Tooling — the distributed coordinator included —
+/// validates requests against this instead of parsing the human
+/// listing; the per-experiment `fingerprint` is the same hash the
+/// `sfence-dist` handshake compares.
+pub fn list_json() -> sfence_harness::Json {
+    use sfence_harness::Json;
+    let experiments = experiment_names()
+        .iter()
+        .map(|&name| {
+            let e = experiment_by_name(name).expect("registered name");
+            Json::obj()
+                .field("name", name)
+                .field("axis", e.axis_name())
+                .field("jobs", e.job_count())
+                .field("backend", e.uniform_backend().map_or("mixed", |b| b.name()))
+                .field(
+                    "scale",
+                    match e.uniform_scale() {
+                        Some(sfence_workloads::Scale::Eval) => "eval",
+                        Some(sfence_workloads::Scale::Small) => "small",
+                        None => "mixed",
+                    },
+                )
+                .field(
+                    "workloads",
+                    Json::Arr(e.workload_names().into_iter().map(Json::from).collect()),
+                )
+                .field("fingerprint", e.fingerprint())
+        })
+        .collect();
+    let backends = [
+        BackendId::Sim,
+        BackendId::Functional,
+        BackendId::Enumerative,
+    ]
+    .iter()
+    .map(|b| Json::from(b.name()))
+    .collect();
+    let families = sfence_workloads::litmus::FAMILIES
+        .iter()
+        .map(|f| {
+            Json::obj()
+                .field("name", f.name())
+                .field("covering", f.covering())
+                .field("description", f.description())
+        })
+        .collect();
+    Json::obj()
+        .field("schema_version", sfence_harness::SCHEMA_VERSION)
+        .field("experiments", Json::Arr(experiments))
+        .field("backends", Json::Arr(backends))
+        .field("litmus_families", Json::Arr(families))
+}
+
 // ---------------------------------------------------------------------
 // Tables
 

@@ -1,0 +1,45 @@
+//! # sfence-dist
+//!
+//! The distributed sweep service: a std-only coordinator/worker
+//! runner that fans an [`Experiment`](sfence_harness::Experiment)'s
+//! cell-level jobs out across machines over plain
+//! `std::net::TcpStream` (the container carries no external crates,
+//! so framing, serialization and leasing are all hand-rolled on the
+//! harness's own JSON).
+//!
+//! The design leans entirely on invariants the harness already
+//! guarantees:
+//!
+//! - **Jobs are machine-independent.** An experiment's job list is a
+//!   deterministic function of its registered spec, every engine is
+//!   deterministic, and cache keys / row indices agree across hosts —
+//!   so the coordinator ships an [`ExperimentSpec`] (a name plus
+//!   overrides), leases *indices*, and merges returned
+//!   [`IndexedRow`](sfence_harness::IndexedRow)s through
+//!   `SweepResult::from_indexed` into output **byte-identical** to a
+//!   single-process `run_parallel()`.
+//! - **Mismatched binaries are rejected, not merged.** The handshake
+//!   compares `SCHEMA_VERSION`, the protocol version, and the
+//!   experiment [`fingerprint`](sfence_harness::Experiment::fingerprint)
+//!   (SHA-256 over every job's cache key), so two builds that would
+//!   disagree about any cell refuse each other up front.
+//! - **Workers are disposable.** Jobs are leased with heartbeats and
+//!   a TTL ([`sfence_harness::JobQueue`]); a worker that dies or goes
+//!   silent has its leases re-issued to the next requester, and
+//!   worker-local result caches make the re-run of already-executed
+//!   cells free.
+//!
+//! See `README.md` for the protocol message table and failure model.
+//! The `sfence-dist` binary (in `sfence-bench`, next to the
+//! experiment registry) exposes `serve ADDR` / `work ADDR`;
+//! `sfence-sweep --workers N` spawns local workers over loopback.
+
+pub mod coordinator;
+pub mod protocol;
+pub mod spec;
+pub mod worker;
+
+pub use coordinator::{serve, CoordinatorOpts, DistSummary};
+pub use protocol::{FrameError, FrameReader, Msg, MAX_FRAME, PROTOCOL_VERSION};
+pub use spec::{ExperimentSpec, Registry};
+pub use worker::{work, WorkerOpts, WorkerSummary};

@@ -1,0 +1,402 @@
+//! The wire protocol: length-prefixed JSON frames over a TCP stream.
+//!
+//! The container carries no external crates, so framing is
+//! hand-rolled: each frame is a 4-byte big-endian payload length
+//! followed by that many bytes of compact JSON (`harness::json`). A
+//! frame larger than [`MAX_FRAME`] bytes, a truncated frame, invalid
+//! JSON, or a message shape the receiver doesn't recognize is a
+//! *torn frame* ([`FrameError::Torn`]) — the peer that produced it is
+//! disconnected (and, on the coordinator, its leases are returned to
+//! the pool); torn input never panics either side and never drops
+//! completed rows.
+//!
+//! Message flow (worker connects to coordinator):
+//!
+//! | direction | message | meaning |
+//! |---|---|---|
+//! | w → c | `hello`     | protocol + schema version, worker name |
+//! | c → w | `assign`    | experiment spec, job count, fingerprint, lease TTL |
+//! | c → w | `reject`    | handshake refused (version/fingerprint mismatch) |
+//! | w → c | `ready`     | worker resolved the spec; echoes its own fingerprint |
+//! | w → c | `abort`     | worker cannot run the spec (unknown experiment, ...) |
+//! | w → c | `request`   | ask for work |
+//! | c → w | `lease`     | job indices leased to this worker |
+//! | c → w | `wait`      | nothing pending right now; re-request after `ms` |
+//! | c → w | `done`      | campaign complete; disconnect |
+//! | w → c | `result`    | completed indexed rows + cache accounting |
+//! | w → c | `heartbeat` | keep-alive; extends this worker's leases |
+
+use sfence_harness::json::{self, Json};
+use sfence_harness::IndexedRow;
+use std::io::{self, Read, Write};
+
+/// Version of this message set. Mixed protocol generations refuse
+/// each other at `hello` instead of mis-parsing frames.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Upper bound on a frame's payload. Real frames are a few KB (a
+/// lease of row results); anything bigger is a corrupt or hostile
+/// length prefix and is rejected *before* allocating.
+pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The peer closed the connection at a frame boundary.
+    Eof,
+    /// Truncated, oversized, or unparseable input: the framing is
+    /// unrecoverable and the connection must be dropped.
+    Torn(String),
+    /// The underlying socket failed (reset, broken pipe, ...).
+    Io(io::Error),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Eof => f.write_str("connection closed"),
+            FrameError::Torn(why) => write!(f, "torn frame: {why}"),
+            FrameError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+/// Serialize one message as a frame and write it whole. A message
+/// that would exceed [`MAX_FRAME`] is an error *before* any bytes hit
+/// the wire — sending it would only be torn by the receiver, and the
+/// sender is the one side that can name the real problem. (Senders
+/// keep frames small by construction: workers chunk large result
+/// batches.)
+pub fn write_msg(w: &mut impl Write, msg: &Msg) -> io::Result<()> {
+    let payload = msg.to_json().to_string_compact();
+    let bytes = payload.as_bytes();
+    if bytes.len() > MAX_FRAME as usize {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "message serializes to {} bytes, over the {MAX_FRAME}-byte frame limit",
+                bytes.len()
+            ),
+        ));
+    }
+    let mut frame = Vec::with_capacity(4 + bytes.len());
+    frame.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
+    frame.extend_from_slice(bytes);
+    w.write_all(&frame)?;
+    w.flush()
+}
+
+/// An incremental frame reader that survives read timeouts.
+///
+/// Sockets with a read timeout can return mid-frame: a plain
+/// `read_exact` would lose the bytes it already consumed and desync
+/// the framing. The reader buffers partial input across calls, so a
+/// timeout with half a frame in hand is "no message yet"
+/// (`Ok(None)`), not corruption.
+pub struct FrameReader<R> {
+    inner: R,
+    buf: Vec<u8>,
+}
+
+impl<R: Read> FrameReader<R> {
+    pub fn new(inner: R) -> FrameReader<R> {
+        FrameReader {
+            inner,
+            buf: Vec::new(),
+        }
+    }
+
+    /// Read until one complete message is in hand (`Ok(Some)`), the
+    /// socket's read timeout elapses first (`Ok(None)` — partial
+    /// input stays buffered), the peer closes cleanly between frames
+    /// ([`FrameError::Eof`]), or the input is torn.
+    pub fn next_msg(&mut self) -> Result<Option<Msg>, FrameError> {
+        loop {
+            if let Some(msg) = self.try_decode()? {
+                return Ok(Some(msg));
+            }
+            let mut chunk = [0u8; 4096];
+            match self.inner.read(&mut chunk) {
+                Ok(0) => {
+                    return if self.buf.is_empty() {
+                        Err(FrameError::Eof)
+                    } else {
+                        Err(FrameError::Torn(format!(
+                            "peer closed mid-frame with {} buffered bytes",
+                            self.buf.len()
+                        )))
+                    };
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return Ok(None);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(FrameError::Io(e)),
+            }
+        }
+    }
+
+    /// Decode one message from the buffer if a complete frame is
+    /// present.
+    fn try_decode(&mut self) -> Result<Option<Msg>, FrameError> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]);
+        if len > MAX_FRAME {
+            return Err(FrameError::Torn(format!(
+                "frame length {len} exceeds the {MAX_FRAME}-byte limit"
+            )));
+        }
+        let total = 4 + len as usize;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let payload = std::str::from_utf8(&self.buf[4..total])
+            .map_err(|e| FrameError::Torn(format!("payload is not UTF-8: {e}")))?;
+        let doc = json::parse(payload).map_err(|e| FrameError::Torn(format!("bad JSON: {e}")))?;
+        let msg = Msg::from_json(&doc).map_err(FrameError::Torn)?;
+        self.buf.drain(..total);
+        Ok(Some(msg))
+    }
+}
+
+/// One protocol message. See the module table for the flow.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Msg {
+    Hello {
+        schema_version: u64,
+        protocol_version: u64,
+        worker: String,
+    },
+    Assign {
+        /// The experiment spec ([`crate::spec::ExperimentSpec`] JSON)
+        /// the worker must resolve through its own registry.
+        spec: Json,
+        job_count: u64,
+        fingerprint: String,
+        lease_ttl_ms: u64,
+    },
+    Ready {
+        fingerprint: String,
+    },
+    Reject {
+        reason: String,
+    },
+    Abort {
+        reason: String,
+    },
+    Request,
+    Lease {
+        jobs: Vec<usize>,
+    },
+    Wait {
+        ms: u64,
+    },
+    Done,
+    Result {
+        rows: Vec<IndexedRow>,
+        executed: u64,
+        cache_hits: u64,
+    },
+    Heartbeat,
+}
+
+impl Msg {
+    pub fn to_json(&self) -> Json {
+        match self {
+            Msg::Hello {
+                schema_version,
+                protocol_version,
+                worker,
+            } => Json::obj()
+                .field("type", "hello")
+                .field("schema_version", *schema_version)
+                .field("protocol_version", *protocol_version)
+                .field("worker", worker.as_str()),
+            Msg::Assign {
+                spec,
+                job_count,
+                fingerprint,
+                lease_ttl_ms,
+            } => Json::obj()
+                .field("type", "assign")
+                .field("spec", spec.clone())
+                .field("job_count", *job_count)
+                .field("fingerprint", fingerprint.as_str())
+                .field("lease_ttl_ms", *lease_ttl_ms),
+            Msg::Ready { fingerprint } => Json::obj()
+                .field("type", "ready")
+                .field("fingerprint", fingerprint.as_str()),
+            Msg::Reject { reason } => Json::obj()
+                .field("type", "reject")
+                .field("reason", reason.as_str()),
+            Msg::Abort { reason } => Json::obj()
+                .field("type", "abort")
+                .field("reason", reason.as_str()),
+            Msg::Request => Json::obj().field("type", "request"),
+            Msg::Lease { jobs } => Json::obj().field("type", "lease").field(
+                "jobs",
+                Json::Arr(jobs.iter().map(|&j| Json::from(j)).collect()),
+            ),
+            Msg::Wait { ms } => Json::obj().field("type", "wait").field("ms", *ms),
+            Msg::Done => Json::obj().field("type", "done"),
+            Msg::Result {
+                rows,
+                executed,
+                cache_hits,
+            } => Json::obj()
+                .field("type", "result")
+                .field(
+                    "rows",
+                    Json::Arr(rows.iter().map(IndexedRow::to_json).collect()),
+                )
+                .field("executed", *executed)
+                .field("cache_hits", *cache_hits),
+            Msg::Heartbeat => Json::obj().field("type", "heartbeat"),
+        }
+    }
+
+    pub fn from_json(doc: &Json) -> Result<Msg, String> {
+        let ty = doc
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or("message has no type")?;
+        let str_field = |key: &str| -> Result<String, String> {
+            doc.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("{ty}: missing string field {key:?}"))
+        };
+        let u64_field = |key: &str| -> Result<u64, String> {
+            doc.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("{ty}: missing u64 field {key:?}"))
+        };
+        Ok(match ty {
+            "hello" => Msg::Hello {
+                schema_version: u64_field("schema_version")?,
+                protocol_version: u64_field("protocol_version")?,
+                worker: str_field("worker")?,
+            },
+            "assign" => Msg::Assign {
+                spec: doc.get("spec").cloned().ok_or("assign: missing spec")?,
+                job_count: u64_field("job_count")?,
+                fingerprint: str_field("fingerprint")?,
+                lease_ttl_ms: u64_field("lease_ttl_ms")?,
+            },
+            "ready" => Msg::Ready {
+                fingerprint: str_field("fingerprint")?,
+            },
+            "reject" => Msg::Reject {
+                reason: str_field("reason")?,
+            },
+            "abort" => Msg::Abort {
+                reason: str_field("reason")?,
+            },
+            "request" => Msg::Request,
+            "lease" => Msg::Lease {
+                jobs: doc
+                    .get("jobs")
+                    .and_then(Json::as_arr)
+                    .ok_or("lease: missing jobs")?
+                    .iter()
+                    .map(|j| j.as_u64().map(|v| v as usize).ok_or("lease: bad job index"))
+                    .collect::<Result<Vec<usize>, &str>>()
+                    .map_err(str::to_string)?,
+            },
+            "wait" => Msg::Wait {
+                ms: u64_field("ms")?,
+            },
+            "done" => Msg::Done,
+            "result" => Msg::Result {
+                rows: doc
+                    .get("rows")
+                    .and_then(Json::as_arr)
+                    .ok_or("result: missing rows")?
+                    .iter()
+                    .map(IndexedRow::from_json)
+                    .collect::<Result<Vec<IndexedRow>, String>>()?,
+                executed: u64_field("executed")?,
+                cache_hits: u64_field("cache_hits")?,
+            },
+            "heartbeat" => Msg::Heartbeat,
+            other => return Err(format!("unknown message type {other:?}")),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(msg: Msg) {
+        let mut wire = Vec::new();
+        write_msg(&mut wire, &msg).unwrap();
+        let mut reader = FrameReader::new(wire.as_slice());
+        assert_eq!(reader.next_msg().unwrap(), Some(msg));
+        assert!(matches!(reader.next_msg(), Err(FrameError::Eof)));
+    }
+
+    #[test]
+    fn messages_round_trip() {
+        round_trip(Msg::Hello {
+            schema_version: 3,
+            protocol_version: PROTOCOL_VERSION,
+            worker: "w-1".into(),
+        });
+        round_trip(Msg::Ready {
+            fingerprint: "abc123".into(),
+        });
+        round_trip(Msg::Reject {
+            reason: "schema mismatch".into(),
+        });
+        round_trip(Msg::Request);
+        round_trip(Msg::Lease {
+            jobs: vec![0, 3, 17],
+        });
+        round_trip(Msg::Wait { ms: 250 });
+        round_trip(Msg::Done);
+        round_trip(Msg::Heartbeat);
+    }
+
+    #[test]
+    fn oversized_messages_error_at_the_sender() {
+        let msg = Msg::Reject {
+            reason: "x".repeat(MAX_FRAME as usize + 1),
+        };
+        let mut wire = Vec::new();
+        let err = write_msg(&mut wire, &msg).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(wire.is_empty(), "no bytes hit the wire");
+    }
+
+    #[test]
+    fn frames_decode_across_split_reads() {
+        // A reader fed one byte at a time (worst-case fragmentation)
+        // still reassembles the frame.
+        let mut wire = Vec::new();
+        write_msg(&mut wire, &Msg::Wait { ms: 9000 }).unwrap();
+        struct OneByte<'a>(&'a [u8]);
+        impl Read for OneByte<'_> {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                match self.0.split_first() {
+                    None => Ok(0),
+                    Some((b, rest)) => {
+                        buf[0] = *b;
+                        self.0 = rest;
+                        Ok(1)
+                    }
+                }
+            }
+        }
+        let mut reader = FrameReader::new(OneByte(&wire));
+        assert_eq!(reader.next_msg().unwrap(), Some(Msg::Wait { ms: 9000 }));
+    }
+}

@@ -1,0 +1,139 @@
+//! What the coordinator tells a worker to run: an *experiment spec*,
+//! not a job list.
+//!
+//! The job list of a registered experiment is a deterministic
+//! function of its spec (registry name + scale/backend overrides), so
+//! the coordinator ships only the spec and both sides independently
+//! resolve it and compare [`Experiment::fingerprint`]s — the SHA-256
+//! over the schema version and every job's cache key. Equal
+//! fingerprints mean the two binaries would produce interchangeable
+//! rows for every index; anything else (a renamed workload, a new
+//! axis point, a different schema generation, a drifted
+//! `MachineConfig` default) is caught at the handshake instead of
+//! corrupting the merge.
+
+use sfence_harness::json::Json;
+use sfence_harness::{BackendId, Experiment};
+use sfence_workloads::Scale;
+
+/// How a binary maps experiment names to [`Experiment`]s. The
+/// registry lives in `sfence-bench` (which depends on this crate), so
+/// the coordinator and worker take it as a plain function pointer.
+pub type Registry = fn(&str) -> Option<Experiment>;
+
+/// A registered experiment plus the overrides `sfence-sweep` would
+/// apply (`--scale`, `--backend`), serialized into the `assign`
+/// handshake message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExperimentSpec {
+    pub experiment: String,
+    pub scale: Option<Scale>,
+    pub backend: Option<BackendId>,
+}
+
+impl ExperimentSpec {
+    pub fn new(experiment: impl Into<String>) -> ExperimentSpec {
+        ExperimentSpec {
+            experiment: experiment.into(),
+            scale: None,
+            backend: None,
+        }
+    }
+
+    pub fn scale(mut self, scale: Option<Scale>) -> ExperimentSpec {
+        self.scale = scale;
+        self
+    }
+
+    pub fn backend(mut self, backend: Option<BackendId>) -> ExperimentSpec {
+        self.backend = backend;
+        self
+    }
+
+    /// Resolve through `registry` and apply the overrides — the same
+    /// shaping `sfence-sweep` does, so a distributed run of a spec
+    /// and a local run of the equivalent flags build identical job
+    /// lists.
+    pub fn resolve(&self, registry: Registry) -> Result<Experiment, String> {
+        let mut experiment = registry(&self.experiment)
+            .ok_or_else(|| format!("unknown experiment {:?}", self.experiment))?;
+        if let Some(scale) = self.scale {
+            experiment = experiment.scale(scale);
+        }
+        if let Some(backend) = self.backend {
+            if experiment.axis_name() == "backend" {
+                return Err(format!(
+                    "backend override {} is dead on {:?}: its backend axis selects \
+                     the engine per cell",
+                    backend.name(),
+                    experiment.name
+                ));
+            }
+            experiment = experiment.backend(backend);
+        }
+        Ok(experiment)
+    }
+
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("experiment", self.experiment.as_str())
+            .field(
+                "scale",
+                match self.scale {
+                    None => Json::Null,
+                    Some(Scale::Eval) => Json::from("eval"),
+                    Some(Scale::Small) => Json::from("small"),
+                },
+            )
+            .field(
+                "backend",
+                match self.backend {
+                    None => Json::Null,
+                    Some(b) => Json::from(b.name()),
+                },
+            )
+    }
+
+    pub fn from_json(doc: &Json) -> Result<ExperimentSpec, String> {
+        let experiment = doc
+            .get("experiment")
+            .and_then(Json::as_str)
+            .ok_or("spec: missing experiment")?
+            .to_string();
+        let scale = match doc.get("scale") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(match v.as_str() {
+                Some("eval") => Scale::Eval,
+                Some("small") => Scale::Small,
+                _ => return Err("spec: bad scale".into()),
+            }),
+        };
+        let backend = match doc.get("backend") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(BackendId::parse(v.as_str().ok_or("spec: bad backend")?)?),
+        };
+        Ok(ExperimentSpec {
+            experiment,
+            scale,
+            backend,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_round_trips() {
+        for spec in [
+            ExperimentSpec::new("smoke"),
+            ExperimentSpec::new("litmus")
+                .scale(Some(Scale::Small))
+                .backend(Some(BackendId::Functional)),
+        ] {
+            let doc = spec.to_json();
+            assert_eq!(ExperimentSpec::from_json(&doc).unwrap(), spec);
+        }
+    }
+}

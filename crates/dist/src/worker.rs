@@ -1,0 +1,307 @@
+//! The worker: connects to a coordinator, resolves the assigned
+//! experiment spec through its own registry, and executes leased jobs
+//! through the ordinary
+//! [`Experiment::run_with`](sfence_harness::Experiment::run_with)
+//! machinery — with an optional worker-local result cache, so a
+//! re-run of a campaign executes zero cells on every worker that has
+//! seen them before.
+//!
+//! A heartbeat thread keeps the worker's leases alive while cells
+//! execute; if the coordinator vanishes the worker errors out rather
+//! than hanging (reads are bounded by a timeout).
+
+use crate::protocol::{write_msg, FrameError, FrameReader, Msg, PROTOCOL_VERSION};
+use crate::spec::{ExperimentSpec, Registry};
+use sfence_harness::{host_token, ResultCache, RunOptions, SCHEMA_VERSION};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Rows per `result` frame. A row is a few hundred bytes, so chunks
+/// stay far under the protocol's frame limit no matter how large a
+/// lease the coordinator hands out.
+const RESULT_CHUNK_ROWS: usize = 1024;
+
+/// Tunables of one [`work`] call.
+#[derive(Debug, Clone)]
+pub struct WorkerOpts {
+    /// Worker-local content-addressed result cache directory.
+    pub cache_dir: Option<PathBuf>,
+    /// Threads for executing a lease's cells (0 = one per CPU, capped
+    /// by the lease size).
+    pub threads: usize,
+    /// Heartbeat interval; must be well under the coordinator's lease
+    /// TTL.
+    pub heartbeat_ms: u64,
+    /// Worker name sent in the handshake (default: host token + pid).
+    pub name: Option<String>,
+    /// Consecutive read-timeout windows tolerated before concluding
+    /// the coordinator is gone. Each window is `read_timeout_ms` long.
+    pub max_idle_windows: u32,
+    /// Read timeout granularity.
+    pub read_timeout_ms: u64,
+    /// Suppress per-lease progress lines on stderr.
+    pub quiet: bool,
+}
+
+impl Default for WorkerOpts {
+    fn default() -> WorkerOpts {
+        WorkerOpts {
+            cache_dir: None,
+            threads: 0,
+            heartbeat_ms: 1000,
+            name: None,
+            max_idle_windows: 120,
+            read_timeout_ms: 1000,
+            quiet: false,
+        }
+    }
+}
+
+/// Per-worker accounting of one campaign.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerSummary {
+    /// Jobs this worker returned rows for.
+    pub jobs: u64,
+    /// Cells it actually executed (cache misses).
+    pub executed: u64,
+    /// Cells answered from its local cache.
+    pub cache_hits: u64,
+}
+
+/// Connect to the coordinator at `addr`, serve leases until the
+/// campaign completes (`done`), and return this worker's accounting.
+pub fn work(addr: &str, registry: Registry, opts: &WorkerOpts) -> Result<WorkerSummary, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let _ = stream.set_nodelay(true);
+    stream
+        .set_read_timeout(Some(Duration::from_millis(opts.read_timeout_ms.max(10))))
+        .map_err(|e| format!("set_read_timeout: {e}"))?;
+    let name = opts
+        .name
+        .clone()
+        .unwrap_or_else(|| format!("{}-{}", host_token(), std::process::id()));
+
+    // All writes go through one mutex so heartbeat frames (side
+    // thread) and protocol frames (this thread) never interleave
+    // bytes within a frame.
+    let writer = Arc::new(Mutex::new(
+        stream
+            .try_clone()
+            .map_err(|e| format!("clone stream: {e}"))?,
+    ));
+    let mut reader = FrameReader::new(stream);
+    let send = |msg: &Msg| -> Result<(), String> {
+        write_msg(&mut *writer.lock().unwrap(), msg).map_err(|e| format!("send: {e}"))
+    };
+    let recv = |reader: &mut FrameReader<TcpStream>| -> Result<Msg, String> {
+        let mut idle: u32 = 0;
+        loop {
+            match reader.next_msg() {
+                Ok(Some(msg)) => return Ok(msg),
+                Ok(None) => {
+                    idle += 1;
+                    if idle >= opts.max_idle_windows {
+                        return Err(format!(
+                            "coordinator silent for {} windows of {}ms",
+                            idle, opts.read_timeout_ms
+                        ));
+                    }
+                }
+                Err(FrameError::Eof) => return Err("coordinator closed the connection".into()),
+                Err(e) => return Err(e.to_string()),
+            }
+        }
+    };
+
+    // --- Handshake ------------------------------------------------
+    send(&Msg::Hello {
+        schema_version: SCHEMA_VERSION,
+        protocol_version: PROTOCOL_VERSION,
+        worker: name.clone(),
+    })?;
+    let (spec, job_count, coord_fp, lease_ttl_ms) = match recv(&mut reader)? {
+        Msg::Assign {
+            spec,
+            job_count,
+            fingerprint,
+            lease_ttl_ms,
+        } => (
+            ExperimentSpec::from_json(&spec)?,
+            job_count as usize,
+            fingerprint,
+            lease_ttl_ms,
+        ),
+        Msg::Reject { reason } => return Err(format!("coordinator rejected us: {reason}")),
+        // The campaign finished while we were connecting; nothing to
+        // do is a clean exit, not a protocol error.
+        Msg::Done => {
+            if !opts.quiet {
+                eprintln!("worker {name}: campaign already complete");
+            }
+            return Ok(WorkerSummary::default());
+        }
+        other => return Err(format!("expected assign, got {other:?}")),
+    };
+    let experiment = match spec.resolve(registry) {
+        Ok(e) => e,
+        Err(why) => {
+            let _ = send(&Msg::Abort {
+                reason: why.clone(),
+            });
+            return Err(format!("cannot run assigned spec: {why}"));
+        }
+    };
+    let fingerprint = experiment.fingerprint();
+    if fingerprint != coord_fp || experiment.job_count() != job_count {
+        // Tell the coordinator why we're leaving rather than silently
+        // disconnecting; it would also catch the mismatch on `ready`.
+        let why = format!(
+            "fingerprint mismatch for {:?}: coordinator {coord_fp} ({job_count} jobs), \
+             this binary {fingerprint} ({} jobs)",
+            spec.experiment,
+            experiment.job_count()
+        );
+        let _ = send(&Msg::Abort {
+            reason: why.clone(),
+        });
+        return Err(why);
+    }
+    send(&Msg::Ready { fingerprint })?;
+
+    let mut cache = match &opts.cache_dir {
+        // Unique writer name: any number of workers on any number of
+        // hosts may share one cache directory.
+        Some(dir) => Some(
+            ResultCache::open_unique(dir, "worker")
+                .map_err(|e| format!("open cache {}: {e}", dir.display()))?,
+        ),
+        None => None,
+    };
+
+    // --- Heartbeats -----------------------------------------------
+    // Leases only exist while a batch of cells executes, so that is
+    // the only time keep-alives matter — and *not* beating outside it
+    // means no heartbeat is in flight around the final
+    // request/`done` exchange, where it could race the coordinator
+    // closing the connection.
+    let stop = Arc::new(AtomicBool::new(false));
+    let executing = Arc::new(AtomicBool::new(false));
+    let hb_writer = Arc::clone(&writer);
+    let hb_stop = Arc::clone(&stop);
+    let hb_executing = Arc::clone(&executing);
+    // Beat well inside the coordinator's lease TTL (shipped in
+    // `assign` for exactly this): a configured interval at or above
+    // the TTL would lose the renewal race and spuriously expire a
+    // live worker's leases.
+    let hb_interval = Duration::from_millis(opts.heartbeat_ms.min(lease_ttl_ms / 3).max(10));
+    let heartbeat = std::thread::spawn(move || {
+        while !hb_stop.load(Ordering::SeqCst) {
+            std::thread::sleep(hb_interval);
+            if hb_stop.load(Ordering::SeqCst) {
+                break;
+            }
+            if !hb_executing.load(Ordering::SeqCst) {
+                continue;
+            }
+            if write_msg(&mut *hb_writer.lock().unwrap(), &Msg::Heartbeat).is_err() {
+                // Coordinator gone; the main loop will notice on its
+                // next read.
+                break;
+            }
+        }
+    });
+    let stop_heartbeat = |result: Result<WorkerSummary, String>| {
+        stop.store(true, Ordering::SeqCst);
+        let _ = heartbeat.join();
+        result
+    };
+
+    // --- Lease loop -----------------------------------------------
+    let mut summary = WorkerSummary::default();
+    loop {
+        if let Err(e) = send(&Msg::Request) {
+            return stop_heartbeat(Err(e));
+        }
+        let msg = match recv(&mut reader) {
+            Ok(msg) => msg,
+            Err(e) => return stop_heartbeat(Err(e)),
+        };
+        match msg {
+            Msg::Lease { jobs } => {
+                if jobs.iter().any(|&j| j >= job_count) {
+                    let why = format!("lease contains out-of-range indices: {jobs:?}");
+                    let _ = send(&Msg::Abort {
+                        reason: why.clone(),
+                    });
+                    return stop_heartbeat(Err(why));
+                }
+                let threads = if opts.threads == 0 {
+                    sfence_harness::default_threads(jobs.len())
+                } else {
+                    opts.threads
+                };
+                let mut run_opts = RunOptions::new(threads).jobs(jobs.clone());
+                if let Some(cache) = cache.as_mut() {
+                    run_opts = run_opts.cache(cache);
+                }
+                executing.store(true, Ordering::SeqCst);
+                let outcome = experiment.run_with(run_opts);
+                summary.jobs += outcome.rows.len() as u64;
+                summary.executed += outcome.stats.executed as u64;
+                summary.cache_hits += outcome.stats.cache_hits as u64;
+                if !opts.quiet {
+                    eprintln!(
+                        "worker {name}: lease of {} job(s): {} executed, {} cache hits",
+                        jobs.len(),
+                        outcome.stats.executed,
+                        outcome.stats.cache_hits
+                    );
+                }
+                // A huge lease's rows could exceed the frame limit as
+                // one message; results are independent, so ship them
+                // in bounded chunks (the accounting rides the first).
+                let mut first = true;
+                let mut rows = outcome.rows;
+                while !rows.is_empty() || first {
+                    let rest = rows.split_off(rows.len().min(RESULT_CHUNK_ROWS));
+                    let msg = Msg::Result {
+                        rows: std::mem::replace(&mut rows, rest),
+                        executed: if first {
+                            outcome.stats.executed as u64
+                        } else {
+                            0
+                        },
+                        cache_hits: if first {
+                            outcome.stats.cache_hits as u64
+                        } else {
+                            0
+                        },
+                    };
+                    first = false;
+                    if let Err(e) = send(&msg) {
+                        return stop_heartbeat(Err(e));
+                    }
+                }
+                executing.store(false, Ordering::SeqCst);
+            }
+            Msg::Wait { ms } => std::thread::sleep(Duration::from_millis(ms.min(5000))),
+            Msg::Done => break,
+            Msg::Reject { reason } => {
+                return stop_heartbeat(Err(format!("coordinator rejected us: {reason}")))
+            }
+            other => {
+                return stop_heartbeat(Err(format!("unexpected message {other:?}")));
+            }
+        }
+    }
+    if !opts.quiet {
+        eprintln!(
+            "worker {name}: done ({} jobs, {} executed, {} cache hits)",
+            summary.jobs, summary.executed, summary.cache_hits
+        );
+    }
+    stop_heartbeat(Ok(summary))
+}

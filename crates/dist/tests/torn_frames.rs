@@ -1,0 +1,186 @@
+//! Protocol robustness: truncated, oversized, and garbage frames
+//! must disconnect the offending peer — releasing its leases — and
+//! must never panic the coordinator or cost the campaign a row.
+
+use sfence_dist::protocol::{write_msg, FrameError, FrameReader, Msg, MAX_FRAME, PROTOCOL_VERSION};
+use sfence_dist::{serve, work, CoordinatorOpts, ExperimentSpec, WorkerOpts};
+use sfence_harness::{Axis, BackendId, Experiment, SweepResult, SCHEMA_VERSION};
+use sfence_sim::FenceConfig;
+use sfence_workloads::WorkloadParams;
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+
+fn registry(name: &str) -> Option<Experiment> {
+    match name {
+        "tiny" => Some(
+            Experiment::new("tiny")
+                .workloads(["dekker", "msn"], WorkloadParams::small())
+                .fences(vec![FenceConfig::TRADITIONAL, FenceConfig::SFENCE])
+                .axis(Axis::Level(vec![1, 2]))
+                .backend(BackendId::Functional),
+        ),
+        _ => None,
+    }
+}
+
+fn torn(bytes: &[u8]) -> String {
+    let mut reader = FrameReader::new(bytes);
+    loop {
+        match reader.next_msg() {
+            Ok(Some(_)) => continue, // leading valid frames are fine
+            Ok(None) => panic!("reader idled on a finite byte source"),
+            Err(FrameError::Torn(why)) => return why,
+            Err(other) => panic!("expected Torn, got {other}"),
+        }
+    }
+}
+
+#[test]
+fn truncated_frames_are_torn_not_panics() {
+    let mut wire = Vec::new();
+    write_msg(&mut wire, &Msg::Request).unwrap();
+    // Cut the frame anywhere: inside the length prefix or the body.
+    for cut in 1..wire.len() {
+        let why = torn(&wire[..cut]);
+        assert!(why.contains("mid-frame"), "cut at {cut}: {why}");
+    }
+}
+
+#[test]
+fn oversized_length_prefix_is_rejected_before_allocating() {
+    // "GET / HTTP/1.1" — a stray HTTP client's first 4 bytes decode
+    // as a 1.2 GB length prefix.
+    let why = torn(b"GET / HTTP/1.1\r\n\r\n");
+    assert!(why.contains("exceeds"), "{why}");
+    // Exactly one past the limit.
+    let mut wire = (MAX_FRAME + 1).to_be_bytes().to_vec();
+    wire.extend_from_slice(b"x");
+    assert!(torn(&wire).contains("exceeds"));
+}
+
+#[test]
+fn garbage_payloads_are_torn() {
+    // Correct framing around an invalid payload.
+    let frame = |payload: &[u8]| {
+        let mut wire = (payload.len() as u32).to_be_bytes().to_vec();
+        wire.extend_from_slice(payload);
+        wire
+    };
+    assert!(torn(&frame(b"not json at all")).contains("bad JSON"));
+    assert!(torn(&frame(&[0xff, 0xfe, 0x00])).contains("UTF-8"));
+    // Valid JSON, but not a message.
+    assert!(torn(&frame(b"{\"no\":\"type\"}")).contains("no type"));
+    assert!(torn(&frame(b"{\"type\":\"warp\"}")).contains("unknown message type"));
+}
+
+#[test]
+fn valid_frames_before_the_tear_still_decode() {
+    let mut wire = Vec::new();
+    write_msg(&mut wire, &Msg::Heartbeat).unwrap();
+    write_msg(&mut wire, &Msg::Wait { ms: 5 }).unwrap();
+    wire.extend_from_slice(b"\xde\xad\xbe\xef trailing junk");
+    let mut reader = FrameReader::new(wire.as_slice());
+    assert_eq!(reader.next_msg().unwrap(), Some(Msg::Heartbeat));
+    assert_eq!(reader.next_msg().unwrap(), Some(Msg::Wait { ms: 5 }));
+    assert!(matches!(reader.next_msg(), Err(FrameError::Torn(_))));
+}
+
+/// Live coordinator: three hostile clients — raw garbage before the
+/// handshake, garbage after a completed handshake, and a mid-frame
+/// hangup — while one honest worker runs the campaign. The merge must
+/// still be byte-identical and every hostile connection accounted as
+/// rejected.
+#[test]
+fn live_coordinator_survives_torn_clients() {
+    let experiment = registry("tiny").unwrap();
+    let expected = experiment.run_parallel().to_json_string();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let spec = ExperimentSpec::new("tiny");
+    let opts = CoordinatorOpts {
+        lease_size: 2,
+        lease_ttl_ms: 10_000,
+        poll_ms: 10,
+        wait_ms: 10,
+        quiet: true,
+        ..CoordinatorOpts::default()
+    };
+
+    let summary = std::thread::scope(|s| {
+        let coord = s.spawn(|| serve(&listener, &experiment, &spec, &opts));
+
+        // 1. An HTTP client wandered in: oversized length prefix.
+        let mut http = TcpStream::connect(&addr).unwrap();
+        http.write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        drop(http);
+
+        // 2. A client that handshakes correctly, takes a lease, then
+        // sends garbage instead of results.
+        let stream = TcpStream::connect(&addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = FrameReader::new(stream);
+        write_msg(
+            &mut writer,
+            &Msg::Hello {
+                schema_version: SCHEMA_VERSION,
+                protocol_version: PROTOCOL_VERSION,
+                worker: "corrupt".into(),
+            },
+        )
+        .unwrap();
+        let fingerprint = match reader.next_msg().unwrap().unwrap() {
+            Msg::Assign { fingerprint, .. } => fingerprint,
+            other => panic!("expected assign, got {other:?}"),
+        };
+        write_msg(&mut writer, &Msg::Ready { fingerprint }).unwrap();
+        write_msg(&mut writer, &Msg::Request).unwrap();
+        match reader.next_msg().unwrap().unwrap() {
+            Msg::Lease { jobs } => assert!(!jobs.is_empty()),
+            other => panic!("expected lease, got {other:?}"),
+        }
+        writer.write_all(b"\x00\x00\x00\x09{\"bad\":1}").unwrap();
+        drop(writer);
+        drop(reader);
+
+        // 3. A client that hangs up mid-frame: a length prefix
+        // promising more bytes than it ever sends.
+        let mut half = TcpStream::connect(&addr).unwrap();
+        half.write_all(&[0x00, 0x00, 0x01, 0x00, b'{']).unwrap();
+        drop(half);
+
+        // The honest worker completes everything, including the
+        // corrupt client's re-leased jobs.
+        let w = s.spawn({
+            let addr = addr.clone();
+            move || {
+                work(
+                    &addr,
+                    registry,
+                    &WorkerOpts {
+                        threads: 1,
+                        heartbeat_ms: 50,
+                        name: Some("honest".into()),
+                        read_timeout_ms: 20,
+                        max_idle_windows: 500,
+                        quiet: true,
+                        ..WorkerOpts::default()
+                    },
+                )
+            }
+        });
+        let summary = coord.join().unwrap().expect("campaign completes");
+        w.join().unwrap().expect("honest worker exits cleanly");
+        summary
+    });
+
+    assert!(
+        summary.rejected >= 3,
+        "all hostile connections rejected (got {})",
+        summary.rejected
+    );
+    assert_eq!(summary.released, 2, "the corrupt client's lease re-queued");
+    let result =
+        SweepResult::from_indexed(&experiment.name, experiment.job_count(), summary.rows).unwrap();
+    assert_eq!(result.to_json_string(), expected);
+}

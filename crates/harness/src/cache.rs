@@ -32,6 +32,59 @@ use std::collections::HashMap;
 use std::fs::{self, File, OpenOptions};
 use std::io::{BufRead, BufReader, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic per-process counter feeding [`unique_writer_name`], so
+/// two caches opened by one process never share a writer file.
+static WRITER_NONCE: AtomicU64 = AtomicU64::new(0);
+
+/// An 8-hex-character token identifying this host, derived by hashing
+/// the hostname. Two hosts sharing one cache directory (a network
+/// filesystem under a distributed sweep) get different tokens. A host
+/// with *no discoverable hostname* must not collapse onto a shared
+/// constant — two such hosts could then collide on pid too (separate
+/// pid namespaces hand out the same small pids) — so the anonymous
+/// fallback salts the token with this process's start time instead.
+/// Stable within a process either way.
+pub fn host_token() -> String {
+    static TOKEN: std::sync::OnceLock<String> = std::sync::OnceLock::new();
+    TOKEN
+        .get_or_init(|| {
+            let name = fs::read_to_string("/proc/sys/kernel/hostname")
+                .or_else(|_| fs::read_to_string("/etc/hostname"))
+                .ok()
+                .or_else(|| std::env::var("HOSTNAME").ok())
+                .or_else(|| std::env::var("COMPUTERNAME").ok())
+                .unwrap_or_default();
+            let name = name.trim().to_string();
+            if name.is_empty() {
+                let nanos = std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .map(|d| d.as_nanos())
+                    .unwrap_or(0);
+                sha256_hex(format!("anonymous-host-{nanos}").as_bytes())[..8].to_string()
+            } else {
+                sha256_hex(name.as_bytes())[..8].to_string()
+            }
+        })
+        .clone()
+}
+
+/// A cache writer-file name no concurrent writer — same process,
+/// another process, or another *host* — can produce:
+/// `<prefix>-<host token>-<pid>-<nonce>.jsonl`. Hosts differ in the
+/// token, processes on one host differ in the pid, and writers within
+/// one process differ in the monotonic nonce. (Fixed names like
+/// `shard-0.jsonl` collide as soon as two hosts run the same shard
+/// layout against a shared directory.)
+pub fn unique_writer_name(prefix: &str) -> String {
+    format!(
+        "{prefix}-{}-{}-{}.jsonl",
+        host_token(),
+        std::process::id(),
+        WRITER_NONCE.fetch_add(1, Ordering::Relaxed)
+    )
+}
 
 /// Canonical JSON description of one sweep cell. The machine config
 /// string comes from `MachineConfig::canonical_json` (the one place
@@ -114,6 +167,13 @@ impl ResultCache {
     /// writer file `cache.jsonl`.
     pub fn open(dir: impl AsRef<Path>) -> std::io::Result<ResultCache> {
         Self::open_with_writer(dir, "cache.jsonl")
+    }
+
+    /// Open with a guaranteed-fresh writer file
+    /// ([`unique_writer_name`]), safe for any number of concurrent
+    /// writers across any number of hosts sharing `dir`.
+    pub fn open_unique(dir: impl AsRef<Path>, prefix: &str) -> std::io::Result<ResultCache> {
+        Self::open_with_writer(dir, unique_writer_name(prefix))
     }
 
     /// Open with a caller-chosen writer file name — shard workers
@@ -215,4 +275,45 @@ fn parse_entry(line: &str) -> Result<(String, RunReport), String> {
     // `RunReport::from_json` rejects mismatched schema_version.
     let report = RunReport::from_json(doc.get("report").ok_or("missing report")?)?;
     Ok((key, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_names_carry_host_pid_and_nonce() {
+        let token = host_token();
+        assert_eq!(token.len(), 8);
+        assert!(token.chars().all(|c| c.is_ascii_hexdigit()));
+        // The token is a pure function of the host.
+        assert_eq!(token, host_token());
+
+        let a = unique_writer_name("worker");
+        let b = unique_writer_name("worker");
+        assert_ne!(a, b, "the nonce must separate writers in one process");
+        for name in [&a, &b] {
+            let stem = name.strip_suffix(".jsonl").expect("jsonl suffix");
+            let parts: Vec<&str> = stem.split('-').collect();
+            assert_eq!(parts[0], "worker");
+            assert_eq!(parts[1], token, "host token embedded in {name}");
+            assert_eq!(
+                parts[2],
+                std::process::id().to_string(),
+                "pid embedded in {name}"
+            );
+            assert!(parts[3].parse::<u64>().is_ok(), "nonce in {name}");
+        }
+    }
+
+    #[test]
+    fn names_for_different_hosts_differ() {
+        // Simulate the second host by hashing a different hostname the
+        // way host_token does: equal inputs are the only way to equal
+        // tokens, so two hosts collide only on a hostname collision —
+        // and then pid+nonce still separate the files.
+        let here = host_token();
+        let elsewhere = sha256_hex(b"some-other-host")[..8].to_string();
+        assert_ne!(here, elsewhere);
+    }
 }

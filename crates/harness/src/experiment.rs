@@ -351,6 +351,25 @@ impl Experiment {
             .collect()
     }
 
+    /// Content hash of the *whole resolved experiment*: the schema
+    /// version, name, axis and the cache key of every job in job
+    /// order. Two processes agree on this fingerprint exactly when
+    /// their job lists are interchangeable — same cells, same indices,
+    /// same serialization generation — so the distributed runner's
+    /// handshake compares fingerprints and rejects mismatched binaries
+    /// instead of corrupting a merge.
+    pub fn fingerprint(&self) -> String {
+        let doc = Json::obj()
+            .field("schema_version", SCHEMA_VERSION)
+            .field("experiment", self.name.as_str())
+            .field("axis", self.axis.name())
+            .field(
+                "job_keys",
+                Json::Arr(self.job_keys().into_iter().map(Json::from).collect()),
+            );
+        crate::hash::sha256_hex(doc.canonicalize().to_string_compact().as_bytes())
+    }
+
     /// The configurable execution engine behind [`Experiment::run`]:
     /// optionally restricted to one shard, optionally backed by a
     /// content-addressed result cache (hits skip the simulator,
@@ -363,9 +382,27 @@ impl Experiment {
     pub fn run_with(&self, opts: RunOptions) -> RunOutcome {
         let jobs = self.jobs();
         let axis_name = self.axis.name().to_string();
-        let selected: Vec<usize> = match opts.shard {
-            Some(shard) => (0..jobs.len()).filter(|&i| shard.contains(i)).collect(),
-            None => (0..jobs.len()).collect(),
+        let selected: Vec<usize> = match (&opts.jobs, opts.shard) {
+            (Some(_), Some(_)) => {
+                // Static configuration, so misuse is a programming
+                // error rather than a recoverable condition.
+                panic!("RunOptions::jobs and RunOptions::shard are mutually exclusive")
+            }
+            (Some(explicit), None) => {
+                let mut explicit = explicit.clone();
+                explicit.sort_unstable();
+                explicit.dedup();
+                for &i in &explicit {
+                    assert!(
+                        i < jobs.len(),
+                        "job index {i} out of range ({} jobs)",
+                        jobs.len()
+                    );
+                }
+                explicit
+            }
+            (None, Some(shard)) => (0..jobs.len()).filter(|&i| shard.contains(i)).collect(),
+            (None, None) => (0..jobs.len()).collect(),
         };
 
         let mut cache = opts.cache;
@@ -455,6 +492,10 @@ pub struct RunOptions<'c> {
     pub cache: Option<&'c mut ResultCache>,
     /// Restrict to one shard of the job list.
     pub shard: Option<Shard>,
+    /// Restrict to an explicit set of job indices (a distributed
+    /// lease). Mutually exclusive with `shard`; indices are
+    /// deduplicated, sorted, and must be in range.
+    pub jobs: Option<Vec<usize>>,
     /// Execute at most this many uncached cells (`None` = no limit).
     pub max_cells: Option<usize>,
 }
@@ -465,6 +506,7 @@ impl<'c> RunOptions<'c> {
             threads,
             cache: None,
             shard: None,
+            jobs: None,
             max_cells: None,
         }
     }
@@ -476,6 +518,13 @@ impl<'c> RunOptions<'c> {
 
     pub fn shard(mut self, shard: Shard) -> Self {
         self.shard = Some(shard);
+        self
+    }
+
+    /// Run exactly these job indices — the worker half of a
+    /// distributed lease.
+    pub fn jobs(mut self, jobs: Vec<usize>) -> Self {
+        self.jobs = Some(jobs);
         self
     }
 

@@ -52,7 +52,7 @@ pub mod store;
 pub use backend::{
     Backend, BackendId, EngineOutput, EnumerativeBackend, FunctionalBackend, SimBackend,
 };
-pub use cache::{job_canonical_json, job_key, ResultCache};
+pub use cache::{host_token, job_canonical_json, job_key, unique_writer_name, ResultCache};
 pub use enumerate::{enumerate_sc, CheckerConfig, ScOutcomes};
 pub use experiment::{
     default_threads, Axis, AxisPoint, Experiment, IndexedRow, RunOptions, RunOutcome, RunStats,
@@ -61,5 +61,5 @@ pub use experiment::{
 pub use json::Json;
 pub use runner::run_indexed;
 pub use session::{speedup_s_over_t, RunReport, Session, SCHEMA_VERSION};
-pub use shard::Shard;
+pub use shard::{JobQueue, Shard};
 pub use store::{diff_rows, ResultStore, RunMeta, StoredRun, SweepDiff};

@@ -245,20 +245,42 @@ impl ResultStore {
             .find(|run| run.meta.experiment == experiment))
     }
 
+    /// Every stored run of `experiment` at `scale` on `backend`,
+    /// most recent first — the comparable history of one experiment
+    /// identity (cycle counts across scales or engines are
+    /// incomparable, so those never mix).
+    pub fn history_at(
+        &self,
+        experiment: &str,
+        scale: &str,
+        backend: &str,
+    ) -> Result<Vec<StoredRun>, String> {
+        Ok(self
+            .read()?
+            .runs
+            .into_iter()
+            .rev()
+            .filter(|run| {
+                run.meta.experiment == experiment
+                    && run.meta.scale == scale
+                    && run.meta.backend == backend
+            })
+            .collect())
+    }
+
     /// The most recent stored run of `experiment` at `scale` on
-    /// `backend` — the lookup diffing uses, since cycle counts across
-    /// scales (or engines) are incomparable.
+    /// `backend` — the default diff target; `--diff-run K` reaches
+    /// deeper into [`ResultStore::history_at`].
     pub fn latest_at(
         &self,
         experiment: &str,
         scale: &str,
         backend: &str,
     ) -> Result<Option<StoredRun>, String> {
-        Ok(self.read()?.runs.into_iter().rev().find(|run| {
-            run.meta.experiment == experiment
-                && run.meta.scale == scale
-                && run.meta.backend == backend
-        }))
+        Ok(self
+            .history_at(experiment, scale, backend)?
+            .into_iter()
+            .next())
     }
 }
 

@@ -167,6 +167,48 @@ fn store_round_trips_and_diffs() {
 }
 
 #[test]
+fn history_at_walks_comparable_runs_most_recent_first() {
+    // The lookup behind `--diff-run K`: any comparable stored run is
+    // reachable, not only the latest append.
+    let dir = scratch_dir("history");
+    let store = ResultStore::new(dir.join("results.jsonl"));
+    let exp = small_experiment();
+    let result = exp.run_parallel();
+    for (git, ts) in [("g1", 1), ("g2", 2), ("g3", 3)] {
+        store
+            .append(
+                &RunMeta::new("shard-test", "level", "small", "sim", git, ts),
+                &result,
+            )
+            .unwrap();
+    }
+    // A run of a different identity must never appear in the walk.
+    store
+        .append(
+            &RunMeta::new("shard-test", "level", "eval", "sim", "gx", 4),
+            &result,
+        )
+        .unwrap();
+
+    let history = store.history_at("shard-test", "small", "sim").unwrap();
+    let gits: Vec<&str> = history.iter().map(|r| r.meta.git.as_str()).collect();
+    assert_eq!(gits, ["g3", "g2", "g1"]);
+    assert_eq!(
+        store
+            .latest_at("shard-test", "small", "sim")
+            .unwrap()
+            .unwrap()
+            .meta
+            .git,
+        "g3"
+    );
+    assert!(store
+        .history_at("shard-test", "default", "sim")
+        .unwrap()
+        .is_empty());
+}
+
+#[test]
 fn store_matches_diff_history_by_scale() {
     let dir = scratch_dir("scales");
     let store = ResultStore::new(dir.join("results.jsonl"));
