@@ -16,9 +16,12 @@
 //! - [`semantics`] — the executable operational semantics of class
 //!   scope (paper Fig. 5) plus a trace conformance checker used to
 //!   validate the CPU model against the definition of S-Fence.
+//! - [`coverage`] — the compact event bitmap of scope-unit paths the
+//!   fuzzer (`sfence-fuzz`) keys its corpus on.
 //! - [`cost`] — the §VI-E hardware cost accounting.
 
 pub mod cost;
+pub mod coverage;
 pub mod mapping;
 pub mod mask;
 pub mod semantics;
@@ -26,6 +29,7 @@ pub mod stack;
 pub mod unit;
 
 pub use cost::{hw_cost, HwCost};
+pub use coverage::CoverageSet;
 pub use mask::{ColumnCounters, ScopeMask, MAX_FSB_ENTRIES};
 pub use semantics::{check_trace, ClassScopeModel, ConformanceStats, RetiredEvent, Violation};
 pub use sfence_isa::ClassId;

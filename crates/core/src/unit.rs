@@ -18,6 +18,7 @@
 //!   the fence must wait for, and [`ScopeUnit::mask_clear`] answers
 //!   the per-cycle "is this FSB column clear everywhere?" check.
 
+use crate::coverage::{self, CoverageSet};
 use crate::mapping::{MapResult, MappingTable};
 use crate::mask::{ColumnCounters, ScopeMask, MAX_FSB_ENTRIES};
 use crate::stack::{ScopeOp, ScopeStack};
@@ -49,6 +50,14 @@ pub struct ScopeConfig {
     /// Mapping-table rows.
     pub mapping_entries: usize,
     pub recovery: ScopeRecovery,
+    /// Fault injection for the fuzzer's bug-detection smoke test:
+    /// model broken RTL that treats "no tracked scope" as "nothing to
+    /// wait for" — a scoped fence that should degrade to a full wait
+    /// (FSS overflow, mapping-table overflow, or fencing outside any
+    /// tracked scope) instead waits on nothing. Never set outside
+    /// `sfence-fuzz --inject-bug`; the default hardware is the
+    /// paper's always-safe degrade.
+    pub skip_degrade_on_overflow: bool,
 }
 
 impl Default for ScopeConfig {
@@ -60,6 +69,7 @@ impl Default for ScopeConfig {
             // columns and keep the §VI-E cost under 80 bytes/core.
             mapping_entries: 4,
             recovery: ScopeRecovery::ShadowStack,
+            skip_degrade_on_overflow: false,
         }
     }
 }
@@ -84,6 +94,9 @@ pub struct ScopeUnitStats {
     pub degraded_fences: u64,
     pub scoped_fences: u64,
     pub mispredict_recoveries: u64,
+    /// FSS pushes that overflowed capacity (entries into degraded
+    /// mode), attributable per core.
+    pub fss_overflows: u64,
 }
 
 /// The per-core scope unit.
@@ -110,6 +123,10 @@ pub struct ScopeUnit {
     mt: MappingTable,
     counts: ColumnCounters,
     pub stats: ScopeUnitStats,
+    /// Which micro-architectural paths this unit exercised (the
+    /// fuzzer's corpus key). The CPU core also records its fence
+    /// stall paths here.
+    pub coverage: CoverageSet,
 }
 
 impl ScopeUnit {
@@ -131,6 +148,7 @@ impl ScopeUnit {
             mt: MappingTable::new(cfg.mapping_entries, class_columns),
             counts: ColumnCounters::new(),
             stats: ScopeUnitStats::default(),
+            coverage: CoverageSet::EMPTY,
         }
     }
 
@@ -166,21 +184,40 @@ impl ScopeUnit {
     /// Issue an `fs_start cid`.
     pub fn fs_start(&mut self, cid: ClassId, seq: u64) {
         self.stats.fs_starts += 1;
-        let op = if self.fss.degraded() {
+        let was_degraded = self.fss.degraded();
+        let op = if was_degraded {
             // Inside an untracked region: don't touch the mapping table.
             ScopeOp::Push(None)
         } else {
-            match self.mt.lookup_or_alloc(cid) {
+            let before = self.mapping_stats();
+            let res = self.mt.lookup_or_alloc(cid);
+            let after = self.mapping_stats();
+            self.coverage.insert(match () {
+                _ if after.0 > before.0 => coverage::MAP_HIT,
+                _ if after.3 > before.3 => coverage::MAP_FULL,
+                _ if after.2 > before.2 => coverage::MAP_FALLBACK,
+                _ => coverage::MAP_ALLOC,
+            });
+            match res {
                 MapResult::Column(col) => ScopeOp::Push(Some(col)),
                 MapResult::TableFull => ScopeOp::Push(None),
             }
         };
+        self.coverage.insert(match op {
+            ScopeOp::Push(Some(_)) => coverage::FSS_PUSH,
+            _ => coverage::FSS_PUSH_UNTRACKED,
+        });
         self.apply_op(seq, op);
+        if !was_degraded && self.fss.degraded() {
+            self.stats.fss_overflows += 1;
+            self.coverage.insert(coverage::FSS_OVERFLOW);
+        }
     }
 
     /// Issue an `fs_end`.
     pub fn fs_end(&mut self, seq: u64) {
         self.stats.fs_ends += 1;
+        self.coverage.insert(coverage::FSS_POP);
         self.apply_op(seq, ScopeOp::Pop);
         self.reclaim();
     }
@@ -194,6 +231,7 @@ impl ScopeUnit {
         if set_flagged {
             mask = mask.union(ScopeMask::column(self.set_column()));
             self.stats.flagged_mem_ops += 1;
+            self.coverage.insert(coverage::SET_FLAGGED);
         }
         if !mask.is_empty() {
             self.stats.scoped_mem_ops += 1;
@@ -228,6 +266,10 @@ impl ScopeUnit {
         }
 
         self.stats.mispredict_recoveries += 1;
+        self.coverage.insert(match self.cfg.recovery {
+            ScopeRecovery::ShadowStack => coverage::RECOVER_SHADOW,
+            ScopeRecovery::Checkpoint => coverage::RECOVER_CHECKPOINT,
+        });
         // Everything at or after the mispredicted branch is squashed.
         self.branches.retain(|&(s, _)| s < seq);
         self.pending.retain(|&(s, _)| s < seq);
@@ -266,6 +308,7 @@ impl ScopeUnit {
     /// queue so later branch recoveries stay consistent.
     pub fn squash_from(&mut self, seq: u64) {
         self.stats.mispredict_recoveries += 1;
+        self.coverage.insert(coverage::RECOVER_SQUASH);
         self.branches.retain(|&(s, _)| s < seq);
         self.checkpoints.retain(|&(s, _)| s < seq);
         self.inflight.retain(|&(s, _)| s < seq);
@@ -328,6 +371,7 @@ impl ScopeUnit {
         for col in cols {
             if self.counts.count_of(col) == 0 && !self.column_active(col) {
                 self.mt.invalidate_column(col);
+                self.coverage.insert(coverage::FSB_EVICT);
             }
         }
     }
@@ -359,9 +403,21 @@ impl ScopeUnit {
             },
         };
         match wait {
-            FenceWait::All if kind != FenceKind::Global => self.stats.degraded_fences += 1,
-            FenceWait::Mask(_) => self.stats.scoped_fences += 1,
-            _ => {}
+            FenceWait::All if kind != FenceKind::Global => {
+                self.stats.degraded_fences += 1;
+                self.coverage.insert(coverage::FENCE_DEGRADED);
+            }
+            FenceWait::Mask(_) => {
+                self.stats.scoped_fences += 1;
+                self.coverage.insert(coverage::FENCE_SCOPED);
+            }
+            FenceWait::All => self.coverage.insert(coverage::FENCE_GLOBAL),
+        }
+        if self.cfg.skip_degrade_on_overflow && kind != FenceKind::Global && wait == FenceWait::All
+        {
+            // Injected bug (see `ScopeConfig::skip_degrade_on_overflow`):
+            // the degrade path waits on nothing instead of everything.
+            return FenceWait::Mask(ScopeMask::EMPTY);
         }
         wait
     }
@@ -483,6 +539,50 @@ mod tests {
         ));
         u.fs_end(4);
         assert_eq!(u.stats.degraded_fences, 2);
+        assert_eq!(u.stats.fss_overflows, 1);
+        assert!(u.coverage.contains(coverage::FSS_OVERFLOW));
+        assert!(u.coverage.contains(coverage::FENCE_DEGRADED));
+        assert!(u.coverage.contains(coverage::FENCE_SCOPED));
+    }
+
+    #[test]
+    fn injected_bug_makes_degraded_fences_wait_on_nothing() {
+        let mut u = ScopeUnit::new(ScopeConfig {
+            fss_entries: 1,
+            skip_degrade_on_overflow: true,
+            ..ScopeConfig::default()
+        });
+        u.fs_start(ClassId(0), 1);
+        let m = u.mem_issued(false);
+        u.fs_start(ClassId(1), 2); // overflow -> degraded
+        assert!(u.degraded());
+        // Correct hardware would degrade to FenceWait::All; the
+        // injected bug returns an empty mask, which is always "clear".
+        let FenceWait::Mask(mask) = u.fence_request(FenceKind::Class) else {
+            panic!("bug must replace the degraded full wait");
+        };
+        assert!(mask.is_empty());
+        assert!(u.mask_clear(mask), "op at {m:?} outstanding, yet no wait");
+        // Global fences are untouched by the injection.
+        assert_eq!(u.fence_request(FenceKind::Global), FenceWait::All);
+        u.mem_completed(m);
+    }
+
+    #[test]
+    fn coverage_tracks_mapping_paths() {
+        let mut u = ScopeUnit::new(ScopeConfig {
+            fsb_entries: 2, // one class column + the set column
+            mapping_entries: 1,
+            ..ScopeConfig::default()
+        });
+        u.fs_start(ClassId(0), 1);
+        assert!(u.coverage.contains(coverage::MAP_ALLOC));
+        assert!(!u.coverage.contains(coverage::MAP_HIT));
+        u.fs_start(ClassId(0), 2);
+        assert!(u.coverage.contains(coverage::MAP_HIT));
+        u.fs_start(ClassId(1), 3); // table full -> untracked push
+        assert!(u.coverage.contains(coverage::MAP_FULL));
+        assert!(u.coverage.contains(coverage::FSS_PUSH_UNTRACKED));
     }
 
     #[test]

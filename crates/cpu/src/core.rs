@@ -175,6 +175,11 @@ impl Core {
         self.scope.stats
     }
 
+    /// Scope-unit path coverage (the fuzzer's corpus key).
+    pub fn scope_coverage(&self) -> sfence_core::CoverageSet {
+        self.scope.coverage
+    }
+
     pub fn branch_stats(&self) -> (u64, u64) {
         (self.bpred.predictions, self.bpred.mispredictions)
     }
@@ -456,6 +461,9 @@ impl Core {
                     };
                     if !ok {
                         *fence_stalled = true;
+                        self.scope
+                            .coverage
+                            .insert(sfence_core::coverage::STALL_AT_RETIRE);
                         return;
                     }
                 }
@@ -834,6 +842,9 @@ impl Core {
             if let Some((kind, wait, pc)) = self.blocked_fence {
                 if !self.fence_satisfied(wait) {
                     *fence_stalled = true;
+                    self.scope
+                        .coverage
+                        .insert(sfence_core::coverage::STALL_AT_ISSUE);
                     return;
                 }
                 self.blocked_fence = None;
@@ -866,6 +877,9 @@ impl Core {
                         self.fetch_pc += 1;
                         self.blocked_fence = Some((kind, wait, pc));
                         *fence_stalled = true;
+                        self.scope
+                            .coverage
+                            .insert(sfence_core::coverage::STALL_AT_ISSUE);
                         return;
                     }
                 }

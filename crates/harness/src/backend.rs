@@ -138,6 +138,9 @@ pub struct EngineOutput {
     pub core_stats: Vec<CoreStats>,
     pub mem_stats: CoreMemStats,
     pub scope_stats: Vec<ScopeUnitStats>,
+    /// Per-core scope-unit path coverage bitmaps
+    /// (`sfence_core::coverage`) — sim only; the fuzzer's corpus key.
+    pub scope_coverage: Vec<u32>,
     /// Writes to watched addresses in completion order (sim only).
     pub watch_log: Vec<WatchEvent>,
     /// Per-core retired-event traces (sim only, and only when
@@ -166,6 +169,7 @@ impl EngineOutput {
             core_stats: Vec::new(),
             mem_stats: CoreMemStats::default(),
             scope_stats: Vec::new(),
+            scope_coverage: Vec::new(),
             watch_log: Vec::new(),
             traces: Vec::new(),
             mem: Vec::new(),
@@ -216,6 +220,7 @@ impl Backend for SimBackend {
             core_stats: out.summary.core_stats,
             mem_stats: out.summary.mem_stats,
             scope_stats: out.summary.scope_stats,
+            scope_coverage: out.summary.scope_coverage,
             watch_log: out.watch_log,
             traces: out.traces,
             mem: out.mem,

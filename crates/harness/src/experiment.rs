@@ -206,8 +206,11 @@ impl Experiment {
     }
 
     /// Add one registry workload with explicit build parameters. The
-    /// name is either a Table IV benchmark or a generated litmus
-    /// scenario (`litmus/<family>/<seed>`).
+    /// name is a Table IV benchmark, a generated litmus scenario
+    /// (`litmus/<family>/<seed>`, including the minimized fuzzer
+    /// regressions under `litmus/regression/<id>`), or an encoded
+    /// fuzzer candidate (`fuzz/<encoded>`) — which is how corpus
+    /// entries fan out as `ExperimentSpec` jobs over `sfence-dist`.
     pub fn workload(mut self, name: impl Into<String>, params: WorkloadParams) -> Self {
         let name = name.into();
         assert!(

@@ -37,7 +37,15 @@ type CheckFn<'a> = &'a (dyn Fn(&Program, &[i64]) -> Result<(), String> + Send + 
 /// `sc_states_explored`). v2 artifacts are rejected by readers —
 /// cache entries are silently skipped and re-run; stores and shard
 /// rows error out. Regenerate goldens with `regen-golden`.
-pub const SCHEMA_VERSION: u64 = 3;
+///
+/// v4: scope-unit instrumentation for the fuzzer. Reports carry a
+/// per-core scope-unit path-coverage bitmap (`scope_coverage`, sim
+/// only) and `scope_stats` gained the per-core `fss_overflows`
+/// counter; `ScopeConfig` gained the fault-injection knob
+/// `skip_degrade_on_overflow` (part of the canonical config JSON, so
+/// v3 cache keys are invalidated too). Regenerate goldens with
+/// `regen-golden`.
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// A configured run of one program on the simulated machine.
 ///
@@ -145,6 +153,7 @@ impl<'a> Session<'a> {
             core_stats: out.core_stats,
             mem_stats: out.mem_stats,
             scope_stats: out.scope_stats,
+            scope_coverage: out.scope_coverage,
             watch_log: out.watch_log,
             traces: out.traces,
             mem: out.mem,
@@ -182,6 +191,9 @@ pub struct RunReport {
     pub core_stats: Vec<CoreStats>,
     pub mem_stats: CoreMemStats,
     pub scope_stats: Vec<ScopeUnitStats>,
+    /// Per-core scope-unit path coverage bitmaps
+    /// (`sfence_core::coverage`) — sim only; the fuzzer's corpus key.
+    pub scope_coverage: Vec<u32>,
     /// Writes to watched addresses, in completion order.
     pub watch_log: Vec<WatchEvent>,
     /// Per-core retired-event traces (empty unless tracing was on).
@@ -266,6 +278,15 @@ impl RunReport {
                 Json::Arr(self.scope_stats.iter().map(scope_stats_to_json).collect()),
             )
             .field(
+                "scope_coverage",
+                Json::Arr(
+                    self.scope_coverage
+                        .iter()
+                        .map(|&b| Json::UInt(b as u64))
+                        .collect(),
+                ),
+            )
+            .field(
                 "watch_log",
                 Json::Arr(self.watch_log.iter().map(watch_event_to_json).collect()),
             )
@@ -328,6 +349,14 @@ impl RunReport {
             scope_stats: get_arr(json, "scope_stats")?
                 .iter()
                 .map(scope_stats_from_json)
+                .collect::<Result<_, _>>()?,
+            scope_coverage: get_arr(json, "scope_coverage")?
+                .iter()
+                .map(|b| {
+                    b.as_u64()
+                        .and_then(|v| u32::try_from(v).ok())
+                        .ok_or_else(|| "bad coverage bitmap".to_string())
+                })
                 .collect::<Result<_, _>>()?,
             watch_log: get_arr(json, "watch_log")?
                 .iter()
@@ -507,6 +536,7 @@ fn scope_stats_to_json(s: &ScopeUnitStats) -> Json {
         .field("degraded_fences", s.degraded_fences)
         .field("scoped_fences", s.scoped_fences)
         .field("mispredict_recoveries", s.mispredict_recoveries)
+        .field("fss_overflows", s.fss_overflows)
 }
 
 fn scope_stats_from_json(json: &Json) -> Result<ScopeUnitStats, String> {
@@ -518,6 +548,7 @@ fn scope_stats_from_json(json: &Json) -> Result<ScopeUnitStats, String> {
         degraded_fences: get_u64(json, "degraded_fences")?,
         scoped_fences: get_u64(json, "scoped_fences")?,
         mispredict_recoveries: get_u64(json, "mispredict_recoveries")?,
+        fss_overflows: get_u64(json, "fss_overflows")?,
     })
 }
 

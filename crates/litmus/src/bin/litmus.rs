@@ -33,8 +33,8 @@
 
 use sfence_harness::{default_threads, BackendId, Json, Shard};
 use sfence_litmus::{
-    case_to_json, cases, parse_families, run_campaign, run_case, Campaign, CheckerConfig, Family,
-    FAMILIES,
+    all_families, case_to_json, cases, parse_families, run_campaign, run_case, Campaign,
+    CheckerConfig, Family,
 };
 
 struct Args {
@@ -49,7 +49,7 @@ struct Args {
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
-        families: FAMILIES.to_vec(),
+        families: all_families(),
         seeds: 10,
         threads: None,
         backend: BackendId::Sim,

@@ -46,22 +46,39 @@ pub struct Case {
 
 /// The deterministic case list: family-major (in [`FAMILIES`] order),
 /// then seed. Shards partition *this* list by index.
+///
+/// The regression family is indexed, not seeded: every registered
+/// [`sfence_workloads::synth::REGRESSIONS`] entry runs exactly once
+/// regardless of `--seeds` — minimized fuzzer findings are replayed
+/// in full by every campaign that includes the family.
 pub fn cases(families: &[Family], seeds: u64) -> Vec<Case> {
     let mut out = Vec::with_capacity(families.len() * seeds as usize);
     for &family in families {
-        for seed in 0..seeds {
+        let count = match family {
+            Family::Regression => sfence_workloads::synth::REGRESSIONS.len() as u64,
+            _ => seeds,
+        };
+        for seed in 0..count {
             out.push(Case { family, seed });
         }
     }
     out
 }
 
+/// Every campaign family in canonical order: the seeded [`FAMILIES`]
+/// followed by the fuzzer-regression replays.
+pub fn all_families() -> Vec<Family> {
+    let mut all = FAMILIES.to_vec();
+    all.push(Family::Regression);
+    all
+}
+
 /// Parse a `--families` argument: `all` or a comma-separated list of
-/// family names, always reordered into the canonical [`FAMILIES`]
+/// family names, always reordered into the canonical [`all_families`]
 /// order so the case list never depends on how the flag was spelled.
 pub fn parse_families(arg: &str) -> Result<Vec<Family>, String> {
     if arg == "all" {
-        return Ok(FAMILIES.to_vec());
+        return Ok(all_families());
     }
     let mut picked = Vec::new();
     for name in arg.split(',') {
@@ -71,9 +88,8 @@ pub fn parse_families(arg: &str) -> Result<Vec<Family>, String> {
             picked.push(family);
         }
     }
-    let mut ordered: Vec<Family> = FAMILIES
-        .iter()
-        .copied()
+    let mut ordered: Vec<Family> = all_families()
+        .into_iter()
         .filter(|f| picked.contains(f))
         .collect();
     if ordered.is_empty() {
@@ -98,6 +114,15 @@ pub struct RunVerdict {
     /// the degrade path actually ran in the overflow config. Zero on
     /// backends without scope hardware (functional).
     pub degraded_fences: u64,
+    /// Per-core attribution of the aggregate above: which core's
+    /// fences degraded. Empty off-sim.
+    pub degraded_by_core: Vec<u64>,
+    /// Per-core FSS pushes that overflowed capacity (entries into
+    /// degraded mode). Empty off-sim.
+    pub fss_overflows_by_core: Vec<u64>,
+    /// Per-core branch-misprediction scope recoveries (FSS′ shadow
+    /// restores or checkpoint squashes). Empty off-sim.
+    pub recoveries_by_core: Vec<u64>,
     /// Execution time; absent on backends without a clock.
     pub cycles: Option<u64>,
 }
@@ -218,6 +243,17 @@ pub fn run_case(
             observed,
             expect_sc,
             degraded_fences: report.scope_stats.iter().map(|s| s.degraded_fences).sum(),
+            degraded_by_core: report
+                .scope_stats
+                .iter()
+                .map(|s| s.degraded_fences)
+                .collect(),
+            fss_overflows_by_core: report.scope_stats.iter().map(|s| s.fss_overflows).collect(),
+            recoveries_by_core: report
+                .scope_stats
+                .iter()
+                .map(|s| s.mispredict_recoveries)
+                .collect(),
             cycles: report.cycles,
         });
     }
@@ -428,6 +464,10 @@ fn i64_arr(v: &[i64]) -> Json {
     Json::Arr(v.iter().map(|&x| Json::Int(x)).collect())
 }
 
+fn u64_arr(v: &[u64]) -> Json {
+    Json::Arr(v.iter().map(|&x| Json::UInt(x)).collect())
+}
+
 pub fn case_to_json(case: &CaseVerdict) -> Json {
     Json::obj()
         .field("family", case.family.name())
@@ -450,6 +490,9 @@ pub fn case_to_json(case: &CaseVerdict) -> Json {
                             .field("sc_allowed", r.sc_allowed)
                             .field("expect_sc", r.expect_sc)
                             .field("degraded_fences", r.degraded_fences)
+                            .field("degraded_by_core", u64_arr(&r.degraded_by_core))
+                            .field("fss_overflows_by_core", u64_arr(&r.fss_overflows_by_core))
+                            .field("recoveries_by_core", u64_arr(&r.recoveries_by_core))
                             .field(
                                 "cycles",
                                 match r.cycles {
@@ -469,6 +512,15 @@ fn get_i64_arr(json: &Json, key: &str) -> Result<Vec<i64>, String> {
         .ok_or_else(|| format!("missing array field {key:?}"))?
         .iter()
         .map(|w| w.as_i64().ok_or_else(|| format!("bad i64 in {key:?}")))
+        .collect()
+}
+
+fn get_u64_arr(json: &Json, key: &str) -> Result<Vec<u64>, String> {
+    json.get(key)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("missing array field {key:?}"))?
+        .iter()
+        .map(|w| w.as_u64().ok_or_else(|| format!("bad u64 in {key:?}")))
         .collect()
 }
 
@@ -504,6 +556,9 @@ pub fn case_from_json(json: &Json) -> Result<CaseVerdict, String> {
                     .get("degraded_fences")
                     .and_then(Json::as_u64)
                     .ok_or("missing degraded_fences")?,
+                degraded_by_core: get_u64_arr(r, "degraded_by_core")?,
+                fss_overflows_by_core: get_u64_arr(r, "fss_overflows_by_core")?,
+                recoveries_by_core: get_u64_arr(r, "recoveries_by_core")?,
                 cycles: match r.get("cycles") {
                     None | Some(Json::Null) => None,
                     Some(v) => Some(v.as_u64().ok_or("bad cycles")?),

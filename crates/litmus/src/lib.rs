@@ -39,8 +39,8 @@ pub mod campaign;
 pub mod checker;
 
 pub use campaign::{
-    case_from_json, case_to_json, cases, parse_families, run_campaign, run_case, summarize,
-    Campaign, Case, CaseVerdict, RunVerdict, Summary,
+    all_families, case_from_json, case_to_json, cases, overflow_scope, parse_families,
+    run_campaign, run_case, summarize, Campaign, Case, CaseVerdict, RunVerdict, Summary,
 };
 pub use checker::{enumerate_sc, CheckerConfig, ScOutcomes};
 pub use sfence_workloads::litmus::{

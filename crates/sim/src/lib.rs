@@ -273,6 +273,7 @@ mod tests {
             }],
             mem_stats: Default::default(),
             scope_stats: Vec::new(),
+            scope_coverage: Vec::new(),
         };
         assert_eq!(summary.fence_stall_fraction(), 0.0);
     }

@@ -100,6 +100,7 @@ impl MachineConfig {
             fss_entries,
             mapping_entries,
             recovery,
+            skip_degrade_on_overflow,
         } = scope;
         let sfence_mem::MemConfig {
             line_bytes,
@@ -130,7 +131,8 @@ impl MachineConfig {
                 "\"sb_drain_in_order\":{},",
                 "\"sb_size\":{},",
                 "\"scope\":{{\"fsb_entries\":{},\"fss_entries\":{},",
-                "\"mapping_entries\":{},\"recovery\":\"{}\"}},",
+                "\"mapping_entries\":{},\"recovery\":\"{}\",",
+                "\"skip_degrade_on_overflow\":{}}},",
                 "\"trace\":{}}},",
                 "\"max_cycles\":{},",
                 "\"mem\":{{",
@@ -155,6 +157,7 @@ impl MachineConfig {
             fss_entries,
             mapping_entries,
             recovery,
+            skip_degrade_on_overflow,
             trace,
             max_cycles,
             l1_latency,
@@ -236,6 +239,9 @@ pub struct RunSummary {
     pub core_stats: Vec<sfence_cpu::CoreStats>,
     pub mem_stats: CoreMemStats,
     pub scope_stats: Vec<sfence_core::ScopeUnitStats>,
+    /// Per-core scope-unit path coverage bitmaps
+    /// ([`sfence_core::coverage`]) — the fuzzer's corpus key.
+    pub scope_coverage: Vec<u32>,
 }
 
 /// Average across *active* cores (those that retired instructions) of
@@ -378,6 +384,11 @@ impl Machine {
             core_stats: self.cores.iter().map(|c| c.stats.clone()).collect(),
             mem_stats: self.memsys.total_stats(),
             scope_stats: self.cores.iter().map(|c| c.scope_stats()).collect(),
+            scope_coverage: self
+                .cores
+                .iter()
+                .map(|c| c.scope_coverage().bits())
+                .collect(),
         }
     }
 

@@ -296,10 +296,14 @@ pub fn find(name: &str) -> Option<&'static Workload> {
     REGISTRY.iter().find(|w| w.info.name == name)
 }
 
-/// Is `name` buildable — a Table IV benchmark or a generated litmus
-/// scenario (`litmus/<family>/<seed>`)?
+/// Is `name` buildable — a Table IV benchmark, a generated litmus
+/// scenario (`litmus/<family>/<seed>`, including the bounds-checked
+/// `litmus/regression/<id>` namespace), or an encoded fuzzer
+/// candidate (`fuzz/<encoded>`)?
 pub fn exists(name: &str) -> bool {
-    find(name).is_some() || crate::litmus::parse_name(name).is_some()
+    find(name).is_some()
+        || crate::litmus::parse_name(name).is_some()
+        || crate::synth::parse_name(name).is_some()
 }
 
 /// Build a benchmark by name; panics on unknown names (experiment
@@ -308,10 +312,16 @@ pub fn exists(name: &str) -> bool {
 /// Names under `litmus/` dispatch to the deterministic scenario
 /// generator ([`crate::litmus`]); the seed is part of the name, so
 /// the sweep cache, sharding and the result store key litmus cells
-/// exactly like table benchmarks. `params` is ignored for litmus
-/// scenarios — their whole parameterization lives in the name.
+/// exactly like table benchmarks. Names under `fuzz/` decode the
+/// synthesized program from the name itself ([`crate::synth`]) —
+/// corpus entries flow through experiments and `sfence-dist` jobs
+/// like any workload. `params` is ignored for both — their whole
+/// parameterization lives in the name.
 pub fn build(name: &str, params: &WorkloadParams) -> BuiltWorkload {
     if let Some(w) = crate::litmus::build_named(name) {
+        return w;
+    }
+    if let Some(w) = crate::synth::build_named(name) {
         return w;
     }
     find(name)
@@ -369,6 +379,28 @@ mod tests {
         assert_eq!(built.name, name);
         assert!(built.program.validate().is_ok());
         assert!(!exists("litmus/nonesuch/17"));
+    }
+
+    #[test]
+    fn fuzz_names_dispatch_through_the_catalog() {
+        let name = "fuzz/v2m0:s01fl1~s11fl0";
+        assert!(exists(name));
+        assert!(find(name).is_none(), "fuzz names are not table entries");
+        let built = build(name, &WorkloadParams::small());
+        assert_eq!(built.name, name);
+        assert!(built.program.validate().is_ok());
+        assert!(!exists("fuzz/"));
+        assert!(!exists("fuzz/v2m0:nonsense"));
+    }
+
+    #[test]
+    fn regression_ids_are_bounds_checked() {
+        let count = crate::synth::REGRESSIONS.len() as u64;
+        assert!(count > 0);
+        for i in 0..count {
+            assert!(exists(&format!("litmus/regression/{i}")));
+        }
+        assert!(!exists(&format!("litmus/regression/{count}")));
     }
 
     #[test]

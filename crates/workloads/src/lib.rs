@@ -21,6 +21,11 @@
 //! producer/consumer — with covering and deliberately non-covering
 //! fence scopes) that register into the catalog as
 //! `litmus/<family>/<seed>`.
+//!
+//! [`synth`] generalizes those families into the fuzzer's
+//! program-synthesis grammar: encoded candidates register as
+//! `fuzz/<encoded>`, and minimized fuzzer findings are archived as
+//! `litmus/regression/<id>` scenarios.
 
 pub mod barnes;
 pub mod catalog;
@@ -32,6 +37,7 @@ pub mod pst;
 pub mod ptc;
 pub mod radiosity;
 pub mod support;
+pub mod synth;
 pub mod wsq;
 
 pub use catalog::{Scale, Workload, WorkloadParams, REGISTRY};

@@ -69,6 +69,12 @@ pub enum Family {
     /// wrapper classes — deep scope nesting that overflows the FSS
     /// and exercises the degrade-to-full-fence path.
     PcDeep,
+    /// Replays a minimized divergence found by `sfence-fuzz`
+    /// ([`crate::synth::REGRESSIONS`]). Unlike the seeded families,
+    /// the "seed" is a fixed registry index: `litmus/regression/<id>`
+    /// re-emits entry `<id>` byte-identically forever. Not part of
+    /// [`FAMILIES`] — campaigns append it with its exact entry count.
+    Regression,
 }
 
 /// Every family, in the deterministic campaign order.
@@ -102,10 +108,14 @@ impl Family {
             Family::Cas => "cas",
             Family::PcClass => "pc-class",
             Family::PcDeep => "pc-deep",
+            Family::Regression => "regression",
         }
     }
 
     pub fn from_name(name: &str) -> Option<Family> {
+        if name == "regression" {
+            return Some(Family::Regression);
+        }
         FAMILIES.iter().copied().find(|f| f.name() == name)
     }
 
@@ -136,6 +146,7 @@ impl Family {
             Family::Cas => "CAS-loop counter through a class fence",
             Family::PcClass => "producer/consumer mailbox class",
             Family::PcDeep => "producer/consumer under deep scope nesting (FSS overflow)",
+            Family::Regression => "minimized sfence-fuzz divergence (fixed registry ids)",
         }
     }
 }
@@ -201,11 +212,18 @@ pub fn scenario_name(family: Family, seed: u64) -> String {
     format!("{LITMUS_PREFIX}{}/{seed}", family.name())
 }
 
-/// Parse a `litmus/<family>/<seed>` registry name.
+/// Parse a `litmus/<family>/<seed>` registry name. Regression ids
+/// (unlike seeds) are bounds-checked against the registry, so
+/// `exists` answers honestly for `litmus/regression/<id>`.
 pub fn parse_name(name: &str) -> Option<(Family, u64)> {
     let rest = name.strip_prefix(LITMUS_PREFIX)?;
     let (family, seed) = rest.rsplit_once('/')?;
-    Some((Family::from_name(family)?, seed.parse().ok()?))
+    let family = Family::from_name(family)?;
+    let seed: u64 = seed.parse().ok()?;
+    if family == Family::Regression && crate::synth::regression(seed).is_none() {
+        return None;
+    }
+    Some((family, seed))
 }
 
 /// The fence emitted at each ordering point of a skeleton.
@@ -285,6 +303,11 @@ pub fn ir(spec: &LitmusSpec) -> IrProgram {
         Family::Cas => cas(spec.seed, strip),
         Family::PcClass => pc(Family::PcClass, spec.seed, strip),
         Family::PcDeep => pc(Family::PcDeep, spec.seed, strip),
+        Family::Regression => {
+            let synth = crate::synth::regression(spec.seed)
+                .unwrap_or_else(|| panic!("regression id {} not registered", spec.seed));
+            crate::synth::ir(&synth, strip)
+        }
     }
 }
 
@@ -699,5 +722,50 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// A minimized fuzzer finding must rebuild byte-identically from
+    /// its registry name, and agree with direct synth emission of the
+    /// archived encoding.
+    #[test]
+    fn regression_scenarios_round_trip_byte_identically() {
+        for (i, enc) in crate::synth::REGRESSIONS.iter().enumerate() {
+            let i = i as u64;
+            let name = scenario_name(Family::Regression, i);
+            assert_eq!(parse_name(&name), Some((Family::Regression, i)));
+            let a = build_named(&name).expect("registered regression builds");
+            let b = build_named(&name).expect("registered regression builds");
+            assert_eq!(a.name, name);
+            assert_eq!(
+                a.program.threads, b.program.threads,
+                "{name}: not deterministic"
+            );
+            let synth = crate::synth::SynthSpec::decode(enc).unwrap();
+            let direct = crate::synth::ir(&synth, false)
+                .compile(&CompileOpts::default())
+                .unwrap();
+            assert_eq!(
+                a.program.threads, direct.threads,
+                "{name}: registry dispatch and direct emission disagree"
+            );
+            // The stripped variant (the campaign's S-nofence row)
+            // must lose every fence and scope marker.
+            let stripped = build(&LitmusSpec::new(Family::Regression, i).stripped());
+            use sfence_isa::Instr;
+            for t in &stripped.program.threads {
+                assert!(!t.iter().any(|ins| matches!(
+                    ins,
+                    Instr::Fence { .. } | Instr::FsStart { .. } | Instr::FsEnd { .. }
+                )));
+            }
+        }
+        let out_of_range = crate::synth::REGRESSIONS.len() as u64;
+        assert_eq!(
+            parse_name(&scenario_name(Family::Regression, out_of_range)),
+            None
+        );
+        assert_eq!(Family::from_name("regression"), Some(Family::Regression));
+        assert!(Family::Regression.covering());
+        assert!(!FAMILIES.contains(&Family::Regression));
     }
 }
