@@ -3,7 +3,10 @@
 //! - `figN.json` / `hwsweep.json`: byte-exact output of the
 //!   corresponding binary run as `--json --scale small`;
 //! - `table3.txt` / `table4.txt`: byte-exact output of the `table3` /
-//!   `table4` binaries.
+//!   `table4` binaries;
+//! - `sim_digests.json`: SHA-256 of every registry workload's
+//!   serialized sim report, both scales, all four fence configs
+//!   (checked by the `sim_byte_identity` test in this crate).
 //!
 //! The CI golden job diffs the binaries' live output against these
 //! files; after an intentional simulator or schema change, rerun
@@ -42,4 +45,13 @@ fn main() {
     );
     write(&dir, "table3.txt", &sfence_bench::table3());
     write(&dir, "table4.txt", &sfence_bench::table4());
+    let mut digests = sfence_bench::digests::digest_rows(sfence_workloads::Scale::Small);
+    digests.extend(sfence_bench::digests::digest_rows(
+        sfence_workloads::Scale::Eval,
+    ));
+    write(
+        &dir,
+        "sim_digests.json",
+        &sfence_bench::digests::digests_json(&digests).to_string_pretty(),
+    );
 }

@@ -18,6 +18,8 @@ use sfence_sim::{FenceConfig, MachineConfig};
 use sfence_workloads::{catalog, ScopeMode, WorkloadParams};
 
 pub mod cli;
+pub mod digests;
+pub mod perf;
 
 /// The four fence configurations in paper order.
 pub const CONFIGS: [FenceConfig; 4] = [

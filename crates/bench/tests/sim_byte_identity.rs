@@ -1,0 +1,75 @@
+//! The hot-loop work's permanent safety net: the cycle-accurate
+//! simulator's serialized output for every registry workload must
+//! equal the checked-in digests — cycle counts, every stats counter,
+//! the final memory image and registers, under all four fence
+//! configs. A perf change that shifts any of them lands here before
+//! it lands in a figure.
+//!
+//! The Small scale always runs. The Eval scale — the figures'
+//! problem size, minutes under a debug build — is asserted only in
+//! release builds, where the whole sweep is a few seconds.
+//!
+//! After an intentional behavior change:
+//! `cargo run --release -p sfence-bench --bin regen-golden`.
+
+use sfence_bench::digests::{digest_rows, parse_digests, DigestRow};
+use sfence_workloads::Scale;
+use std::path::Path;
+
+fn committed() -> Vec<DigestRow> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/sim_digests.json");
+    let text =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    let json = sfence_harness::json::parse(&text).expect("sim_digests.json parses");
+    parse_digests(&json).expect("sim_digests.json rows parse")
+}
+
+fn assert_scale_matches(scale: Scale, scale_name: &str, committed: &[DigestRow]) {
+    let fresh = digest_rows(scale);
+    let pinned: Vec<&DigestRow> = committed.iter().filter(|r| r.scale == scale_name).collect();
+    assert_eq!(
+        pinned.len(),
+        fresh.len(),
+        "{scale_name}: committed digest count diverged from the registry \
+         (regenerate with regen-golden)"
+    );
+    let mut diverged = Vec::new();
+    for f in &fresh {
+        match pinned
+            .iter()
+            .find(|c| c.workload == f.workload && c.fence == f.fence)
+        {
+            None => diverged.push(format!(
+                "{}/{} missing from the golden",
+                f.workload, f.fence
+            )),
+            Some(c) if c.sha256 != f.sha256 => diverged.push(format!(
+                "{}/{}: {} != committed {}",
+                f.workload, f.fence, f.sha256, c.sha256
+            )),
+            Some(_) => {}
+        }
+    }
+    assert!(
+        diverged.is_empty(),
+        "{scale_name}: sim output diverged from tests/golden/sim_digests.json \
+         (intentional? regenerate with regen-golden):\n  {}",
+        diverged.join("\n  ")
+    );
+}
+
+#[test]
+fn small_scale_sim_output_matches_committed_digests() {
+    assert_scale_matches(Scale::Small, "small", &committed());
+}
+
+#[test]
+fn eval_scale_sim_output_matches_committed_digests() {
+    if cfg!(debug_assertions) {
+        // Minutes per workload under a debug build; the release CI
+        // lanes (build-test release, perf-gate) keep this asserted.
+        eprintln!("skipping Eval-scale byte-identity under a debug build");
+        return;
+    }
+    assert_scale_matches(Scale::Eval, "eval", &committed());
+}

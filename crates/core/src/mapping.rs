@@ -12,6 +12,7 @@
 //! only removed when all memory accesses in the corresponding entry
 //! have completed").
 
+use crate::mask::{ScopeMask, MAX_FSB_ENTRIES};
 use sfence_isa::ClassId;
 
 /// Result of a mapping-table lookup for `fs_start`.
@@ -30,6 +31,10 @@ struct Entry {
 }
 
 /// The mapping table.
+///
+/// Row membership is mirrored in per-column row counts and a cached
+/// occupancy bitmask, so `column_in_use` and the reclamation scan are
+/// O(1) word operations instead of row scans.
 #[derive(Debug, Clone)]
 pub struct MappingTable {
     entries: Vec<Entry>,
@@ -37,6 +42,10 @@ pub struct MappingTable {
     /// Columns available for class scopes (`0..class_columns`); the
     /// set-scope column lives above these and is never allocated here.
     class_columns: u8,
+    /// Rows mapped onto each column.
+    col_rows: [u8; MAX_FSB_ENTRIES],
+    /// Bit `i` set ⟺ `col_rows[i] > 0`.
+    mapped: ScopeMask,
     /// Statistics.
     pub hits: u64,
     pub allocs: u64,
@@ -48,10 +57,13 @@ impl MappingTable {
     /// `cap` rows, allocating from `class_columns` FSB columns.
     pub fn new(cap: usize, class_columns: u8) -> Self {
         assert!(class_columns >= 1, "need at least one class column");
+        assert!(cap <= u8::MAX as usize, "mapping table rows fit a u8");
         Self {
             entries: Vec::with_capacity(cap),
             cap,
             class_columns,
+            col_rows: [0; MAX_FSB_ENTRIES],
+            mapped: ScopeMask::EMPTY,
             hits: 0,
             allocs: 0,
             fallback_allocs: 0,
@@ -84,18 +96,32 @@ impl MappingTable {
         };
         self.allocs += 1;
         self.entries.push(Entry { cid, col });
+        self.col_rows[col as usize] += 1;
+        self.mapped = self.mapped.union(ScopeMask::column(col));
         MapResult::Column(col)
     }
 
     /// Is any cid currently mapped to `col`?
+    #[inline]
     pub fn column_in_use(&self, col: u8) -> bool {
-        self.entries.iter().any(|e| e.col == col)
+        self.mapped.contains(col)
     }
 
     /// Invalidate every mapping onto `col` (called by the scope unit
     /// when the column is quiescent and inactive).
     pub fn invalidate_column(&mut self, col: u8) {
+        if !self.mapped.contains(col) {
+            return;
+        }
         self.entries.retain(|e| e.col != col);
+        self.col_rows[col as usize] = 0;
+        self.mapped.0 &= !(1 << col);
+    }
+
+    /// Bitmask of columns with at least one mapping (for reclamation).
+    #[inline]
+    pub fn mapped_mask(&self) -> ScopeMask {
+        self.mapped
     }
 
     /// Columns currently mapped (for reclamation scans).

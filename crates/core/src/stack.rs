@@ -13,7 +13,7 @@
 //! a shadow stack FSS′ plus a queue of scope operations pending behind
 //! unconfirmed branches.
 
-use crate::mask::ScopeMask;
+use crate::mask::{ScopeMask, MAX_FSB_ENTRIES};
 
 /// A scope operation, recorded for deferred replay on the shadow
 /// stack. `Push(None)` is an `fs_start` that could not be tracked
@@ -26,6 +26,11 @@ pub enum ScopeOp {
 }
 
 /// One fence scope stack of bounded capacity with an overflow counter.
+///
+/// The column multiset is mirrored in per-column counts and a cached
+/// union mask, so [`ScopeStack::mask`] and [`ScopeStack::contains`] —
+/// both on the per-memory-op issue path — are O(1) word reads instead
+/// of stack scans.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ScopeStack {
     stack: Vec<u8>,
@@ -33,6 +38,10 @@ pub struct ScopeStack {
     /// Number of `fs_start`s seen since the structure filled, not yet
     /// balanced by `fs_end`s. While nonzero, fences degrade.
     overflow: u32,
+    /// How many stack slots hold each column.
+    col_counts: [u32; MAX_FSB_ENTRIES],
+    /// Union of the stack's columns (bit `i` ⟺ `col_counts[i] > 0`).
+    mask: ScopeMask,
 }
 
 impl ScopeStack {
@@ -42,6 +51,8 @@ impl ScopeStack {
             stack: Vec::with_capacity(cap),
             cap,
             overflow: 0,
+            col_counts: [0; MAX_FSB_ENTRIES],
+            mask: ScopeMask::EMPTY,
         }
     }
 
@@ -61,7 +72,11 @@ impl ScopeStack {
             return;
         }
         match col {
-            Some(c) if self.stack.len() < self.cap => self.stack.push(c),
+            Some(c) if self.stack.len() < self.cap => {
+                self.stack.push(c);
+                self.col_counts[c as usize] += 1;
+                self.mask = self.mask.union(ScopeMask::column(c));
+            }
             _ => self.overflow = 1,
         }
     }
@@ -72,7 +87,13 @@ impl ScopeStack {
             return;
         }
         debug_assert!(!self.stack.is_empty(), "FSS pop on empty stack");
-        self.stack.pop();
+        if let Some(c) = self.stack.pop() {
+            let n = &mut self.col_counts[c as usize];
+            *n -= 1;
+            if *n == 0 {
+                self.mask.0 &= !(1 << c);
+            }
+        }
     }
 
     /// The column of the innermost tracked scope, if any.
@@ -81,19 +102,17 @@ impl ScopeStack {
     }
 
     /// Is a column anywhere on the stack?
+    #[inline]
     pub fn contains(&self, col: u8) -> bool {
-        self.stack.contains(&col)
+        self.mask.contains(col)
     }
 
     /// FSB mask a newly issued memory operation must set: all columns
     /// currently on the stack (inner scopes flag outer scopes too —
     /// paper §IV-A-3).
+    #[inline]
     pub fn mask(&self) -> ScopeMask {
-        let mut m = ScopeMask::EMPTY;
-        for &c in &self.stack {
-            m = m.union(ScopeMask::column(c));
-        }
-        m
+        self.mask
     }
 
     /// While true, fences must behave as traditional fences.
@@ -115,6 +134,8 @@ impl ScopeStack {
         self.stack.clear();
         self.stack.extend_from_slice(&other.stack);
         self.overflow = other.overflow;
+        self.col_counts = other.col_counts;
+        self.mask = other.mask;
     }
 }
 

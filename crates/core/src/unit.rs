@@ -279,10 +279,8 @@ impl ScopeUnit {
                 // FSS <- FSS', then replay the surviving (correct-path)
                 // pending ops that FSS' has not absorbed yet.
                 self.fss.restore_from(&self.shadow);
-                // Cloning the queue keeps the borrow checker happy and
-                // the queue is tiny.
-                let ops: Vec<ScopeOp> = self.pending.iter().map(|&(_, op)| op).collect();
-                for op in ops {
+                for i in 0..self.pending.len() {
+                    let (_, op) = self.pending[i];
                     self.fss.apply(op);
                 }
             }
@@ -292,8 +290,10 @@ impl ScopeUnit {
                     .iter()
                     .position(|(s, _)| *s == seq)
                     .expect("mispredicted branch has a checkpoint");
-                let (_, saved) = self.checkpoints[idx].clone();
-                self.fss.restore_from(&saved);
+                let ScopeUnit {
+                    fss, checkpoints, ..
+                } = self;
+                fss.restore_from(&checkpoints[idx].1);
                 self.checkpoints.truncate(idx);
             }
         }
@@ -314,8 +314,8 @@ impl ScopeUnit {
         self.inflight.retain(|&(s, _)| s < seq);
         // FSS = retired boundary + surviving in-flight ops.
         self.fss.restore_from(&self.retired);
-        let ops: Vec<(u64, ScopeOp)> = self.inflight.iter().copied().collect();
-        for &(_, op) in &ops {
+        for i in 0..self.inflight.len() {
+            let (_, op) = self.inflight[i];
             self.fss.apply(op);
         }
         // Rebuild FSS′/pending: ops with no unconfirmed prior branch
@@ -323,7 +323,8 @@ impl ScopeUnit {
         self.shadow.restore_from(&self.retired);
         self.pending.clear();
         let first_unconfirmed = self.branches.front().map(|&(s, _)| s);
-        for (s, op) in ops {
+        for i in 0..self.inflight.len() {
+            let (s, op) = self.inflight[i];
             match first_unconfirmed {
                 Some(f) if s > f => self.pending.push_back((s, op)),
                 _ => self.shadow.apply(op),
@@ -367,9 +368,14 @@ impl ScopeUnit {
     /// mapping is removed once all FSB bits of its entry are clear and
     /// the scope is gone).
     fn reclaim(&mut self) {
-        let cols: Vec<u8> = self.mt.mapped_columns().collect();
-        for col in cols {
-            if self.counts.count_of(col) == 0 && !self.column_active(col) {
+        // Candidates: mapped columns with no outstanding operations.
+        // Both sides are cached bitmasks, so the common case (nothing
+        // to reclaim) is two word ops and no allocation.
+        let mut candidates = self.mt.mapped_mask().0 & !self.counts.nonzero_mask().0;
+        while candidates != 0 {
+            let col = candidates.trailing_zeros() as u8;
+            candidates &= candidates - 1;
+            if !self.column_active(col) {
                 self.mt.invalidate_column(col);
                 self.coverage.insert(coverage::FSB_EVICT);
             }

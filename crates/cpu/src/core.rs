@@ -30,7 +30,7 @@ use crate::bus::MemBus;
 use crate::config::CoreConfig;
 use crate::stats::CoreStats;
 use sfence_core::{ColumnCounters, FenceWait, RetiredEvent, ScopeMask, ScopeUnit};
-use sfence_isa::{FenceKind, Instr, Operand, Reg, NUM_REGS};
+use sfence_isa::{FenceKind, Instr, Operand, NUM_REGS};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -85,8 +85,31 @@ struct SbEntry {
     mask: ScopeMask,
     counted: bool,
     issued: bool,
+    /// An older same-address entry is still in the buffer, so this
+    /// one must not drain yet (RMO keeps same-address stores
+    /// ordered). Maintained at push and at drain completion: the
+    /// draining entry is always the oldest for its address, so
+    /// exactly the next same-address entry unblocks.
+    blocked: bool,
     /// Index into the trace buffer to patch with the drain cycle.
     trace_idx: Option<usize>,
+}
+
+/// Bucket count of the address-occupancy filters. A power of two so
+/// the bucket index is a mask; collisions only cost a wasted scan,
+/// never a wrong answer (the filters gate *scans*, not results).
+const ADDR_BUCKETS: usize = 1024;
+
+#[inline]
+fn bucket(addr: usize) -> usize {
+    addr & (ADDR_BUCKETS - 1)
+}
+
+/// Remove `seq` from an ascending sequence-number deque.
+fn remove_seq(dq: &mut VecDeque<u64>, seq: u64) {
+    let i = dq.partition_point(|&s| s < seq);
+    debug_assert_eq!(dq.get(i), Some(&seq));
+    dq.remove(i);
 }
 
 /// Timed completion events.
@@ -121,7 +144,31 @@ pub struct Core {
 
     events: BinaryHeap<Reverse<(u64, Ev)>>,
     ready_q: Vec<u64>,
+    /// Loads parked on memory disambiguation, ascending by seq.
     blocked_loads: Vec<u64>,
+    /// Dispatch scratch buffer (capacity reused across cycles).
+    work: Vec<u64>,
+
+    // Incremental indices over the ROB/SB, so the per-cycle stages
+    // need no full scans. All are derived state: issue/dispatch/
+    // retire/squash keep them in sync with the structures above.
+    /// Sequence numbers (ascending) of ROB stores whose address is
+    /// still unresolved (state Waiting/Ready).
+    unresolved_stores: VecDeque<u64>,
+    /// Sequence numbers (ascending) of ROB CAS entries that have not
+    /// completed (their memory effect lands only at completion).
+    incomplete_cas: VecDeque<u64>,
+    /// Fence entries currently in the ROB (coherence probes scan only
+    /// when nonzero).
+    fences_in_rob: usize,
+    /// SB entries not yet issued to memory (drain early-out).
+    sb_unissued: usize,
+    /// Per-address-bucket count of ROB stores with a resolved address
+    /// (state Executing/Done) — the store-to-load forwarding scan
+    /// runs only when a load's bucket is occupied.
+    rob_store_occ: Vec<u32>,
+    /// Per-address-bucket count of store-buffer entries.
+    sb_occ: Vec<u32>,
 
     scope: ScopeUnit,
     bpred: BranchPredictor,
@@ -156,6 +203,13 @@ impl Core {
             events: BinaryHeap::new(),
             ready_q: Vec::new(),
             blocked_loads: Vec::new(),
+            work: Vec::new(),
+            unresolved_stores: VecDeque::new(),
+            incomplete_cas: VecDeque::new(),
+            fences_in_rob: 0,
+            sb_unissued: 0,
+            rob_store_occ: vec![0; ADDR_BUCKETS],
+            sb_occ: vec![0; ADDR_BUCKETS],
             scope,
             bpred,
             mem_in_flight: 0,
@@ -289,6 +343,7 @@ impl Core {
                 if ok {
                     bus.write(self.id, addr, new);
                 }
+                remove_seq(&mut self.incomplete_cas, seq);
                 self.finish_mem(seq, ok as i64, now);
             }
             Instr::Branch { op, a, b, target } => {
@@ -369,13 +424,25 @@ impl Core {
     }
 
     fn complete_drain(&mut self, id: u64, _now: u64, bus: &mut impl MemBus) {
-        let Some(pos) = self.sb.iter().position(|s| s.id == id) else {
-            unreachable!("store-buffer drains are never squashed");
-        };
+        // Store ids are handed out monotonically and entries are never
+        // reordered, so the buffer is sorted by id.
+        let pos = self.sb.partition_point(|s| s.id < id);
+        assert!(
+            self.sb.get(pos).is_some_and(|s| s.id == id),
+            "store-buffer drains are never squashed"
+        );
         let entry = self.sb.remove(pos).unwrap();
         bus.write(self.id, entry.addr, entry.val);
         self.sb_inflight -= 1;
         self.sb_counts.remove(entry.mask);
+        self.sb_occ[bucket(entry.addr)] -= 1;
+        // The drained entry was the oldest for its address (it could
+        // not have issued otherwise); unblock the next one, if any.
+        if self.sb_occ[bucket(entry.addr)] > 0 {
+            if let Some(next) = self.sb.iter_mut().find(|s| s.addr == entry.addr) {
+                next.blocked = false;
+            }
+        }
         if entry.counted {
             self.mem_in_flight -= 1;
             if self.honor_scopes() {
@@ -393,7 +460,7 @@ impl Core {
     // Store buffer drain
 
     fn drain_store_buffer(&mut self, now: u64, bus: &mut impl MemBus) {
-        if self.sb.is_empty() {
+        if self.sb_unissued == 0 {
             return;
         }
         let max = self.cfg.max_outstanding_stores;
@@ -403,6 +470,7 @@ impl Core {
                 let head = self.sb.front_mut().unwrap();
                 if !head.issued {
                     head.issued = true;
+                    self.sb_unissued -= 1;
                     let (id, addr) = (head.id, head.addr);
                     let lat = bus.access_latency(self.id, addr, true).max(1);
                     self.events.push(Reverse((now + lat, Ev::Sb(id))));
@@ -411,29 +479,24 @@ impl Core {
             }
             return;
         }
-        // RMO: drain any entry, but same-address stores stay ordered.
-        let mut candidates: Vec<u64> = Vec::new();
+        // RMO: drain any entry, but same-address stores stay ordered
+        // (the `blocked` flag, maintained at push/drain).
         for i in 0..self.sb.len() {
-            if self.sb_inflight + candidates.len() >= max {
+            if self.sb_inflight >= max {
                 break;
             }
-            let e = &self.sb[i];
-            if e.issued {
+            if self.sb[i].issued || self.sb[i].blocked {
                 continue;
             }
-            let addr = e.addr;
-            let blocked = self.sb.iter().take(i).any(|older| older.addr == addr);
-            if !blocked {
-                candidates.push(e.id);
-            }
-        }
-        for id in candidates {
-            let pos = self.sb.iter().position(|s| s.id == id).unwrap();
-            let addr = self.sb[pos].addr;
-            self.sb[pos].issued = true;
+            self.sb[i].issued = true;
+            self.sb_unissued -= 1;
+            let (id, addr) = (self.sb[i].id, self.sb[i].addr);
             let lat = bus.access_latency(self.id, addr, true).max(1);
             self.events.push(Reverse((now + lat, Ev::Sb(id))));
             self.sb_inflight += 1;
+            if self.sb_unissued == 0 {
+                break;
+            }
         }
     }
 
@@ -502,6 +565,13 @@ impl Core {
                     let id = self.next_store_id;
                     self.next_store_id += 1;
                     self.sb_counts.add(e.mask);
+                    self.rob_store_occ[bucket(e.addr)] -= 1;
+                    // Exact check, gated by the (conservative) bucket
+                    // count: every existing entry is older.
+                    let blocked =
+                        self.sb_occ[bucket(e.addr)] > 0 && self.sb.iter().any(|s| s.addr == e.addr);
+                    self.sb_occ[bucket(e.addr)] += 1;
+                    self.sb_unissued += 1;
                     self.sb.push_back(SbEntry {
                         id,
                         addr: e.addr,
@@ -509,6 +579,7 @@ impl Core {
                         mask: e.mask,
                         counted: e.counted,
                         issued: false,
+                        blocked,
                         trace_idx,
                     });
                 }
@@ -534,16 +605,19 @@ impl Core {
                         });
                     }
                 }
-                Instr::Fence { kind } if self.cfg.trace => {
-                    let kind_eff = if self.honor_scopes() {
-                        kind
-                    } else {
-                        FenceKind::Global
-                    };
-                    self.trace.push(RetiredEvent::Fence {
-                        kind: kind_eff,
-                        issue: e.issued_at,
-                    });
+                Instr::Fence { kind } => {
+                    self.fences_in_rob -= 1;
+                    if self.cfg.trace {
+                        let kind_eff = if self.honor_scopes() {
+                            kind
+                        } else {
+                            FenceKind::Global
+                        };
+                        self.trace.push(RetiredEvent::Fence {
+                            kind: kind_eff,
+                            issue: e.issued_at,
+                        });
+                    }
                 }
                 Instr::FsStart { cid } => {
                     if self.honor_scopes() {
@@ -577,22 +651,59 @@ impl Core {
     fn execute(&mut self, now: u64, bus: &mut impl MemBus) {
         // Re-examine loads blocked on disambiguation and a CAS parked
         // at the head, then dispatch the newly ready instructions.
-        let mut work: Vec<u64> = std::mem::take(&mut self.blocked_loads);
-        work.extend(std::mem::take(&mut self.ready_q));
         // Also: a Ready CAS at the head re-checks every cycle.
-        if let Some(head) = self.rob.front() {
-            if matches!(head.instr, Instr::Cas { .. })
-                && head.state == EState::Ready
-                && !work.contains(&head.seq)
-            {
-                work.push(head.seq);
+        let head_cas = self
+            .rob
+            .front()
+            .filter(|h| matches!(h.instr, Instr::Cas { .. }) && h.state == EState::Ready)
+            .map(|h| h.seq);
+        if self.blocked_loads.is_empty() && self.ready_q.is_empty() && head_cas.is_none() {
+            return;
+        }
+        // Reuse one scratch buffer's capacity across cycles.
+        let mut work = std::mem::take(&mut self.work);
+        debug_assert!(work.is_empty());
+        work.append(&mut self.ready_q);
+        if let Some(seq) = head_cas {
+            if !work.contains(&seq) {
+                work.push(seq);
             }
         }
         work.sort_unstable();
         work.dedup();
-        for seq in work {
+        // Disambiguation retries, without re-dispatching: a blocked
+        // load would pass its (seq-ordered) turn iff no unresolved
+        // older store/CAS remains by then. Every Ready store is in
+        // `work` and dispatches unconditionally at its own turn —
+        // before any younger load's — and `incomplete_cas` only
+        // changes at completion (a different phase), so the oldest
+        // blocker *surviving this cycle* is computable up front.
+        // Loads older than it take their successful retry through the
+        // dispatch order; the rest are charged their failed retry in
+        // bulk, exactly as if each had re-dispatched and bounced.
+        if !self.blocked_loads.is_empty() {
+            let mut boundary = self.incomplete_cas.front().copied().unwrap_or(u64::MAX);
+            for &s in &self.unresolved_stores {
+                if s >= boundary {
+                    break;
+                }
+                if work.binary_search(&s).is_err() {
+                    boundary = s;
+                    break;
+                }
+            }
+            let unblocked = self.blocked_loads.partition_point(|&s| s < boundary);
+            self.stats.load_disambiguation_blocks += (self.blocked_loads.len() - unblocked) as u64;
+            if unblocked > 0 {
+                work.extend(self.blocked_loads.drain(..unblocked));
+                work.sort_unstable();
+            }
+        }
+        for &seq in &work {
             self.dispatch(seq, now, bus);
         }
+        work.clear();
+        self.work = work;
     }
 
     fn dispatch(&mut self, seq: u64, now: u64, bus: &mut impl MemBus) {
@@ -635,6 +746,10 @@ impl Core {
                 let e = self.entry_mut(seq).unwrap();
                 e.addr = addr;
                 e.dispatched_at = now;
+                // The address is now resolved: older loads stop
+                // blocking on this store, and forwarding can see it.
+                remove_seq(&mut self.unresolved_stores, seq);
+                self.rob_store_occ[bucket(addr)] += 1;
                 // Address generation: Done next cycle; the store's
                 // memory effect happens after retire, from the SB.
                 self.start_exec(seq, val, 1, now);
@@ -652,7 +767,7 @@ impl Core {
                 let blocked = if self.cfg.cas_drains_sb {
                     !self.sb.is_empty() || self.sb_inflight > 0
                 } else {
-                    self.sb.iter().any(|s| s.addr == addr)
+                    self.sb_occ[bucket(addr)] > 0 && self.sb.iter().any(|s| s.addr == addr)
                 };
                 if blocked {
                     return; // wait for the store buffer to make progress
@@ -692,39 +807,42 @@ impl Core {
         // resolved address, and every older CAS must have completed
         // (its memory effect lands only at completion), before a load
         // may dispatch. Applied identically under all fence configs.
-        let unresolved_older_store = self.rob.iter().any(|e| {
-            e.seq < seq
-                && match e.instr {
-                    Instr::Store { .. } => !matches!(e.state, EState::Done | EState::Executing),
-                    Instr::Cas { .. } => e.state != EState::Done,
-                    _ => false,
-                }
-        });
+        // The deques are ascending, so "an older one exists" is just a
+        // front check.
+        let unresolved_older_store = self.unresolved_stores.front().is_some_and(|&s| s < seq)
+            || self.incomplete_cas.front().is_some_and(|&s| s < seq);
         if unresolved_older_store {
             self.stats.load_disambiguation_blocks += 1;
-            self.blocked_loads.push(seq);
+            // Kept ascending so execute() can split it at the blocker
+            // boundary with a partition point.
+            let at = self.blocked_loads.partition_point(|&s| s < seq);
+            self.blocked_loads.insert(at, seq);
             return;
         }
         let ops = self.entry(seq).unwrap().ops;
         let addr = mem_addr(operand_val(base, &ops, 0), offset);
 
         // Store-to-load forwarding: youngest older matching store in
-        // the ROB, then the youngest in the store buffer.
+        // the ROB, then the youngest in the store buffer. The scans
+        // run only when the address's occupancy bucket says a
+        // resolved store to it may exist.
         let mut fwd: Option<i64> = None;
-        for e in self.rob.iter().rev() {
-            if e.seq >= seq {
-                continue;
-            }
-            if let Instr::Store { .. } = e.instr {
-                if matches!(e.state, EState::Done | EState::Executing) && e.addr == addr {
-                    // An Executing store has computed addr/result
-                    // already (start_exec stored them).
-                    fwd = Some(e.result);
-                    break;
+        if self.rob_store_occ[bucket(addr)] > 0 {
+            for e in self.rob.iter().rev() {
+                if e.seq >= seq {
+                    continue;
+                }
+                if let Instr::Store { .. } = e.instr {
+                    if matches!(e.state, EState::Done | EState::Executing) && e.addr == addr {
+                        // An Executing store has computed addr/result
+                        // already (start_exec stored them).
+                        fwd = Some(e.result);
+                        break;
+                    }
                 }
             }
         }
-        if fwd.is_none() {
+        if fwd.is_none() && self.sb_occ[bucket(addr)] > 0 {
             fwd = self.sb.iter().rev().find(|s| s.addr == addr).map(|s| s.val);
         }
 
@@ -769,16 +887,35 @@ impl Core {
                     self.scope.mem_squashed(e.mask);
                 }
             }
+            match e.instr {
+                Instr::Store { .. } => {
+                    if matches!(e.state, EState::Executing | EState::Done) {
+                        self.rob_store_occ[bucket(e.addr)] -= 1;
+                    }
+                }
+                Instr::Fence { .. } => self.fences_in_rob -= 1,
+                _ => {}
+            }
         }
-        // Rebuild the producer map from the survivors.
+        // The index deques are ascending: squashed tails pop off the
+        // back.
+        while self
+            .unresolved_stores
+            .back()
+            .is_some_and(|&s| s > keep_upto)
+        {
+            self.unresolved_stores.pop_back();
+        }
+        while self.incomplete_cas.back().is_some_and(|&s| s > keep_upto) {
+            self.incomplete_cas.pop_back();
+        }
+        // Rebuild the producer map from the survivors (front-to-back,
+        // so the youngest producer of each register wins).
         self.reg_producer = [None; NUM_REGS];
-        let producers: Vec<(Reg, u64)> = self
-            .rob
-            .iter()
-            .filter_map(|e| e.instr.dest().map(|rd| (rd, e.seq)))
-            .collect();
-        for (rd, seq) in producers {
-            self.reg_producer[rd.0 as usize] = Some(seq);
+        for e in &self.rob {
+            if let Some(rd) = e.instr.dest() {
+                self.reg_producer[rd.0 as usize] = Some(e.seq);
+            }
         }
         self.ready_q.retain(|&s| s <= keep_upto);
         self.blocked_loads.retain(|&s| s <= keep_upto);
@@ -798,6 +935,11 @@ impl Core {
     /// RMO behaviour.
     pub fn coherence_probe(&mut self, addr: usize, now: u64) {
         if !self.cfg.fence.in_window_speculation {
+            return;
+        }
+        // A victim load must sit behind a fence; with none in the ROB
+        // the scan cannot find one.
+        if self.fences_in_rob == 0 {
             return;
         }
         let mut fence_seen = false;
@@ -954,6 +1096,15 @@ impl Core {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.stats.instrs_issued += 1;
+
+        match instr {
+            // A store's address is unresolved until dispatch; a CAS
+            // is incomplete until its completion event.
+            Instr::Store { .. } => self.unresolved_stores.push_back(seq),
+            Instr::Cas { .. } => self.incomplete_cas.push_back(seq),
+            Instr::Fence { .. } => self.fences_in_rob += 1,
+            _ => {}
+        }
 
         let mut ops = [Src::None; 3];
         let slots: [(usize, Option<Operand>); 3] = match instr {

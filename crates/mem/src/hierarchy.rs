@@ -13,6 +13,31 @@
 
 use crate::cache::{CacheGeometry, TagArray};
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative hasher for the directory's line-number keys: lines
+/// are small trusted integers, so the default SipHash buys nothing.
+/// Hash order is never observable (the directory is only iterated by
+/// the order-insensitive invariant checker).
+#[derive(Debug, Clone, Copy, Default)]
+struct LineHasher(u64);
+
+impl Hasher for LineHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("line keys hash through write_u64");
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        // Fibonacci multiply + rotate: enough avalanche for dense keys.
+        self.0 = n.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(29);
+    }
+}
+
+type LineMap = HashMap<u64, DirEntry, BuildHasherDefault<LineHasher>>;
 
 /// Memory-system configuration (paper Table III defaults).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,10 +115,15 @@ pub struct MemorySystem {
     cfg: MemConfig,
     l1: Vec<TagArray>,
     l2: TagArray,
-    dir: HashMap<u64, DirEntry>,
+    dir: LineMap,
     stats: Vec<CoreMemStats>,
     /// Words per cache line (addresses are word-granular).
     words_per_line: u64,
+    /// Per-core most-recently-accessed line (`u64::MAX` = none): a
+    /// read of this line is an L1 hit with no LRU or directory side
+    /// effects, so `access` can skip both probes. Must be cleared
+    /// whenever the core's L1 copy is invalidated.
+    mru: Vec<u64>,
 }
 
 impl MemorySystem {
@@ -112,9 +142,10 @@ impl MemorySystem {
             cfg,
             l1: (0..num_cores).map(|_| TagArray::new(l1_geom)).collect(),
             l2: TagArray::new(l2_geom),
-            dir: HashMap::new(),
+            dir: LineMap::default(),
             stats: vec![CoreMemStats::default(); num_cores],
             words_per_line: (cfg.line_bytes / 8) as u64,
+            mru: vec![u64::MAX; num_cores],
         }
     }
 
@@ -132,17 +163,27 @@ impl MemorySystem {
         let line = self.line_of(addr);
         self.stats[core].accesses += 1;
 
+        // MRU filter: re-reading the line this core touched last is an
+        // L1 hit whose slow path mutates nothing (the line is already
+        // MRU in its set and a read hit leaves the directory alone).
+        if !write && self.mru[core] == line {
+            self.stats[core].l1_hits += 1;
+            return (self.cfg.l1_latency, AccessOutcome::L1Hit);
+        }
+
         if self.l1[core].lookup(line) {
             let entry = self.dir.entry(line).or_default();
             debug_assert!(entry.sharers & (1 << core) != 0, "directory out of sync");
             if !write {
                 self.stats[core].l1_hits += 1;
+                self.mru[core] = line;
                 return (self.cfg.l1_latency, AccessOutcome::L1Hit);
             }
             let exclusive = entry.sharers == (1 << core);
             if exclusive {
                 entry.dirty_owner = Some(core);
                 self.stats[core].l1_hits += 1;
+                self.mru[core] = line;
                 return (self.cfg.l1_latency, AccessOutcome::L1Hit);
             }
             // Upgrade: invalidate remote copies through the L2.
@@ -151,6 +192,7 @@ impl MemorySystem {
             entry.sharers = 1 << core;
             entry.dirty_owner = Some(core);
             self.stats[core].upgrades += 1;
+            self.mru[core] = line;
             return (
                 self.cfg.l1_latency + self.cfg.l2_latency,
                 AccessOutcome::Upgrade,
@@ -211,6 +253,7 @@ impl MemorySystem {
         let entry = self.dir.entry(line).or_default();
         entry.sharers |= 1 << core;
         entry.dirty_owner = if write { Some(core) } else { entry.dirty_owner };
+        self.mru[core] = line;
         (latency, outcome)
     }
 
@@ -228,6 +271,9 @@ impl MemorySystem {
             if sharers & (1 << c) != 0 {
                 self.l1[c].invalidate(line);
                 self.stats[c].invalidations_received += 1;
+                if self.mru[c] == line {
+                    self.mru[c] = u64::MAX;
+                }
             }
         }
     }
@@ -252,6 +298,9 @@ impl MemorySystem {
                 if entry.sharers & (1 << c) != 0 {
                     self.l1[c].invalidate(line);
                     self.stats[c].invalidations_received += 1;
+                    if self.mru[c] == line {
+                        self.mru[c] = u64::MAX;
+                    }
                 }
             }
         }

@@ -1,0 +1,92 @@
+//! Machine reuse must not leak state between runs.
+//!
+//! `Machine::reset` exists so a caller can re-run a program without
+//! re-paying construction. The contract is total: a reset machine's
+//! run — cycles, per-core stats counters, memory image, watch log —
+//! is byte-for-byte the run a freshly built machine produces. The
+//! stats counters are the regression surface that motivated this
+//! test: a reset that forgot them would double `instrs_retired`,
+//! `load_disambiguation_blocks` and friends on the second run and
+//! silently corrupt every figure built from a reused machine.
+
+use sfence_isa::ir::*;
+use sfence_isa::{CompileOpts, Program};
+use sfence_sim::{FenceConfig, Machine, MachineConfig};
+
+/// Two-thread message passing with fences: retires instructions,
+/// loads, stores and fences on both cores, stalls on the fence, and
+/// blocks loads on disambiguation — every major counter is nonzero.
+fn mp_program() -> Program {
+    let mut p = IrProgram::new();
+    let data = p.shared_line("data");
+    let flag = p.shared_line("flag");
+    let got = p.global_line("got");
+    p.thread(move |b| {
+        b.store(data.cell(), c(42));
+        b.fence();
+        b.store(flag.cell(), c(1));
+        b.halt();
+    });
+    p.thread(move |b| {
+        b.spin_until(ld(flag.cell()).eq(c(1)));
+        b.fence();
+        b.store(got.cell(), ld(data.cell()));
+        b.halt();
+    });
+    p.compile(&CompileOpts::default()).expect("compile")
+}
+
+fn cfg() -> MachineConfig {
+    let mut cfg = MachineConfig::paper_default().with_fence(FenceConfig::TRADITIONAL);
+    cfg.num_cores = 2;
+    cfg.max_cycles = 5_000_000;
+    cfg
+}
+
+#[test]
+fn reset_machine_reproduces_the_first_run_exactly() {
+    let prog = mp_program();
+    let mut m = Machine::new(&prog, cfg());
+    let first = m.run();
+    let first_mem = m.mem.clone();
+
+    // The test only has teeth if the counters that would double on a
+    // leaky reset are actually exercised.
+    let retired: u64 = first.core_stats.iter().map(|s| s.instrs_retired).sum();
+    let stalls: u64 = first.core_stats.iter().map(|s| s.fence_stall_cycles).sum();
+    assert!(retired > 0, "program retired nothing");
+    assert!(stalls > 0, "program never stalled on a fence");
+    assert!(first.cycles > 0);
+
+    m.reset(&prog);
+    let second = m.run();
+    assert_eq!(second, first, "reset run diverged from the first run");
+    assert_eq!(m.mem, first_mem, "reset run's memory image diverged");
+
+    // And a reset machine is indistinguishable from a new one.
+    let mut fresh = Machine::new(&prog, cfg());
+    let reference = fresh.run();
+    assert_eq!(
+        second, reference,
+        "reset machine diverged from a new machine"
+    );
+}
+
+#[test]
+fn reset_clears_the_watch_log_but_keeps_watchpoints() {
+    let prog = mp_program();
+    let flag = prog.addr_of("flag");
+    let mut m = Machine::new(&prog, cfg());
+    m.watch(flag);
+    m.run();
+    let first_log = m.watch_log.clone();
+    assert!(!first_log.is_empty(), "watched address was never written");
+
+    m.reset(&prog);
+    assert!(m.watch_log.is_empty(), "reset must clear the watch log");
+    m.run();
+    assert_eq!(
+        m.watch_log, first_log,
+        "watchpoints must survive reset and reproduce the same log"
+    );
+}
