@@ -5,19 +5,22 @@
 //! asserts the headline direction (S-Fence never loses).
 
 use sfence_harness::Session;
+use sfence_obs::prof;
 use sfence_sim::FenceConfig;
 use sfence_workloads::{catalog, ScopeMode, WorkloadParams};
-use std::time::Instant;
 
 fn timed<T>(label: &str, iters: u32, mut f: impl FnMut() -> T) {
     // One warmup, then the timed iterations.
     let _ = f();
-    let start = Instant::now();
-    for _ in 0..iters {
-        let _ = f();
-    }
-    let per_iter = start.elapsed() / iters;
-    println!("{label:<28} {per_iter:>12.2?}/iter ({iters} iters)");
+    let (_, total_ms) = prof::measure(label, || {
+        for _ in 0..iters {
+            let _ = f();
+        }
+    });
+    println!(
+        "{label:<28} {:>9.2} ms/iter ({iters} iters)",
+        total_ms / iters as f64
+    );
 }
 
 fn main() {

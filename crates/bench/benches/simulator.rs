@@ -3,9 +3,9 @@
 //! under T and S.
 
 use sfence_harness::Session;
+use sfence_obs::prof;
 use sfence_sim::FenceConfig;
 use sfence_workloads::{catalog, WorkloadParams};
-use std::time::Instant;
 
 fn main() {
     let params = WorkloadParams::default().level(2);
@@ -24,13 +24,14 @@ fn main() {
         };
         let report = run();
         let iters = 3u32;
-        let start = Instant::now();
-        for _ in 0..iters {
-            let _ = run();
-        }
-        let per_iter = start.elapsed() / iters;
+        let (_, total_ms) = prof::measure(label, || {
+            for _ in 0..iters {
+                let _ = run();
+            }
+        });
         println!(
-            "{label:<22} {per_iter:>12.2?}/iter   {} simulated cycles",
+            "{label:<22} {:>9.2} ms/iter   {} simulated cycles",
+            total_ms / iters as f64,
             report.timed_cycles()
         );
     }

@@ -16,7 +16,12 @@
 //!     [--cache-dir DIR]                        worker-local result cache
 //!     [--threads N]                            threads per lease (default: CPUs)
 //!     [--name STR]                             worker name (default host-pid)
+//!     [--progress]                             throttled done/total + ETA line on stderr
 //!     [--quiet]
+//!
+//! sfence-dist status ADDR                      # probe a live coordinator
+//!     [--json]                                 raw MetricsReport JSON instead of a table
+//!     [--timeout SECS]                         connect/read bound (default 5)
 //! ```
 //!
 //! The coordinator's merged stdout/store output is byte-identical to
@@ -26,10 +31,11 @@
 //! handshake. Exit codes: 0 ok, 1 runtime error, 2 usage error.
 
 use sfence_bench::cli::{self, OutputArgs};
-use sfence_dist::{serve, work, CoordinatorOpts, ExperimentSpec, WorkerOpts};
+use sfence_dist::{fetch_status, serve, work, CoordinatorOpts, ExperimentSpec, WorkerOpts};
 use sfence_harness::{BackendId, SweepResult};
 use std::net::TcpListener;
 use std::path::PathBuf;
+use std::time::Duration;
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -37,13 +43,15 @@ fn main() {
     let result = match verb.as_str() {
         "serve" => cmd_serve(args),
         "work" => cmd_work(args),
+        "status" => cmd_status(args),
         "" | "--help" | "-h" => {
             eprintln!("usage: sfence-dist serve ADDR --experiment NAME [options]");
             eprintln!("       sfence-dist work ADDR [options]");
+            eprintln!("       sfence-dist status ADDR [--json] [--timeout SECS]");
             std::process::exit(2);
         }
         other => {
-            eprintln!("error: unknown subcommand {other:?} (expected serve|work)");
+            eprintln!("error: unknown subcommand {other:?} (expected serve|work|status)");
             std::process::exit(2);
         }
     };
@@ -55,7 +63,10 @@ fn main() {
 
 fn usage(e: String) -> ! {
     eprintln!("error: {e}");
-    eprintln!("usage: sfence-dist serve ADDR --experiment NAME [options] | work ADDR [options]");
+    eprintln!(
+        "usage: sfence-dist serve ADDR --experiment NAME [options] | work ADDR [options] \
+         | status ADDR [--json]"
+    );
     std::process::exit(2);
 }
 
@@ -155,6 +166,7 @@ fn cmd_work(mut it: impl Iterator<Item = String>) -> Result<(), String> {
                     .unwrap_or_else(|| usage("--threads expects a positive integer".into()))
             }
             "--name" => opts.name = Some(cli::take(&mut it, "--name").unwrap_or_else(|e| usage(e))),
+            "--progress" => opts.progress = true,
             "--quiet" => opts.quiet = true,
             other if !other.starts_with('-') && addr.is_none() => addr = Some(other.to_string()),
             other => usage(format!("unknown flag {other:?}")),
@@ -163,4 +175,38 @@ fn cmd_work(mut it: impl Iterator<Item = String>) -> Result<(), String> {
     let addr =
         addr.unwrap_or_else(|| usage("work needs the coordinator address (host:port)".into()));
     work(&addr, sfence_bench::experiment_by_name, &opts).map(|_| ())
+}
+
+/// `status ADDR`: probe a live coordinator for its campaign snapshot
+/// and print it as a table (default) or as the raw `MetricsReport`
+/// JSON (`--json`).
+fn cmd_status(mut it: impl Iterator<Item = String>) -> Result<(), String> {
+    let mut addr: Option<String> = None;
+    let mut json = false;
+    let mut timeout = Duration::from_secs(5);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--timeout" => {
+                let secs: u64 = cli::take(&mut it, "--timeout")
+                    .unwrap_or_else(|e| usage(e))
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage("--timeout expects seconds".into()));
+                timeout = Duration::from_secs(secs);
+            }
+            other if !other.starts_with('-') && addr.is_none() => addr = Some(other.to_string()),
+            other => usage(format!("unknown flag {other:?}")),
+        }
+    }
+    let addr =
+        addr.unwrap_or_else(|| usage("status needs the coordinator address (host:port)".into()));
+    let report = fetch_status(&addr, timeout)?;
+    if json {
+        print!("{}", report.to_json().to_string_pretty());
+    } else {
+        print!("{}", report.render());
+    }
+    Ok(())
 }

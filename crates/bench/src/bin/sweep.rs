@@ -14,6 +14,8 @@
 //!     [--spawn N]              spawn N shard worker processes and merge
 //!     [--workers N]            spawn N sfence-dist workers over loopback and merge
 //!     [--max-cells N]          execute at most N uncached cells, then stop
+//!     [--progress]             throttled done/total + ETA line on stderr
+//!     [--trace PATH]           write a Chrome trace_event JSON pipeline trace
 //!     [--store FILE]           append the completed run to a JSONL store
 //!     [--git STR]              provenance string (default: git describe)
 //!     [--timestamp SECS]       unix time stamped on the store meta line
@@ -108,6 +110,11 @@ fn parse_args() -> Result<SweepArgs, String> {
     }
     if (args.spawn.is_some() || args.workers.is_some()) && args.max_cells.is_some() {
         return Err("--max-cells applies to in-process runs, not spawned workers".into());
+    }
+    if (args.spawn.is_some() || args.workers.is_some()) && args.common.trace.is_some() {
+        // Rows come back over a pipe/socket as serialized reports,
+        // which deliberately carry no pipe events.
+        return Err("--trace applies to in-process runs, not spawned workers".into());
     }
     if args.common.shard.is_some() && args.output.wants_store_or_diff() {
         // A shard worker emits partial rows for a parent to merge;
@@ -227,6 +234,9 @@ fn run_distributed(
             .stdout(Stdio::null());
         if let Some(dir) = &args.common.cache_dir {
             cmd.arg("--cache-dir").arg(dir);
+        }
+        if args.common.progress {
+            cmd.arg("--progress");
         }
         let child = cmd
             .spawn()

@@ -31,6 +31,13 @@ pub struct FigureArgs {
     pub shard: Option<Shard>,
     /// Worker thread count (default: one per CPU, capped by jobs).
     pub threads: Option<usize>,
+    /// Write a Chrome `trace_event` pipeline trace of every executed
+    /// cell to this path. Mutually exclusive with `--cache-dir` and
+    /// `--shard` (traces are in-memory artifacts of this process).
+    pub trace: Option<PathBuf>,
+    /// Print a throttled progress line (done/total, cells/s, ETA) to
+    /// stderr while the sweep runs.
+    pub progress: bool,
 }
 
 impl FigureArgs {
@@ -77,6 +84,10 @@ impl FigureArgs {
                 }
                 self.threads = Some(n);
             }
+            "--trace" => {
+                self.trace = Some(PathBuf::from(take(it, "--trace")?));
+            }
+            "--progress" => self.progress = true,
             other => return Err(format!("unknown flag {other:?}")),
         }
         Ok(())
@@ -85,6 +96,20 @@ impl FigureArgs {
     pub fn validate(&self) -> Result<(), String> {
         if self.resume && self.cache_dir.is_none() {
             return Err("--resume requires --cache-dir (resume = skip cached cells)".into());
+        }
+        if self.trace.is_some() && self.cache_dir.is_some() {
+            return Err(
+                "--trace is incompatible with --cache-dir: cached reports carry no \
+                 pipe events, so a cache hit would leave a hole in the trace"
+                    .into(),
+            );
+        }
+        if self.trace.is_some() && self.shard.is_some() {
+            return Err(
+                "--trace is incompatible with --shard: traces are per-process artifacts \
+                 and shard children only emit rows"
+                    .into(),
+            );
         }
         Ok(())
     }
@@ -162,7 +187,37 @@ pub fn run_local(
     if let Some(max) = max_cells {
         opts = opts.max_cells(max);
     }
+    if args.trace.is_some() {
+        opts = opts.pipe_trace();
+    }
+    let total = match args.shard {
+        Some(shard) => (0..experiment.job_count())
+            .filter(|&i| shard.contains(i))
+            .count(),
+        None => experiment.job_count(),
+    };
+    let meter = args
+        .progress
+        .then(|| sfence_obs::ProgressMeter::new(&experiment.name, total));
+    let on_cell = |done: usize, _total: usize| {
+        if let Some(m) = &meter {
+            m.update(done);
+        }
+    };
+    if args.progress {
+        opts = opts.on_cell(&on_cell);
+    }
     let outcome = experiment.run_with(opts);
+    if let Some(path) = &args.trace {
+        sfence_obs::write_chrome_trace(path, &outcome.traces)
+            .map_err(|e| format!("write trace {}: {e}", path.display()))?;
+        eprintln!(
+            "trace: {} job(s), {} event(s) -> {}",
+            outcome.traces.len(),
+            outcome.traces.iter().map(|(_, t)| t.len()).sum::<usize>(),
+            path.display()
+        );
+    }
     if cache.is_some() {
         eprintln!(
             "cache: {} hits, {} executed, {} skipped",

@@ -15,8 +15,8 @@
 
 use crate::{experiment_by_name, fig13_experiment, hwsweep_experiments};
 use sfence_harness::{BackendId, Json, RunOptions};
+use sfence_obs::prof;
 use sfence_workloads::Scale;
-use std::time::Instant;
 
 /// Version of the `BENCH_perf.json` schema.
 pub const PERF_SCHEMA_VERSION: u64 = 1;
@@ -109,9 +109,9 @@ pub fn run_task(name: &'static str, threads: usize) -> Result<PerfRow, String> {
             let e = experiment_by_name(name)
                 .expect("registered figure")
                 .scale(Scale::Small);
-            let start = Instant::now();
-            let (cells, cycles) = run_sweep_cells(&[e], threads)?;
-            Ok(sim_row(name, "small", cells, cycles, start))
+            let (res, wall_ms) = prof::measure(name, || run_sweep_cells(&[e], threads));
+            let (cells, cycles) = res?;
+            Ok(sim_row(name, "small", cells, cycles, wall_ms))
         }
         "hwsweep" => {
             // The golden hwsweep job pins `--scale small`; measure
@@ -120,27 +120,23 @@ pub fn run_task(name: &'static str, threads: usize) -> Result<PerfRow, String> {
                 .into_iter()
                 .map(|e| e.scale(Scale::Small))
                 .collect();
-            let start = Instant::now();
-            let (cells, cycles) = run_sweep_cells(&experiments, threads)?;
-            Ok(sim_row(name, "small", cells, cycles, start))
+            let (res, wall_ms) = prof::measure(name, || run_sweep_cells(&experiments, threads));
+            let (cells, cycles) = res?;
+            Ok(sim_row(name, "small", cells, cycles, wall_ms))
         }
         "fig13-eval" => {
             let e = fig13_experiment().scale(Scale::Eval);
-            let start = Instant::now();
-            let (cells, cycles) = run_sweep_cells(&[e], threads)?;
-            Ok(sim_row(name, "eval", cells, cycles, start))
+            let (res, wall_ms) = prof::measure(name, || run_sweep_cells(&[e], threads));
+            let (cells, cycles) = res?;
+            Ok(sim_row(name, "eval", cells, cycles, wall_ms))
         }
         "litmus-functional" => {
             let families = sfence_litmus::all_families();
             let checker = sfence_litmus::CheckerConfig::default();
-            let start = Instant::now();
-            let campaign = sfence_litmus::run_campaign(
-                &families,
-                8,
-                threads,
-                &checker,
-                BackendId::Functional,
-            )?;
+            let (res, wall_ms) = prof::measure(name, || {
+                sfence_litmus::run_campaign(&families, 8, threads, &checker, BackendId::Functional)
+            });
+            let campaign = res?;
             let summary = campaign.summary();
             if summary.covering_violations != 0 {
                 return Err(format!(
@@ -154,7 +150,7 @@ pub fn run_task(name: &'static str, threads: usize) -> Result<PerfRow, String> {
                 scale: "small",
                 cells: summary.runs as u64,
                 cycles: None,
-                wall_ms: wall_ms(start),
+                wall_ms,
             })
         }
         "fuzz-functional" => {
@@ -164,8 +160,8 @@ pub fn run_task(name: &'static str, threads: usize) -> Result<PerfRow, String> {
                 backend: BackendId::Functional,
                 ..sfence_fuzz::FuzzConfig::default()
             };
-            let start = Instant::now();
-            let report = sfence_fuzz::run_fuzz(&cfg, threads)?;
+            let (res, wall_ms) = prof::measure(name, || sfence_fuzz::run_fuzz(&cfg, threads));
+            let report = res?;
             if !report.divergences.is_empty() {
                 return Err(format!(
                     "fuzz-functional: {} divergences in the perf batch",
@@ -178,15 +174,11 @@ pub fn run_task(name: &'static str, threads: usize) -> Result<PerfRow, String> {
                 scale: "small",
                 cells: report.cases as u64,
                 cycles: None,
-                wall_ms: wall_ms(start),
+                wall_ms,
             })
         }
         other => Err(format!("unknown perf task {other:?}")),
     }
-}
-
-fn wall_ms(start: Instant) -> f64 {
-    start.elapsed().as_secs_f64() * 1000.0
 }
 
 fn sim_row(
@@ -194,7 +186,7 @@ fn sim_row(
     scale: &'static str,
     cells: u64,
     cycles: u64,
-    start: Instant,
+    wall_ms: f64,
 ) -> PerfRow {
     PerfRow {
         name,
@@ -202,7 +194,7 @@ fn sim_row(
         scale,
         cells,
         cycles: Some(cycles),
-        wall_ms: wall_ms(start),
+        wall_ms,
     }
 }
 
@@ -230,6 +222,7 @@ fn run_sweep_cells(
 /// Run every suite task `runs` times, keeping each task's
 /// median-wall-time run (ties broken toward the faster run).
 pub fn run_suite(threads: usize, runs: usize) -> Result<Vec<PerfRow>, String> {
+    let _suite = prof::scoped("perf");
     let mut rows = Vec::new();
     for name in perf_task_names() {
         let mut samples = Vec::with_capacity(runs);

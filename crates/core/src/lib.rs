@@ -18,12 +18,16 @@
 //!   validate the CPU model against the definition of S-Fence.
 //! - [`coverage`] — the compact event bitmap of scope-unit paths the
 //!   fuzzer (`sfence-fuzz`) keys its corpus on.
+//! - [`pipe`] — the opt-in pipeline event taxonomy the CPU model emits
+//!   for the observability layer (`sfence-obs` renders it as Chrome
+//!   `trace_event` JSON).
 //! - [`cost`] — the §VI-E hardware cost accounting.
 
 pub mod cost;
 pub mod coverage;
 pub mod mapping;
 pub mod mask;
+pub mod pipe;
 pub mod semantics;
 pub mod stack;
 pub mod unit;
@@ -31,6 +35,7 @@ pub mod unit;
 pub use cost::{hw_cost, HwCost};
 pub use coverage::CoverageSet;
 pub use mask::{ColumnCounters, ScopeMask, MAX_FSB_ENTRIES};
+pub use pipe::{PipeEvent, PipeKind, WalkKind};
 pub use semantics::{check_trace, ClassScopeModel, ConformanceStats, RetiredEvent, Violation};
 pub use sfence_isa::ClassId;
 pub use unit::{FenceWait, ScopeConfig, ScopeRecovery, ScopeUnit, ScopeUnitStats};

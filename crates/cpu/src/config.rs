@@ -78,6 +78,11 @@ pub struct CoreConfig {
     pub scope: ScopeConfig,
     /// Record retired-event traces for conformance checking.
     pub trace: bool,
+    /// Record the microarchitectural pipeline event trace
+    /// ([`sfence_core::pipe`]): fetch/issue/retire, fence
+    /// dispatch/complete, degrade/overflow/recovery, directory walks.
+    /// Off by default; the hot path pays one bool check when disabled.
+    pub pipe_trace: bool,
 }
 
 impl Default for CoreConfig {
@@ -95,6 +100,7 @@ impl Default for CoreConfig {
             fence: FenceConfig::SFENCE,
             scope: ScopeConfig::default(),
             trace: false,
+            pipe_trace: false,
         }
     }
 }

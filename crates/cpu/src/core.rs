@@ -29,7 +29,9 @@ use crate::bpred::BranchPredictor;
 use crate::bus::MemBus;
 use crate::config::CoreConfig;
 use crate::stats::CoreStats;
-use sfence_core::{ColumnCounters, FenceWait, RetiredEvent, ScopeMask, ScopeUnit};
+use sfence_core::{
+    ColumnCounters, FenceWait, PipeEvent, PipeKind, RetiredEvent, ScopeMask, ScopeUnit,
+};
 use sfence_isa::{FenceKind, Instr, Operand, NUM_REGS};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -177,6 +179,8 @@ pub struct Core {
     pub stats: CoreStats,
     /// Retired-event trace (when `cfg.trace`).
     pub trace: Vec<RetiredEvent>,
+    /// Pipeline event trace (when `cfg.pipe_trace`).
+    pub pipe: Vec<PipeEvent>,
 }
 
 impl Core {
@@ -215,8 +219,20 @@ impl Core {
             mem_in_flight: 0,
             stats: CoreStats::default(),
             trace: Vec::new(),
+            pipe: Vec::new(),
             cfg,
         }
+    }
+
+    /// Append a pipeline event. Callers gate on `cfg.pipe_trace`, so
+    /// the disabled hot path never reaches the push.
+    #[inline]
+    fn pipe_event(&mut self, cycle: u64, kind: PipeKind) {
+        self.pipe.push(PipeEvent {
+            core: self.id as u32,
+            cycle,
+            kind,
+        });
     }
 
     /// Has this core retired its `halt` and drained all buffers?
@@ -514,6 +530,7 @@ impl Core {
                 return;
             }
             let instr = head.instr;
+            let head_pc = head.pc;
             // Fences under in-window speculation hold retirement until
             // their (captured) condition is satisfied by the SB.
             if let Instr::Fence { .. } = instr {
@@ -529,6 +546,9 @@ impl Core {
                             .insert(sfence_core::coverage::STALL_AT_RETIRE);
                         return;
                     }
+                    if self.cfg.pipe_trace {
+                        self.pipe_event(now, PipeKind::FenceComplete { pc: head_pc as u64 });
+                    }
                 }
                 self.stats.fences_retired += 1;
             }
@@ -541,6 +561,15 @@ impl Core {
             }
             let e = self.rob.pop_front().unwrap();
             self.stats.instrs_retired += 1;
+            if self.cfg.pipe_trace {
+                self.pipe_event(
+                    now,
+                    PipeKind::Retire {
+                        seq: e.seq,
+                        pc: e.pc as u64,
+                    },
+                );
+            }
             // Commit the register value.
             if let Some(rd) = e.instr.dest() {
                 self.regs[rd.0 as usize] = e.result;
@@ -777,7 +806,11 @@ impl Core {
                 e.addr = addr;
                 e.dispatched_at = now;
                 e.state = EState::Executing;
+                let pc = e.pc;
                 self.events.push(Reverse((now + lat, Ev::Rob(seq))));
+                if self.cfg.pipe_trace {
+                    self.pipe_event(now, PipeKind::Issue { seq, pc: pc as u64 });
+                }
             }
             // Scope markers, fences, jumps, nops and halts are Done at
             // issue and never reach dispatch.
@@ -792,7 +825,11 @@ impl Core {
         if e.dispatched_at == 0 {
             e.dispatched_at = now;
         }
+        let pc = e.pc;
         self.events.push(Reverse((now + latency, Ev::Rob(seq))));
+        if self.cfg.pipe_trace {
+            self.pipe_event(now, PipeKind::Issue { seq, pc: pc as u64 });
+        }
     }
 
     fn dispatch_load(
@@ -849,6 +886,10 @@ impl Core {
         let e = self.entry_mut(seq).unwrap();
         e.dispatched_at = now;
         e.state = EState::Executing;
+        let pc = e.pc;
+        if self.cfg.pipe_trace {
+            self.pipe_event(now, PipeKind::Issue { seq, pc: pc as u64 });
+        }
         if let Some(v) = fwd {
             self.stats.forwarded_loads += 1;
             let e = self.entry_mut(seq).unwrap();
@@ -870,6 +911,14 @@ impl Core {
         self.squash_tail(branch_seq, next_pc, now);
         if self.honor_scopes() {
             self.scope.branch_resolved(branch_seq, true);
+            if self.cfg.pipe_trace {
+                self.pipe_event(
+                    now,
+                    PipeKind::Recovery {
+                        from_seq: branch_seq,
+                    },
+                );
+            }
         }
     }
 
@@ -965,6 +1014,9 @@ impl Core {
         self.squash_tail(seq.saturating_sub(1), pc, now);
         if self.honor_scopes() {
             self.scope.squash_from(seq);
+            if self.cfg.pipe_trace {
+                self.pipe_event(now, PipeKind::Recovery { from_seq: seq });
+            }
         }
     }
 
@@ -990,6 +1042,9 @@ impl Core {
                     return;
                 }
                 self.blocked_fence = None;
+                if self.cfg.pipe_trace {
+                    self.pipe_event(now, PipeKind::FenceComplete { pc: pc as u64 });
+                }
                 self.push_entry(pc, Instr::Fence { kind }, now, |_| {});
                 continue;
             }
@@ -1003,10 +1058,31 @@ impl Core {
                         FenceKind::Global
                     };
                     let wait = if self.honor_scopes() {
-                        self.scope.fence_request(kind_eff)
+                        if self.cfg.pipe_trace {
+                            // Delta-compare the scope-unit counter: a
+                            // degrade inside fence_request is otherwise
+                            // invisible at this call site.
+                            let degraded = self.scope.stats.degraded_fences;
+                            let wait = self.scope.fence_request(kind_eff);
+                            if self.scope.stats.degraded_fences > degraded {
+                                self.pipe_event(now, PipeKind::Degrade { pc: pc as u64 });
+                            }
+                            wait
+                        } else {
+                            self.scope.fence_request(kind_eff)
+                        }
                     } else {
                         FenceWait::All
                     };
+                    if self.cfg.pipe_trace {
+                        self.pipe_event(
+                            now,
+                            PipeKind::FenceDispatch {
+                                pc: pc as u64,
+                                scoped: matches!(wait, FenceWait::Mask(_)),
+                            },
+                        );
+                    }
                     if self.cfg.fence.in_window_speculation {
                         self.fetch_pc += 1;
                         self.push_entry(pc, instr, now, |e| {
@@ -1014,6 +1090,9 @@ impl Core {
                         });
                     } else if self.fence_satisfied(wait) {
                         self.fetch_pc += 1;
+                        if self.cfg.pipe_trace {
+                            self.pipe_event(now, PipeKind::FenceComplete { pc: pc as u64 });
+                        }
                         self.push_entry(pc, instr, now, |_| {});
                     } else {
                         self.fetch_pc += 1;
@@ -1028,7 +1107,15 @@ impl Core {
                 Instr::FsStart { cid } => {
                     let seq = self.next_seq;
                     if self.honor_scopes() {
-                        self.scope.fs_start(cid, seq);
+                        if self.cfg.pipe_trace {
+                            let overflows = self.scope.stats.fss_overflows;
+                            self.scope.fs_start(cid, seq);
+                            if self.scope.stats.fss_overflows > overflows {
+                                self.pipe_event(now, PipeKind::Overflow { seq });
+                            }
+                        } else {
+                            self.scope.fs_start(cid, seq);
+                        }
                     }
                     self.fetch_pc += 1;
                     self.push_entry(pc, instr, now, |_| {});
@@ -1171,6 +1258,9 @@ impl Core {
             self.ready_q.push(seq);
         }
         self.rob.push_back(e);
+        if self.cfg.pipe_trace {
+            self.pipe_event(now, PipeKind::Fetch { seq, pc: pc as u64 });
+        }
     }
 
     fn resolve_src(&mut self, op: Operand, consumer: u64) -> Src {

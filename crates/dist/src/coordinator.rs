@@ -22,6 +22,8 @@ use crate::protocol::{write_msg, FrameError, FrameReader, Msg, PROTOCOL_VERSION}
 use crate::spec::ExperimentSpec;
 use sfence_harness::experiment::SweepRow;
 use sfence_harness::{Experiment, IndexedRow, JobQueue, SCHEMA_VERSION};
+use sfence_obs::{MetricsReport, Registry};
+use std::collections::BTreeMap;
 use std::io;
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -93,6 +95,16 @@ impl DistSummary {
     }
 }
 
+/// Per-worker accounting behind the `status` frame. Keyed by the
+/// connection-unique worker key, so two workers sharing a name stay
+/// distinguishable in the report.
+#[derive(Debug, Default, Clone, Copy)]
+struct WorkerStat {
+    jobs: u64,
+    executed: u64,
+    cache_hits: u64,
+}
+
 /// Shared mutable state between the accept loop and the
 /// per-connection handler threads.
 struct Shared {
@@ -102,6 +114,40 @@ struct Shared {
     cache_hits: u64,
     released: u64,
     rejected: u64,
+    /// BTreeMap so the status report lists workers in a stable order.
+    worker_stats: BTreeMap<String, WorkerStat>,
+}
+
+/// Build the live campaign snapshot a `status_request` probe gets
+/// back: queue shape, campaign totals, throughput, and per-worker
+/// completion rates, all through the shared metrics registry so the
+/// wire schema is the one every other `sfence-obs` consumer reads.
+fn status_metrics(s: &Shared, elapsed_ms: u64) -> MetricsReport {
+    let mut reg = Registry::new();
+    let done = s.queue.done();
+    let pending = s.queue.pending();
+    let leased = s.queue.len() - done - pending;
+    reg.gauge("queue_jobs_total", &[], s.queue.len() as f64);
+    reg.gauge("queue_done", &[], done as f64);
+    reg.gauge("queue_pending", &[], pending as f64);
+    reg.gauge("queue_active_leases", &[], leased as f64);
+    reg.gauge("uptime_ms", &[], elapsed_ms as f64);
+    let secs = elapsed_ms as f64 / 1000.0;
+    let rate = |cells: u64| if secs > 0.0 { cells as f64 / secs } else { 0.0 };
+    reg.gauge("cells_per_sec", &[], rate(done as u64));
+    reg.counter("workers_connected", &[], s.workers);
+    reg.counter("cells_executed", &[], s.executed);
+    reg.counter("cache_hits", &[], s.cache_hits);
+    reg.counter("leases_released", &[], s.released);
+    reg.counter("connections_rejected", &[], s.rejected);
+    for (key, stat) in &s.worker_stats {
+        let labels = [("worker", key.as_str())];
+        reg.counter("worker_jobs", &labels, stat.jobs);
+        reg.counter("worker_executed", &labels, stat.executed);
+        reg.counter("worker_cache_hits", &labels, stat.cache_hits);
+        reg.gauge("worker_cells_per_sec", &labels, rate(stat.jobs));
+    }
+    reg.snapshot("coordinator")
 }
 
 /// Run one distributed campaign: serve `experiment` (described to
@@ -126,6 +172,7 @@ pub fn serve(
         cache_hits: 0,
         released: 0,
         rejected: 0,
+        worker_stats: BTreeMap::new(),
     });
     let shutdown = AtomicBool::new(false);
     let start = Instant::now();
@@ -369,6 +416,29 @@ fn handle_conn(
             }
             worker
         }
+        // A status probe opens with `status_request` instead of
+        // `hello`: answer with one snapshot and close. Probes never
+        // touch the job table and are not counted as workers.
+        Ok(Msg::StatusRequest) => {
+            let report = {
+                let s = shared.lock().unwrap();
+                status_metrics(&s, now_ms())
+            };
+            if !opts.quiet {
+                eprintln!("dist: status probe from connection {conn_id}");
+            }
+            if write_msg(
+                &mut writer,
+                &Msg::Status {
+                    metrics: report.to_json(),
+                },
+            )
+            .is_ok()
+            {
+                close_gracefully(&writer, &mut reader, Duration::from_secs(1));
+            }
+            return;
+        }
         Ok(other) => {
             finish("", Some(format!("expected hello, got {other:?}")));
             return;
@@ -481,6 +551,10 @@ fn handle_conn(
                 cache_hits,
             } => {
                 let mut s = shared.lock().unwrap();
+                let stat = s.worker_stats.entry(worker_key.clone()).or_default();
+                stat.jobs += rows.len() as u64;
+                stat.executed += executed;
+                stat.cache_hits += cache_hits;
                 for row in rows {
                     match s.queue.complete(row.index, row.row) {
                         // Ok(false): a re-leased job came back twice —

@@ -37,9 +37,11 @@
 pub mod coordinator;
 pub mod protocol;
 pub mod spec;
+pub mod status;
 pub mod worker;
 
 pub use coordinator::{serve, CoordinatorOpts, DistSummary};
 pub use protocol::{FrameError, FrameReader, Msg, MAX_FRAME, PROTOCOL_VERSION};
 pub use spec::{ExperimentSpec, Registry};
+pub use status::fetch_status;
 pub use worker::{work, WorkerOpts, WorkerSummary};

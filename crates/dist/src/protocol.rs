@@ -25,6 +25,17 @@
 //! | c → w | `done`      | campaign complete; disconnect |
 //! | w → c | `result`    | completed indexed rows + cache accounting |
 //! | w → c | `heartbeat` | keep-alive; extends this worker's leases |
+//!
+//! A *status probe* is a second, one-shot client flow: connect, send
+//! `status_request` instead of `hello`, receive one `status` frame
+//! (a `sfence-obs` [`MetricsReport`](https://docs.rs) as opaque JSON
+//! — queue depth, active leases, per-worker completion rates), and
+//! disconnect. Probes never touch the job table.
+//!
+//! | direction | message | meaning |
+//! |---|---|---|
+//! | p → c | `status_request` | ask for a live campaign snapshot |
+//! | c → p | `status`         | metrics snapshot; connection then closes |
 
 use sfence_harness::json::{self, Json};
 use sfence_harness::IndexedRow;
@@ -32,7 +43,9 @@ use std::io::{self, Read, Write};
 
 /// Version of this message set. Mixed protocol generations refuse
 /// each other at `hello` instead of mis-parsing frames.
-pub const PROTOCOL_VERSION: u64 = 1;
+///
+/// v2 added the `status_request`/`status` probe flow.
+pub const PROTOCOL_VERSION: u64 = 2;
 
 /// Upper bound on a frame's payload. Real frames are a few KB (a
 /// lease of row results); anything bigger is a corrupt or hostile
@@ -206,6 +219,14 @@ pub enum Msg {
         cache_hits: u64,
     },
     Heartbeat,
+    /// Probe flow: sent *instead of* `hello` by a monitoring client.
+    StatusRequest,
+    /// The coordinator's live campaign snapshot: a `sfence-obs`
+    /// `MetricsReport` carried as opaque JSON so the protocol layer
+    /// stays decoupled from the metrics schema.
+    Status {
+        metrics: Json,
+    },
 }
 
 impl Msg {
@@ -260,6 +281,10 @@ impl Msg {
                 .field("executed", *executed)
                 .field("cache_hits", *cache_hits),
             Msg::Heartbeat => Json::obj().field("type", "heartbeat"),
+            Msg::StatusRequest => Json::obj().field("type", "status_request"),
+            Msg::Status { metrics } => Json::obj()
+                .field("type", "status")
+                .field("metrics", metrics.clone()),
         }
     }
 
@@ -327,6 +352,13 @@ impl Msg {
                 cache_hits: u64_field("cache_hits")?,
             },
             "heartbeat" => Msg::Heartbeat,
+            "status_request" => Msg::StatusRequest,
+            "status" => Msg::Status {
+                metrics: doc
+                    .get("metrics")
+                    .cloned()
+                    .ok_or("status: missing metrics")?,
+            },
             other => return Err(format!("unknown message type {other:?}")),
         })
     }
@@ -364,6 +396,18 @@ mod tests {
         round_trip(Msg::Wait { ms: 250 });
         round_trip(Msg::Done);
         round_trip(Msg::Heartbeat);
+        round_trip(Msg::StatusRequest);
+        round_trip(Msg::Status {
+            metrics: Json::obj()
+                .field("schema_version", 1u64)
+                .field("produced_by", "coordinator"),
+        });
+    }
+
+    #[test]
+    fn status_without_metrics_is_rejected() {
+        let doc = json::parse(r#"{"type":"status"}"#).unwrap();
+        assert!(Msg::from_json(&doc).unwrap_err().contains("metrics"));
     }
 
     #[test]

@@ -1,0 +1,42 @@
+//! The status-probe client: one connection, one `status_request`,
+//! one [`MetricsReport`] back. The monitoring half of the protocol's
+//! probe flow (`sfence-dist status ADDR` is a thin wrapper).
+
+use crate::protocol::{write_msg, FrameError, FrameReader, Msg};
+use sfence_obs::MetricsReport;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Connect to the coordinator at `addr` and fetch its live campaign
+/// snapshot. `timeout` bounds both the connect and the read, so a
+/// probe against a hung coordinator fails instead of blocking a
+/// monitoring loop.
+pub fn fetch_status(addr: &str, timeout: Duration) -> Result<MetricsReport, String> {
+    let sock_addr = addr
+        .to_socket_addrs()
+        .map_err(|e| format!("bad address {addr:?}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("address {addr:?} resolves to nothing"))?;
+    let stream = TcpStream::connect_timeout(&sock_addr, timeout)
+        .map_err(|e| format!("connect {addr}: {e}"))?;
+    let _ = stream.set_nodelay(true);
+    stream
+        .set_read_timeout(Some(timeout))
+        .map_err(|e| format!("set_read_timeout: {e}"))?;
+    let mut writer = stream
+        .try_clone()
+        .map_err(|e| format!("clone stream: {e}"))?;
+    write_msg(&mut writer, &Msg::StatusRequest).map_err(|e| format!("send: {e}"))?;
+    let mut reader = FrameReader::new(stream);
+    match reader.next_msg() {
+        Ok(Some(Msg::Status { metrics })) => MetricsReport::from_json(&metrics),
+        // A `done` here means the campaign finished before our probe
+        // was accepted (the coordinator drains its backlog with
+        // `done` frames) — report that plainly.
+        Ok(Some(Msg::Done)) => Err("campaign already complete".into()),
+        Ok(Some(other)) => Err(format!("expected status, got {other:?}")),
+        Ok(None) => Err(format!("coordinator silent for {timeout:?}")),
+        Err(FrameError::Eof) => Err("coordinator closed without answering".into()),
+        Err(e) => Err(e.to_string()),
+    }
+}

@@ -44,6 +44,9 @@ pub struct WorkerOpts {
     pub read_timeout_ms: u64,
     /// Suppress per-lease progress lines on stderr.
     pub quiet: bool,
+    /// Emit a throttled progress line (this worker's completed jobs
+    /// against the campaign total, cells/sec, ETA) on stderr.
+    pub progress: bool,
 }
 
 impl Default for WorkerOpts {
@@ -56,6 +59,7 @@ impl Default for WorkerOpts {
             max_idle_windows: 120,
             read_timeout_ms: 1000,
             quiet: false,
+            progress: false,
         }
     }
 }
@@ -220,6 +224,12 @@ pub fn work(addr: &str, registry: Registry, opts: &WorkerOpts) -> Result<WorkerS
     };
 
     // --- Lease loop -----------------------------------------------
+    // The meter tracks *this worker's* completed jobs against the
+    // campaign total, so with one worker the ETA is exact and with N
+    // workers it reads as this worker's share of the whole.
+    let meter = opts
+        .progress
+        .then(|| sfence_obs::ProgressMeter::new(&spec.experiment, job_count));
     let mut summary = WorkerSummary::default();
     loop {
         if let Err(e) = send(&Msg::Request) {
@@ -252,6 +262,9 @@ pub fn work(addr: &str, registry: Registry, opts: &WorkerOpts) -> Result<WorkerS
                 summary.jobs += outcome.rows.len() as u64;
                 summary.executed += outcome.stats.executed as u64;
                 summary.cache_hits += outcome.stats.cache_hits as u64;
+                if let Some(meter) = &meter {
+                    meter.update(summary.jobs as usize);
+                }
                 if !opts.quiet {
                     eprintln!(
                         "worker {name}: lease of {} job(s): {} executed, {} cache hits",

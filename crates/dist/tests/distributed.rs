@@ -380,3 +380,52 @@ fn version_mismatch_is_rejected_with_a_reason() {
         w.join().unwrap().expect("healthy worker exits cleanly");
     });
 }
+
+#[test]
+fn status_probe_reports_live_queue_state_mid_campaign() {
+    let experiment = registry("tiny").unwrap();
+    let expected = experiment.run_parallel().to_json_string();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let spec = ExperimentSpec::new("tiny");
+    let opts = test_coordinator_opts();
+    let jobs = experiment.job_count();
+
+    let summary = std::thread::scope(|s| {
+        let coord = s.spawn(|| serve(&listener, &experiment, &spec, &opts));
+        // Freeze the campaign mid-flight: a hung worker holds a lease
+        // of 2 jobs, so the probe observes a genuinely live queue.
+        let (held, hung_stream) = take_lease_and_stop(&addr, true);
+        assert_eq!(held.len(), 2);
+
+        let report = sfence_dist::fetch_status(&addr, std::time::Duration::from_secs(5))
+            .expect("status probe answered");
+        assert_eq!(report.produced_by, "coordinator");
+        let gauge = |name: &str| match report.get(name, &[]) {
+            Some(m) => match m.value {
+                sfence_obs::MetricValue::Gauge(v) => v,
+                ref other => panic!("{name}: expected gauge, got {other:?}"),
+            },
+            None => panic!("{name} missing from the status frame"),
+        };
+        assert_eq!(gauge("queue_jobs_total") as usize, jobs);
+        assert_eq!(gauge("queue_active_leases") as usize, 2);
+        assert_eq!(gauge("queue_done") as usize, 0);
+        assert_eq!(gauge("queue_pending") as usize, jobs - 2);
+        // The wire payload round-trips through the metrics schema.
+        let back = sfence_obs::MetricsReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(back.metrics.len(), report.metrics.len());
+
+        // Release the hung lease and let a real worker finish.
+        drop(hung_stream);
+        let w = s.spawn({
+            let addr = addr.clone();
+            move || work(&addr, registry, &test_worker_opts("finisher"))
+        });
+        let summary = coord.join().unwrap().expect("campaign completes");
+        w.join().unwrap().expect("finisher exits cleanly");
+        summary
+    });
+    let result = SweepResult::from_indexed(&experiment.name, jobs, summary.rows).unwrap();
+    assert_eq!(result.to_json_string(), expected);
+}

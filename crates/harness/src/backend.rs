@@ -29,7 +29,7 @@
 
 use crate::enumerate::{enumerate_sc, CheckerConfig};
 use crate::json::Json;
-use sfence_core::{RetiredEvent, ScopeUnitStats};
+use sfence_core::{PipeEvent, RetiredEvent, ScopeUnitStats};
 use sfence_cpu::CoreStats;
 use sfence_isa::interp::{InterpStats, ThreadState};
 use sfence_isa::{Addr, Program, NUM_REGS};
@@ -146,6 +146,9 @@ pub struct EngineOutput {
     /// Per-core retired-event traces (sim only, and only when
     /// tracing is enabled).
     pub traces: Vec<Vec<RetiredEvent>>,
+    /// Merged pipeline event trace, sorted by `(cycle, core)` (sim
+    /// only, and only when `cfg.core.pipe_trace` is set).
+    pub pipe: Vec<PipeEvent>,
     /// Final flat memory image (empty on the enumerative backend,
     /// which explores *many* final states).
     pub mem: Vec<i64>,
@@ -172,6 +175,7 @@ impl EngineOutput {
             scope_coverage: Vec::new(),
             watch_log: Vec::new(),
             traces: Vec::new(),
+            pipe: Vec::new(),
             mem: Vec::new(),
             regs: Vec::new(),
             sc_states: None,
@@ -223,6 +227,7 @@ impl Backend for SimBackend {
             scope_coverage: out.summary.scope_coverage,
             watch_log: out.watch_log,
             traces: out.traces,
+            pipe: out.pipe,
             mem: out.mem,
             regs: out.regs,
             sc_states: None,

@@ -14,9 +14,11 @@ use crate::json::Json;
 use crate::runner::run_indexed;
 use crate::session::{RunReport, Session, SCHEMA_VERSION};
 use crate::shard::Shard;
+use sfence_core::PipeEvent;
 use sfence_sim::{FenceConfig, MachineConfig, RunExit};
 use sfence_workloads::catalog;
 use sfence_workloads::{Scale, ScopeMode, WorkloadParams};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// The swept parameter, orthogonal to the fence-config dimension.
 /// `Level` and `Scope` vary how the workload is *built*; `Backend`
@@ -385,6 +387,15 @@ impl Experiment {
     pub fn run_with(&self, opts: RunOptions) -> RunOutcome {
         let jobs = self.jobs();
         let axis_name = self.axis.name().to_string();
+        // Pipe traces never round-trip through serialized reports (see
+        // `RunReport::pipe`), so a cache could silently answer a traced
+        // job with an event-less report. Static configuration: misuse
+        // is a programming error, not a recoverable condition.
+        assert!(
+            !(opts.pipe_trace && opts.cache.is_some()),
+            "pipe tracing and the result cache are mutually exclusive \
+             (cached reports carry no pipe events)"
+        );
         let selected: Vec<usize> = match (&opts.jobs, opts.shard) {
             (Some(_), Some(_)) => {
                 // Static configuration, so misuse is a programming
@@ -437,15 +448,37 @@ impl Experiment {
         let budget = opts.max_cells.unwrap_or(misses.len()).min(misses.len());
         let skipped = misses.len() - budget;
         let to_run = &misses[..budget];
+        // Progress counts completed cells over every selected cell;
+        // cache hits are already done before execution starts.
+        let done = AtomicUsize::new(cache_hits);
+        let total = selected.len();
+        if let (Some(cb), true) = (opts.on_cell, cache_hits > 0) {
+            cb(cache_hits, total);
+        }
         let reports = run_indexed(to_run.len(), opts.threads, |k| {
             let job = &jobs[to_run[k].0];
             let built = catalog::build(&job.workload, &job.params);
             let backend = job.backend.instantiate();
-            Session::for_workload(&built)
-                .config(job.cfg.clone())
+            let mut cfg = job.cfg.clone();
+            cfg.core.pipe_trace |= opts.pipe_trace;
+            let report = Session::for_workload(&built)
+                .config(cfg)
                 .backend(backend.as_ref())
-                .run()
+                .run();
+            if let Some(cb) = opts.on_cell {
+                cb(done.fetch_add(1, Ordering::Relaxed) + 1, total);
+            }
+            report
         });
+        let traces = if opts.pipe_trace {
+            to_run
+                .iter()
+                .zip(&reports)
+                .map(|((i, _), report)| (job_label(&jobs[*i]), report.pipe.clone()))
+                .collect()
+        } else {
+            Vec::new()
+        };
         let mut cache_write_errors = 0;
         for ((i, key), report) in to_run.iter().zip(&reports) {
             if let (Some(c), Some(key)) = (cache.as_deref_mut(), key.as_deref()) {
@@ -464,6 +497,7 @@ impl Experiment {
         rows.sort_by_key(|r| r.index);
         RunOutcome {
             rows,
+            traces,
             stats: RunStats {
                 cache_hits,
                 executed: budget,
@@ -501,6 +535,14 @@ pub struct RunOptions<'c> {
     pub jobs: Option<Vec<usize>>,
     /// Execute at most this many uncached cells (`None` = no limit).
     pub max_cells: Option<usize>,
+    /// Record pipeline event traces on every executed cell
+    /// ([`RunOutcome::traces`]). Mutually exclusive with `cache`:
+    /// cached reports carry no pipe events.
+    pub pipe_trace: bool,
+    /// Completion callback `(done, total)` — invoked once per
+    /// finished cell (from worker threads, hence `Sync`) and once up
+    /// front for the cache-hit batch. Drives `--progress` meters.
+    pub on_cell: Option<&'c (dyn Fn(usize, usize) + Sync)>,
 }
 
 impl<'c> RunOptions<'c> {
@@ -511,6 +553,8 @@ impl<'c> RunOptions<'c> {
             shard: None,
             jobs: None,
             max_cells: None,
+            pipe_trace: false,
+            on_cell: None,
         }
     }
 
@@ -535,6 +579,18 @@ impl<'c> RunOptions<'c> {
         self.max_cells = Some(max);
         self
     }
+
+    /// Record pipeline traces on every executed cell.
+    pub fn pipe_trace(mut self) -> Self {
+        self.pipe_trace = true;
+        self
+    }
+
+    /// Report per-cell completion (progress meters).
+    pub fn on_cell(mut self, cb: &'c (dyn Fn(usize, usize) + Sync)) -> Self {
+        self.on_cell = Some(cb);
+        self
+    }
 }
 
 /// Cache/execution accounting of one [`Experiment::run_with`] call.
@@ -556,6 +612,10 @@ pub struct RunStats {
 pub struct RunOutcome {
     /// Completed rows, sorted by job index.
     pub rows: Vec<IndexedRow>,
+    /// Per executed cell (in job-index order, when
+    /// [`RunOptions::pipe_trace`] was set): a human-readable job
+    /// label and the cell's merged pipeline event stream.
+    pub traces: Vec<(String, Vec<PipeEvent>)>,
     pub stats: RunStats,
     /// Every selected job produced a row (nothing was skipped).
     pub complete: bool,
@@ -585,6 +645,18 @@ impl IndexedRow {
             row: SweepRow::from_json(json.get("row").ok_or("missing row")?)?,
         })
     }
+}
+
+/// Stable human-readable label for one job — names a traced job's
+/// process in the Chrome trace viewer.
+fn job_label(job: &Job) -> String {
+    let mut label = format!("{}/{}", job.workload, job.fence.label());
+    let value = job.point.value_string();
+    if !value.is_empty() {
+        label.push('/');
+        label.push_str(&value);
+    }
+    label
 }
 
 fn row_from_report(job: &Job, axis_name: &str, report: &RunReport) -> SweepRow {

@@ -11,7 +11,7 @@
 
 use crate::backend::{Backend, BackendId, SimBackend};
 use crate::json::Json;
-use sfence_core::{RetiredEvent, ScopeUnitStats};
+use sfence_core::{PipeEvent, RetiredEvent, ScopeUnitStats};
 use sfence_cpu::CoreStats;
 use sfence_isa::{Addr, ClassId, FenceKind, Program};
 use sfence_mem::CoreMemStats;
@@ -138,6 +138,13 @@ impl<'a> Session<'a> {
         self
     }
 
+    /// Record the microarchitectural pipeline event trace
+    /// ([`RunReport::pipe`]; sim backend only, others report empty).
+    pub fn pipe_trace(mut self) -> Self {
+        self.cfg.core.pipe_trace = true;
+        self
+    }
+
     /// Execute and report. Workload sessions panic on cycle-limit
     /// exits and invariant violations, exactly like the old
     /// `BuiltWorkload::run`. The enumerative backend is exempt from
@@ -156,6 +163,7 @@ impl<'a> Session<'a> {
             scope_coverage: out.scope_coverage,
             watch_log: out.watch_log,
             traces: out.traces,
+            pipe: out.pipe,
             mem: out.mem,
             regs: out.regs,
             sc_states: out.sc_states,
@@ -198,6 +206,15 @@ pub struct RunReport {
     pub watch_log: Vec<WatchEvent>,
     /// Per-core retired-event traces (empty unless tracing was on).
     pub traces: Vec<Vec<RetiredEvent>>,
+    /// Merged pipeline event trace, sorted by `(cycle, core)` (empty
+    /// unless [`Session::pipe_trace`] was set; sim backend only).
+    ///
+    /// **In-memory only**: deliberately excluded from
+    /// [`RunReport::to_json`] — pipe events never enter caches,
+    /// stores, shard rows or golden digests, so enabling tracing can
+    /// never change a serialized artifact. `from_json` yields an
+    /// empty trace.
+    pub pipe: Vec<PipeEvent>,
     /// Final flat memory image (empty on the enumerative backend).
     pub mem: Vec<i64>,
     /// Per-core architectural register snapshot (retired state) at
@@ -372,6 +389,8 @@ impl RunReport {
                         .collect::<Result<Vec<_>, _>>()
                 })
                 .collect::<Result<_, _>>()?,
+            // Pipe traces are in-memory only (see the field docs).
+            pipe: Vec::new(),
             mem: get_arr(json, "mem")?
                 .iter()
                 .map(|w| w.as_i64().ok_or_else(|| "bad memory word".to_string()))

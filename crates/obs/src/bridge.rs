@@ -1,0 +1,144 @@
+//! Adapters from the harness's existing stats structs into registry
+//! metrics — the "one unified schema" half of the observability story.
+//!
+//! Naming scheme: `sim_*` for machine-model counters (labeled
+//! `core=<i>` where per-core), `mem_*` for the cache hierarchy's
+//! aggregate counters, `scope_*` for the S-Fence scope unit, and
+//! `sweep_*` for the harness's sweep/cache accounting. Series names
+//! are part of the [`METRICS_SCHEMA_VERSION`] contract.
+//!
+//! [`METRICS_SCHEMA_VERSION`]: crate::metrics::METRICS_SCHEMA_VERSION
+
+use crate::metrics::{MetricsReport, Registry};
+use sfence_harness::{RunReport, RunStats};
+
+/// Fold one run's machine-level stats into `reg`: per-core pipeline
+/// counters, per-core scope-unit counters, the aggregate memory
+/// hierarchy breakdown, and the run's cycle count (sim only).
+pub fn machine_metrics(reg: &mut Registry, report: &RunReport) {
+    if let Some(cycles) = report.cycles {
+        reg.counter("sim_cycles", &[], cycles);
+    }
+    for (i, s) in report.core_stats.iter().enumerate() {
+        let core = i.to_string();
+        let l: &[(&str, &str)] = &[("core", &core)];
+        reg.counter("sim_instrs_retired", l, s.instrs_retired);
+        reg.counter("sim_instrs_issued", l, s.instrs_issued);
+        reg.counter("sim_loads", l, s.loads);
+        reg.counter("sim_stores", l, s.stores);
+        reg.counter("sim_cas_ops", l, s.cas_ops);
+        reg.counter("sim_fences_retired", l, s.fences_retired);
+        reg.counter("sim_forwarded_loads", l, s.forwarded_loads);
+        reg.counter("sim_fence_stall_cycles", l, s.fence_stall_cycles);
+        reg.counter("sim_rob_full_stall_cycles", l, s.rob_full_stall_cycles);
+        reg.counter("sim_sb_full_stall_cycles", l, s.sb_full_stall_cycles);
+        reg.counter("sim_mispredictions", l, s.mispredictions);
+        reg.counter("sim_speculation_replays", l, s.speculation_replays);
+    }
+    for (i, s) in report.scope_stats.iter().enumerate() {
+        let core = i.to_string();
+        let l: &[(&str, &str)] = &[("core", &core)];
+        reg.counter("scope_fs_starts", l, s.fs_starts);
+        reg.counter("scope_fs_ends", l, s.fs_ends);
+        reg.counter("scope_scoped_mem_ops", l, s.scoped_mem_ops);
+        reg.counter("scope_flagged_mem_ops", l, s.flagged_mem_ops);
+        reg.counter("scope_degraded_fences", l, s.degraded_fences);
+        reg.counter("scope_scoped_fences", l, s.scoped_fences);
+        reg.counter("scope_mispredict_recoveries", l, s.mispredict_recoveries);
+        reg.counter("scope_fss_overflows", l, s.fss_overflows);
+    }
+    let m = &report.mem_stats;
+    reg.counter("mem_accesses", &[], m.accesses);
+    reg.counter("mem_hits", &[("level", "l1")], m.l1_hits);
+    reg.counter("mem_hits", &[("level", "l2")], m.l2_hits);
+    reg.counter("mem_upgrades", &[], m.upgrades);
+    reg.counter("mem_remote_dirty", &[], m.remote_dirty);
+    reg.counter("mem_misses", &[], m.mem_misses);
+    reg.counter("mem_invalidations", &[], m.invalidations_received);
+}
+
+/// Fold a sweep's cache/executor accounting into `reg`.
+pub fn run_stats_metrics(reg: &mut Registry, stats: &RunStats) {
+    reg.counter("sweep_cache_hits", &[], stats.cache_hits as u64);
+    reg.counter("sweep_executed", &[], stats.executed as u64);
+    reg.counter("sweep_skipped", &[], stats.skipped as u64);
+    reg.counter(
+        "sweep_cache_write_errors",
+        &[],
+        stats.cache_write_errors as u64,
+    );
+}
+
+/// Convenience: one run → one standalone report.
+pub fn run_report_metrics(report: &RunReport, produced_by: &str) -> MetricsReport {
+    let mut reg = Registry::new();
+    machine_metrics(&mut reg, report);
+    reg.snapshot(produced_by)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfence_harness::Session;
+
+    // Compile a tiny two-thread program through the real pipeline so
+    // the bridge is exercised against a genuine RunReport.
+    #[test]
+    fn bridged_report_round_trips_and_matches_the_run() {
+        let w = smoke_program();
+        let report = Session::for_program(&w).cores(2).run();
+        let metrics = run_report_metrics(&report, "bridge-test");
+        assert_eq!(
+            metrics.get("sim_cycles", &[]).is_some(),
+            report.cycles.is_some()
+        );
+        let retired: u64 = (0..2)
+            .map(|i| {
+                let core = i.to_string();
+                match metrics
+                    .get("sim_instrs_retired", &[("core", &core)])
+                    .map(|m| &m.value)
+                {
+                    Some(crate::metrics::MetricValue::Counter(c)) => *c,
+                    _ => 0,
+                }
+            })
+            .sum();
+        assert_eq!(retired, report.total_retired());
+        let text = metrics.to_json().to_string_compact();
+        let back = MetricsReport::from_json(&sfence_harness::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, metrics);
+    }
+
+    // A minimal program: both threads store one word and halt.
+    fn smoke_program() -> sfence_isa::Program {
+        use sfence_isa::ir::*;
+        let mut p = IrProgram::new();
+        let a = p.shared("a");
+        let b = p.shared("b");
+        p.thread(move |t| {
+            t.store(a.cell(), c(1));
+            t.halt();
+        });
+        p.thread(move |t| {
+            t.store(b.cell(), c(2));
+            t.halt();
+        });
+        p.compile(&sfence_isa::CompileOpts::default())
+            .expect("compile")
+    }
+
+    #[test]
+    fn sweep_stats_bridge() {
+        let stats = RunStats {
+            cache_hits: 3,
+            executed: 4,
+            skipped: 1,
+            cache_write_errors: 0,
+        };
+        let mut reg = Registry::new();
+        run_stats_metrics(&mut reg, &stats);
+        assert_eq!(reg.counter_value("sweep_cache_hits", &[]), 3);
+        assert_eq!(reg.counter_value("sweep_executed", &[]), 4);
+    }
+}

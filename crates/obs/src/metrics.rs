@@ -1,0 +1,460 @@
+//! The metrics registry: typed, labeled counter/gauge/histogram
+//! snapshots behind one schema-versioned, JSON-exportable report.
+//!
+//! This is a *snapshot* registry, not a live instrumented-process
+//! registry: producers accumulate values into a [`Registry`] after (or
+//! during) the work and export a [`MetricsReport`] — there are no
+//! atomics on hot paths and nothing to register up front. Readers on
+//! the other side of a file or socket reject reports from a different
+//! [`METRICS_SCHEMA_VERSION`] rather than silently misreading them.
+
+use sfence_harness::Json;
+
+/// Version tag stamped into every serialized [`MetricsReport`]. Bump
+/// on any incompatible change to the report shape or to the meaning
+/// of a published metric name.
+pub const METRICS_SCHEMA_VERSION: u64 = 1;
+
+/// Summary of a distribution: enough to report count/sum/mean and the
+/// observed range without storing samples.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: f64,
+    pub min: f64,
+    pub max: f64,
+}
+
+impl HistogramSnapshot {
+    pub fn observe(&mut self, v: f64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// A metric's value: monotonically accumulated count, point-in-time
+/// level, or distribution summary.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    Counter(u64),
+    Gauge(f64),
+    Histogram(HistogramSnapshot),
+}
+
+impl MetricValue {
+    /// The stable type tag used in the JSON export.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// One named, labeled metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    pub name: String,
+    /// Label pairs, sorted by key (the registry sorts on insert so
+    /// label order can never distinguish two otherwise-equal series).
+    pub labels: Vec<(String, String)>,
+    pub value: MetricValue,
+}
+
+/// An in-memory collection of metrics. Series identity is
+/// `(name, labels)`; repeated writes to the same series accumulate
+/// (counters add, gauges overwrite, histograms merge observations).
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    metrics: Vec<Metric>,
+}
+
+impl Registry {
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn series(&mut self, name: &str, labels: &[(&str, &str)], init: MetricValue) -> &mut Metric {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        let pos = self
+            .metrics
+            .iter()
+            .position(|m| m.name == name && m.labels == labels);
+        match pos {
+            Some(i) => &mut self.metrics[i],
+            None => {
+                self.metrics.push(Metric {
+                    name: name.to_string(),
+                    labels,
+                    value: init,
+                });
+                self.metrics.last_mut().expect("just pushed")
+            }
+        }
+    }
+
+    /// Add `v` to a counter series (creating it at zero).
+    ///
+    /// Panics if the series already exists with a different type —
+    /// reusing one name for a counter and a gauge is a producer bug,
+    /// not a data condition.
+    pub fn counter(&mut self, name: &str, labels: &[(&str, &str)], v: u64) {
+        let m = self.series(name, labels, MetricValue::Counter(0));
+        match &mut m.value {
+            MetricValue::Counter(c) => *c += v,
+            other => panic!("metric {name:?} is a {}, not a counter", other.type_name()),
+        }
+    }
+
+    /// Set a gauge series to `v` (last write wins).
+    pub fn gauge(&mut self, name: &str, labels: &[(&str, &str)], v: f64) {
+        let m = self.series(name, labels, MetricValue::Gauge(0.0));
+        match &mut m.value {
+            MetricValue::Gauge(g) => *g = v,
+            other => panic!("metric {name:?} is a {}, not a gauge", other.type_name()),
+        }
+    }
+
+    /// Record one observation into a histogram series.
+    pub fn observe(&mut self, name: &str, labels: &[(&str, &str)], v: f64) {
+        let m = self.series(name, labels, MetricValue::Histogram(Default::default()));
+        match &mut m.value {
+            MetricValue::Histogram(h) => h.observe(v),
+            other => panic!(
+                "metric {name:?} is a {}, not a histogram",
+                other.type_name()
+            ),
+        }
+    }
+
+    /// Read back a counter (0 if absent); test and display helper.
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        self.find(name, labels)
+            .map(|m| match &m.value {
+                MetricValue::Counter(c) => *c,
+                _ => 0,
+            })
+            .unwrap_or(0)
+    }
+
+    /// Read back a gauge (`None` if absent).
+    pub fn gauge_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.find(name, labels).and_then(|m| match &m.value {
+            MetricValue::Gauge(g) => Some(*g),
+            _ => None,
+        })
+    }
+
+    fn find(&self, name: &str, labels: &[(&str, &str)]) -> Option<&Metric> {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        self.metrics
+            .iter()
+            .find(|m| m.name == name && m.labels == labels)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// Freeze the registry into a report: metrics sorted by
+    /// `(name, labels)` so serialization is deterministic regardless
+    /// of insertion order.
+    pub fn snapshot(&self, produced_by: &str) -> MetricsReport {
+        let mut metrics = self.metrics.clone();
+        metrics.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        MetricsReport {
+            schema_version: METRICS_SCHEMA_VERSION,
+            produced_by: produced_by.to_string(),
+            metrics,
+        }
+    }
+}
+
+/// A frozen, serializable set of metrics: what crosses files and
+/// sockets (the dist protocol's `Status` frame carries one).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsReport {
+    pub schema_version: u64,
+    /// Which component produced the report (e.g. `"coordinator"`,
+    /// `"sfence-sweep"`).
+    pub produced_by: String,
+    pub metrics: Vec<Metric>,
+}
+
+impl MetricsReport {
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("schema_version", self.schema_version)
+            .field("produced_by", self.produced_by.as_str())
+            .field(
+                "metrics",
+                Json::Arr(self.metrics.iter().map(metric_to_json).collect()),
+            )
+    }
+
+    /// Parse a report, rejecting any schema version other than
+    /// [`METRICS_SCHEMA_VERSION`].
+    pub fn from_json(json: &Json) -> Result<MetricsReport, String> {
+        let version = json
+            .get("schema_version")
+            .and_then(Json::as_u64)
+            .ok_or("missing schema_version")?;
+        if version != METRICS_SCHEMA_VERSION {
+            return Err(format!(
+                "metrics schema_version {version} (supported: {METRICS_SCHEMA_VERSION})"
+            ));
+        }
+        Ok(MetricsReport {
+            schema_version: version,
+            produced_by: json
+                .get("produced_by")
+                .and_then(Json::as_str)
+                .ok_or("missing produced_by")?
+                .to_string(),
+            metrics: json
+                .get("metrics")
+                .and_then(Json::as_arr)
+                .ok_or("missing metrics")?
+                .iter()
+                .map(metric_from_json)
+                .collect::<Result<_, _>>()?,
+        })
+    }
+
+    /// Fetch one series.
+    pub fn get(&self, name: &str, labels: &[(&str, &str)]) -> Option<&Metric> {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        self.metrics
+            .iter()
+            .find(|m| m.name == name && m.labels == labels)
+    }
+
+    /// A plain-text rendering, one metric per line, for CLI display.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for m in &self.metrics {
+            out.push_str(&m.name);
+            if !m.labels.is_empty() {
+                out.push('{');
+                for (i, (k, v)) in m.labels.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(k);
+                    out.push('=');
+                    out.push_str(v);
+                }
+                out.push('}');
+            }
+            match &m.value {
+                MetricValue::Counter(c) => out.push_str(&format!(" {c}\n")),
+                MetricValue::Gauge(g) => out.push_str(&format!(" {g:.3}\n")),
+                MetricValue::Histogram(h) => out.push_str(&format!(
+                    " count={} mean={:.3} min={:.3} max={:.3}\n",
+                    h.count,
+                    h.mean(),
+                    h.min,
+                    h.max
+                )),
+            }
+        }
+        out
+    }
+}
+
+fn metric_to_json(m: &Metric) -> Json {
+    let mut labels = Json::obj();
+    for (k, v) in &m.labels {
+        labels = labels.field(k, v.as_str());
+    }
+    let base = Json::obj()
+        .field("name", m.name.as_str())
+        .field("labels", labels)
+        .field("type", m.value.type_name());
+    match &m.value {
+        MetricValue::Counter(c) => base.field("value", *c),
+        MetricValue::Gauge(g) => base.field("value", *g),
+        MetricValue::Histogram(h) => base
+            .field("count", h.count)
+            .field("sum", h.sum)
+            .field("min", h.min)
+            .field("max", h.max),
+    }
+}
+
+fn metric_from_json(json: &Json) -> Result<Metric, String> {
+    let name = json
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or("metric missing name")?
+        .to_string();
+    let labels = match json.get("labels") {
+        Some(Json::Obj(fields)) => {
+            let mut labels: Vec<(String, String)> = fields
+                .iter()
+                .map(|(k, v)| {
+                    v.as_str()
+                        .map(|v| (k.clone(), v.to_string()))
+                        .ok_or_else(|| format!("metric {name:?}: non-string label {k:?}"))
+                })
+                .collect::<Result<_, _>>()?;
+            labels.sort();
+            labels
+        }
+        _ => return Err(format!("metric {name:?} missing labels object")),
+    };
+    let value = match json.get("type").and_then(Json::as_str) {
+        Some("counter") => MetricValue::Counter(
+            json.get("value")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("counter {name:?} missing value"))?,
+        ),
+        Some("gauge") => MetricValue::Gauge(
+            json.get("value")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("gauge {name:?} missing value"))?,
+        ),
+        Some("histogram") => MetricValue::Histogram(HistogramSnapshot {
+            count: json
+                .get("count")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("histogram {name:?} missing count"))?,
+            sum: json
+                .get("sum")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("histogram {name:?} missing sum"))?,
+            min: json
+                .get("min")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("histogram {name:?} missing min"))?,
+            max: json
+                .get("max")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("histogram {name:?} missing max"))?,
+        }),
+        other => return Err(format!("metric {name:?}: unknown type {other:?}")),
+    };
+    Ok(Metric {
+        name,
+        labels,
+        value,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_labels_are_order_insensitive() {
+        let mut reg = Registry::new();
+        reg.counter("cells", &[("kind", "hit"), ("core", "0")], 2);
+        reg.counter("cells", &[("core", "0"), ("kind", "hit")], 3);
+        assert_eq!(reg.len(), 1);
+        assert_eq!(
+            reg.counter_value("cells", &[("core", "0"), ("kind", "hit")]),
+            5
+        );
+    }
+
+    #[test]
+    fn gauges_overwrite_histograms_merge() {
+        let mut reg = Registry::new();
+        reg.gauge("depth", &[], 4.0);
+        reg.gauge("depth", &[], 2.0);
+        assert_eq!(reg.gauge_value("depth", &[]), Some(2.0));
+        reg.observe("lat", &[], 1.0);
+        reg.observe("lat", &[], 3.0);
+        let report = reg.snapshot("test");
+        match &report.get("lat", &[]).unwrap().value {
+            MetricValue::Histogram(h) => {
+                assert_eq!(h.count, 2);
+                assert_eq!(h.mean(), 2.0);
+                assert_eq!((h.min, h.max), (1.0, 3.0));
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a counter")]
+    fn type_confusion_panics() {
+        let mut reg = Registry::new();
+        reg.gauge("x", &[], 1.0);
+        reg.counter("x", &[], 1);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_insertion_order_invisible() {
+        let mut a = Registry::new();
+        a.counter("zz", &[], 1);
+        a.gauge("aa", &[("w", "1")], 2.0);
+        let mut b = Registry::new();
+        b.gauge("aa", &[("w", "1")], 2.0);
+        b.counter("zz", &[], 1);
+        assert_eq!(
+            a.snapshot("p").to_json().to_string_compact(),
+            b.snapshot("p").to_json().to_string_compact()
+        );
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let mut reg = Registry::new();
+        reg.counter("cells_done", &[("worker", "w1")], 42);
+        reg.gauge("cells_per_sec", &[], 1234.5);
+        reg.observe("cell_ms", &[], 0.25);
+        reg.observe("cell_ms", &[], 4.0);
+        let report = reg.snapshot("unit-test");
+        let text = report.to_json().to_string_compact();
+        let back = MetricsReport::from_json(&sfence_harness::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn wrong_schema_version_is_rejected() {
+        let report = Registry::new().snapshot("x");
+        let mut json = report.to_json();
+        if let Json::Obj(fields) = &mut json {
+            for (k, v) in fields.iter_mut() {
+                if k == "schema_version" {
+                    *v = Json::UInt(METRICS_SCHEMA_VERSION + 1);
+                }
+            }
+        }
+        let err = MetricsReport::from_json(&json).unwrap_err();
+        assert!(err.contains("schema_version"), "{err}");
+    }
+}

@@ -1,0 +1,203 @@
+//! Coarse scoped wall-clock profiling for the harness itself.
+//!
+//! These timers measure *host* phases — building workloads, running
+//! sweeps, rendering figures — not simulated time. They are global so
+//! a `--profile` flag at the CLI edge can light up timing in every
+//! layer without threading a handle through the call graph, and they
+//! are disabled by default: a [`scoped`] call when profiling is off
+//! costs one relaxed atomic load and touches no lock.
+//!
+//! Scopes nest: a guard opened while another guard is live on the
+//! same thread records under the joined path (`perf/run/measure`), and
+//! [`report`] renders the hierarchy as an indented table. Keep scopes
+//! coarse (phases, not loop bodies) — each guard drop takes the global
+//! mutex.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static TOTALS: Mutex<BTreeMap<String, (u64, u128)>> = Mutex::new(BTreeMap::new());
+
+thread_local! {
+    static STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Turn profiling on (e.g. from `--profile`).
+pub fn enable() {
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turn profiling off.
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Drop all recorded timings (tests; repeated runs in one process).
+pub fn reset() {
+    TOTALS.lock().expect("prof lock").clear();
+}
+
+/// A live scope; records its wall time under the nested path when
+/// dropped. Inert (no lock, no clock) when profiling is disabled.
+pub struct Guard {
+    start: Option<(String, Instant)>,
+}
+
+/// Open a profiling scope named `name`, nested under any scope already
+/// live on this thread.
+pub fn scoped(name: &str) -> Guard {
+    if !enabled() {
+        return Guard { start: None };
+    }
+    let path = STACK.with(|s| {
+        let mut s = s.borrow_mut();
+        let path = if let Some(parent) = s.last() {
+            format!("{parent}/{name}")
+        } else {
+            name.to_string()
+        };
+        s.push(path.clone());
+        path
+    });
+    Guard {
+        start: Some((path, Instant::now())),
+    }
+}
+
+impl Drop for Guard {
+    fn drop(&mut self) {
+        if let Some((path, start)) = self.start.take() {
+            let elapsed = start.elapsed().as_nanos();
+            STACK.with(|s| {
+                s.borrow_mut().pop();
+            });
+            let mut totals = TOTALS.lock().expect("prof lock");
+            let entry = totals.entry(path).or_insert((0, 0));
+            entry.0 += 1;
+            entry.1 += elapsed;
+        }
+    }
+}
+
+/// Time one closure under a scope.
+pub fn time<R>(name: &str, f: impl FnOnce() -> R) -> R {
+    let _guard = scoped(name);
+    f()
+}
+
+/// Time one closure *unconditionally*, returning its result and wall
+/// milliseconds — for callers whose measurement is the product (the
+/// perf suite), not just diagnostics. The scope still lands in the
+/// profile when profiling is enabled, so `--profile` sees the same
+/// phases the measurement reports.
+pub fn measure<R>(name: &str, f: impl FnOnce() -> R) -> (R, f64) {
+    let guard = scoped(name);
+    let start = Instant::now();
+    let result = f();
+    let ms = start.elapsed().as_secs_f64() * 1000.0;
+    drop(guard);
+    (result, ms)
+}
+
+/// One row of the profile: a nested scope path and its totals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfEntry {
+    /// `/`-joined nesting path (`perf/run/measure`).
+    pub path: String,
+    pub calls: u64,
+    pub total_nanos: u128,
+}
+
+/// The recorded profile, paths in sorted order (parents precede their
+/// children).
+#[derive(Debug, Clone, Default)]
+pub struct ProfReport {
+    pub entries: Vec<ProfEntry>,
+}
+
+/// Snapshot everything recorded so far.
+pub fn report() -> ProfReport {
+    let totals = TOTALS.lock().expect("prof lock");
+    ProfReport {
+        entries: totals
+            .iter()
+            .map(|(path, &(calls, total_nanos))| ProfEntry {
+                path: path.clone(),
+                calls,
+                total_nanos,
+            })
+            .collect(),
+    }
+}
+
+impl ProfReport {
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The hierarchical summary table: children indented under their
+    /// parents, with call counts, total and mean wall milliseconds.
+    pub fn render(&self) -> String {
+        let mut out =
+            String::from("phase                                calls     total ms      mean ms\n");
+        for e in &self.entries {
+            let depth = e.path.matches('/').count();
+            let name = e.path.rsplit('/').next().unwrap_or(&e.path);
+            let label = format!("{}{}", "  ".repeat(depth), name);
+            let total_ms = e.total_nanos as f64 / 1e6;
+            let mean_ms = total_ms / e.calls.max(1) as f64;
+            out.push_str(&format!(
+                "{label:<36} {calls:>5} {total_ms:>12.2} {mean_ms:>12.3}\n",
+                calls = e.calls,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One test drives the whole lifecycle: the profiler state is
+    // process-global, so independent #[test] functions sharing one
+    // process would race on enable/reset.
+    #[test]
+    fn disabled_is_inert_and_enabled_nests() {
+        reset();
+        disable();
+        time("outer", || time("inner", || ()));
+        assert!(
+            report().is_empty(),
+            "disabled profiling must record nothing"
+        );
+
+        enable();
+        time("outer", || {
+            time("inner", || {
+                std::thread::sleep(std::time::Duration::from_millis(1))
+            });
+            time("inner", || ());
+        });
+        disable();
+        let rep = report();
+        let paths: Vec<&str> = rep.entries.iter().map(|e| e.path.as_str()).collect();
+        assert_eq!(paths, vec!["outer", "outer/inner"]);
+        assert_eq!(rep.entries[0].calls, 1);
+        assert_eq!(rep.entries[1].calls, 2);
+        assert!(rep.entries[0].total_nanos >= rep.entries[1].total_nanos);
+        let table = rep.render();
+        assert!(table.contains("outer"), "{table}");
+        assert!(table.contains("  inner"), "{table}");
+        reset();
+        assert!(report().is_empty());
+    }
+}

@@ -1,0 +1,132 @@
+//! A throttled stderr progress meter for long sweeps.
+//!
+//! Backed by the metrics [`Registry`] — the printed line is rendered
+//! *from* the registry's gauges, and [`ProgressMeter::snapshot`]
+//! exports the same numbers as a [`MetricsReport`], so what a human
+//! watches on stderr and what a `Status` frame reports over the wire
+//! are one set of values by construction.
+//!
+//! `Sync`: `update` is called from sweep worker threads; the state
+//! sits behind a mutex and the throttle keeps the lock traffic to a
+//! few acquisitions per second.
+
+use crate::metrics::{MetricsReport, Registry};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Minimum interval between printed lines (the final line always
+/// prints).
+const PRINT_EVERY: Duration = Duration::from_millis(500);
+
+struct Inner {
+    reg: Registry,
+    last_print: Option<Instant>,
+}
+
+/// Tracks `done`/`total` work units and periodically prints
+/// `[label] done/total cells, rate cells/s, ETA`.
+pub struct ProgressMeter {
+    label: String,
+    total: usize,
+    start: Instant,
+    inner: Mutex<Inner>,
+}
+
+impl ProgressMeter {
+    pub fn new(label: &str, total: usize) -> ProgressMeter {
+        let mut reg = Registry::new();
+        reg.gauge("cells_total", &[], total as f64);
+        reg.gauge("cells_done", &[], 0.0);
+        reg.gauge("cells_per_sec", &[], 0.0);
+        ProgressMeter {
+            label: label.to_string(),
+            total,
+            start: Instant::now(),
+            inner: Mutex::new(Inner {
+                reg,
+                last_print: None,
+            }),
+        }
+    }
+
+    /// Record that `done` units are now complete and print a line if
+    /// the throttle allows (always prints on completion).
+    pub fn update(&self, done: usize) {
+        let now = Instant::now();
+        let elapsed = now.duration_since(self.start).as_secs_f64();
+        let rate = if elapsed > 0.0 {
+            done as f64 / elapsed
+        } else {
+            0.0
+        };
+        let mut inner = self.inner.lock().expect("progress lock");
+        inner.reg.gauge("cells_done", &[], done as f64);
+        inner.reg.gauge("cells_per_sec", &[], rate);
+        let due = match inner.last_print {
+            None => true,
+            Some(at) => now.duration_since(at) >= PRINT_EVERY,
+        };
+        if !(due || done >= self.total) {
+            return;
+        }
+        inner.last_print = Some(now);
+        eprintln!("{}", render_line(&self.label, &inner.reg));
+    }
+
+    /// Export the meter's current values.
+    pub fn snapshot(&self) -> MetricsReport {
+        self.inner
+            .lock()
+            .expect("progress lock")
+            .reg
+            .snapshot("progress")
+    }
+}
+
+/// Render the progress line from registry gauges.
+fn render_line(label: &str, reg: &Registry) -> String {
+    let done = reg.gauge_value("cells_done", &[]).unwrap_or(0.0);
+    let total = reg.gauge_value("cells_total", &[]).unwrap_or(0.0);
+    let rate = reg.gauge_value("cells_per_sec", &[]).unwrap_or(0.0);
+    let eta = if rate > 0.0 && total > done {
+        format!("{:.0}s", (total - done) / rate)
+    } else if done >= total {
+        "done".to_string()
+    } else {
+        "?".to_string()
+    };
+    format!(
+        "[{label}] {done}/{total} cells, {rate:.1} cells/s, ETA {eta}",
+        done = done as u64,
+        total = total as u64,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_tracks_updates() {
+        let meter = ProgressMeter::new("test", 10);
+        meter.update(4);
+        let snap = meter.snapshot();
+        let done = snap.get("cells_done", &[]).unwrap();
+        match done.value {
+            crate::metrics::MetricValue::Gauge(v) => assert_eq!(v, 4.0),
+            ref other => panic!("expected gauge, got {other:?}"),
+        }
+        assert!(snap.get("cells_total", &[]).is_some());
+        assert!(snap.get("cells_per_sec", &[]).is_some());
+    }
+
+    #[test]
+    fn line_renders_from_the_registry() {
+        let mut reg = Registry::new();
+        reg.gauge("cells_done", &[], 5.0);
+        reg.gauge("cells_total", &[], 10.0);
+        reg.gauge("cells_per_sec", &[], 2.5);
+        let line = render_line("fig13", &reg);
+        assert_eq!(line, "[fig13] 5/10 cells, 2.5 cells/s, ETA 2s");
+    }
+}

@@ -2,9 +2,10 @@
 //! flat functional memory, advanced one cycle at a time in
 //! deterministic core order.
 
+use sfence_core::{PipeEvent, PipeKind, WalkKind};
 use sfence_cpu::{Core, CoreConfig, FenceConfig, MemBus};
 use sfence_isa::Program;
-use sfence_mem::{CoreMemStats, MemConfig, MemorySystem};
+use sfence_mem::{AccessOutcome, CoreMemStats, MemConfig, MemorySystem};
 use std::collections::HashSet;
 
 /// Whole-machine configuration. Defaults reproduce the paper's
@@ -60,6 +61,13 @@ impl MachineConfig {
         self
     }
 
+    /// Convenience: enable the pipeline event trace on every core
+    /// (plus the machine's directory-walk events).
+    pub fn with_pipe_trace(mut self) -> Self {
+        self.core.pipe_trace = true;
+        self
+    }
+
     /// Canonical JSON of the *complete* configuration, with object
     /// keys in sorted order: the stable serialization that
     /// content-addressed result caching hashes. Every field that can
@@ -90,6 +98,7 @@ impl MachineConfig {
             fence,
             scope,
             trace,
+            pipe_trace,
         } = core;
         let FenceConfig {
             honor_scopes,
@@ -126,6 +135,7 @@ impl MachineConfig {
                 "\"issue_width\":{},",
                 "\"max_outstanding_stores\":{},",
                 "\"mispredict_penalty\":{},",
+                "\"pipe_trace\":{},",
                 "\"retire_width\":{},",
                 "\"rob_size\":{},",
                 "\"sb_drain_in_order\":{},",
@@ -149,6 +159,7 @@ impl MachineConfig {
             issue_width,
             max_outstanding_stores,
             mispredict_penalty,
+            pipe_trace,
             retire_width,
             rob_size,
             sb_drain_in_order,
@@ -194,11 +205,37 @@ struct MachineBus<'a> {
     /// coherence probes.
     write_probes: &'a mut Vec<(usize, usize)>,
     now: u64,
+    /// Emit `DirWalk` pipe events for accesses that reach the
+    /// L2/directory (mirrors `cfg.core.pipe_trace`).
+    pipe_trace: bool,
+    pipe: &'a mut Vec<PipeEvent>,
 }
 
 impl MemBus for MachineBus<'_> {
     fn access_latency(&mut self, core: usize, addr: usize, write: bool) -> u64 {
-        self.memsys.access(core, addr, write).0
+        let (lat, outcome) = self.memsys.access(core, addr, write);
+        if self.pipe_trace {
+            let walk = match outcome {
+                AccessOutcome::L1Hit => None,
+                AccessOutcome::Upgrade => Some(WalkKind::Upgrade),
+                AccessOutcome::L2Hit => Some(WalkKind::L2Hit),
+                AccessOutcome::RemoteDirty => Some(WalkKind::RemoteDirty),
+                AccessOutcome::MemMiss => Some(WalkKind::MemMiss),
+            };
+            if let Some(walk) = walk {
+                self.pipe.push(PipeEvent {
+                    core: core as u32,
+                    cycle: self.now,
+                    kind: PipeKind::DirWalk {
+                        addr: addr as u64,
+                        write,
+                        walk,
+                        latency: lat,
+                    },
+                });
+            }
+        }
+        lat
     }
 
     fn read(&mut self, addr: usize) -> i64 {
@@ -287,6 +324,9 @@ pub struct Machine {
     watch_addrs: HashSet<usize>,
     pub watch_log: Vec<WatchEvent>,
     write_probes: Vec<(usize, usize)>,
+    /// Directory-walk pipe events (the bus's share of the pipeline
+    /// trace; empty unless `cfg.core.pipe_trace`).
+    pipe_bus: Vec<PipeEvent>,
     now: u64,
     cfg: MachineConfig,
 }
@@ -314,6 +354,7 @@ impl Machine {
             watch_addrs: HashSet::new(),
             watch_log: Vec::new(),
             write_probes: Vec::new(),
+            pipe_bus: Vec::new(),
             now: 0,
             cfg,
         }
@@ -348,6 +389,7 @@ impl Machine {
         self.mem = program.initial_memory();
         self.watch_log.clear();
         self.write_probes.clear();
+        self.pipe_bus.clear();
         self.now = 0;
     }
 
@@ -365,6 +407,7 @@ impl Machine {
     /// violation replay — no-ops unless speculation is enabled).
     pub fn step(&mut self) {
         let now = self.now;
+        let pipe_trace = self.cfg.core.pipe_trace;
         for core in &mut self.cores {
             let mut bus = MachineBus {
                 memsys: &mut self.memsys,
@@ -373,6 +416,8 @@ impl Machine {
                 watch_log: &mut self.watch_log,
                 write_probes: &mut self.write_probes,
                 now,
+                pipe_trace,
+                pipe: &mut self.pipe_bus,
             };
             core.cycle(now, &mut bus);
         }
@@ -429,6 +474,23 @@ impl Machine {
         self.cores.iter().map(|c| c.trace.as_slice()).collect()
     }
 
+    /// The merged pipeline event trace (requires `core.pipe_trace`):
+    /// every core's events plus the bus's directory walks, stably
+    /// sorted by `(cycle, core)` so the stream is a pure function of
+    /// the workload and configuration — independent of how the caller
+    /// schedules runs across host threads.
+    pub fn pipe_trace(&self) -> Vec<PipeEvent> {
+        let mut all: Vec<PipeEvent> = Vec::with_capacity(
+            self.cores.iter().map(|c| c.pipe.len()).sum::<usize>() + self.pipe_bus.len(),
+        );
+        for core in &self.cores {
+            all.extend_from_slice(&core.pipe);
+        }
+        all.extend_from_slice(&self.pipe_bus);
+        all.sort_by_key(|e| (e.cycle, e.core));
+        all
+    }
+
     /// Snapshot of every core's architectural register file (retired
     /// state). Together with the final memory this is the complete
     /// observable final state of a run.
@@ -463,6 +525,11 @@ pub struct ExecOutput {
     pub watch_log: Vec<WatchEvent>,
     /// Per-core retired-event traces (empty unless `cfg.core.trace`).
     pub traces: Vec<Vec<sfence_core::RetiredEvent>>,
+    /// Merged pipeline event trace, sorted by `(cycle, core)` (empty
+    /// unless `cfg.core.pipe_trace`). In-memory only: deliberately
+    /// excluded from the harness's serialized `RunReport` so report
+    /// schemas and golden digests are untouched by tracing.
+    pub pipe: Vec<PipeEvent>,
     /// Per-core architectural register snapshot at the end of the run
     /// (retired state).
     pub regs: Vec<Vec<i64>>,
@@ -472,6 +539,7 @@ pub struct ExecOutput {
 /// the full output of the run.
 pub fn execute(program: &Program, cfg: MachineConfig, watch: &[usize]) -> ExecOutput {
     let trace = cfg.core.trace;
+    let pipe_trace = cfg.core.pipe_trace;
     let mut m = Machine::new(program, cfg);
     for &addr in watch {
         m.watch(addr);
@@ -482,12 +550,18 @@ pub fn execute(program: &Program, cfg: MachineConfig, watch: &[usize]) -> ExecOu
     } else {
         Vec::new()
     };
+    let pipe = if pipe_trace {
+        m.pipe_trace()
+    } else {
+        Vec::new()
+    };
     let regs = m.reg_snapshot();
     ExecOutput {
         summary,
         mem: m.mem,
         watch_log: m.watch_log,
         traces,
+        pipe,
         regs,
     }
 }
