@@ -1,38 +1,65 @@
 //! `sfence-dist`: the distributed sweep service CLI — a coordinator
-//! that fans a registered experiment's cells out to TCP workers, and
-//! the worker that serves them.
+//! daemon that schedules any number of concurrent campaigns across
+//! TCP workers, the worker that serves them, the submitting client,
+//! and a status probe.
 //!
 //! ```text
-//! sfence-dist serve ADDR --experiment NAME     # e.g. 0.0.0.0:7077
-//!     [--scale small|eval] [--backend B]       experiment shaping (as sfence-sweep)
-//!     [--lease N]                              jobs per lease (default 4)
+//! sfence-dist serve ADDR                       # daemon: accept campaigns until killed
+//!     [--token-file FILE]                      shared-secret auth for every client flow
+//!     [--checkpoint FILE]                      atomic-rename JSONL snapshot for kill/resume
+//!     [--checkpoint-every SECS]                snapshot interval (0 = every mutation)
+//!     [--lease N]                              default jobs per lease (default 4)
 //!     [--lease-ttl SECS]                       silent-worker lease expiry (default 30)
+//!     [--quiet]
+//!
+//! sfence-dist serve ADDR --experiment NAME     # one-shot: a single fixed campaign
+//!     [--scale small|eval] [--backend B]       experiment shaping (as sfence-sweep)
+//!     [--token-file FILE] [--lease N] [--lease-ttl SECS]
 //!     [--store FILE] [--git STR] [--timestamp SECS]
 //!     [--diff] [--diff-run K]                  diff against stored history
 //!     [--json | --rows]                        stdout rendering
 //!     [--quiet]
 //!
+//! sfence-dist submit ADDR --experiment NAME    # register a campaign with a daemon
+//!     [--scale small|eval] [--backend B]
+//!     [--priority N]                           fair-share weight (default 1)
+//!     [--token-file FILE]
+//!     [--no-wait]                              print the campaign id and exit
+//!     [--poll-ms MS]                           progress poll interval (default 500)
+//!     [--retry N]                              polls surviving a daemon outage (default 60)
+//!     [--store FILE] [--git STR] [--timestamp SECS]
+//!     [--diff] [--diff-run K] [--json | --rows] [--quiet]
+//!
 //! sfence-dist work ADDR                        # connect and serve leases
 //!     [--cache-dir DIR]                        worker-local result cache
 //!     [--threads N]                            threads per lease (default: CPUs)
 //!     [--name STR]                             worker name (default host-pid)
-//!     [--progress]                             throttled done/total + ETA line on stderr
-//!     [--quiet]
+//!     [--token-file FILE]
+//!     [--lease-batch N]                        cells requested per lease (0 = server default)
+//!     [--reconnect N]                          retries after a lost coordinator (default 0)
+//!     [--idle-exit SECS]                       exit after this long with no work (0 = never)
+//!     [--progress] [--quiet]
 //!
 //! sfence-dist status ADDR                      # probe a live coordinator
-//!     [--json]                                 raw MetricsReport JSON instead of a table
+//!     [--token-file FILE]
+//!     [--json]                                 raw MetricsReport JSON instead of tables
 //!     [--timeout SECS]                         connect/read bound (default 5)
 //! ```
 //!
-//! The coordinator's merged stdout/store output is byte-identical to
-//! `sfence-sweep --experiment NAME` run single-process; workers may
-//! join late, die mid-lease, and re-join freely. Mismatched binaries
-//! (schema, protocol, or experiment fingerprint) are rejected at the
-//! handshake. Exit codes: 0 ok, 1 runtime error, 2 usage error.
+//! Every campaign's merged stdout/store output is byte-identical to
+//! `sfence-sweep --experiment NAME` run single-process — even
+//! interleaved with other campaigns and across a daemon kill/restart
+//! (with `--checkpoint`). Mismatched binaries (schema, protocol, or
+//! experiment fingerprint) are rejected at the handshake. Exit codes:
+//! 0 ok, 1 runtime error, 2 usage error.
 
 use sfence_bench::cli::{self, OutputArgs};
-use sfence_dist::{fetch_status, serve, work, CoordinatorOpts, ExperimentSpec, WorkerOpts};
+use sfence_dist::{
+    client, fetch_status, run_server, serve, work, CoordinatorOpts, ExperimentSpec, ServerOpts,
+    WorkerOpts,
+};
 use sfence_harness::{BackendId, SweepResult};
+use sfence_obs::{MetricValue, MetricsReport};
 use std::net::TcpListener;
 use std::path::PathBuf;
 use std::time::Duration;
@@ -42,16 +69,18 @@ fn main() {
     let verb = args.next().unwrap_or_default();
     let result = match verb.as_str() {
         "serve" => cmd_serve(args),
+        "submit" => cmd_submit(args),
         "work" => cmd_work(args),
         "status" => cmd_status(args),
         "" | "--help" | "-h" => {
-            eprintln!("usage: sfence-dist serve ADDR --experiment NAME [options]");
+            eprintln!("usage: sfence-dist serve ADDR [--experiment NAME] [options]");
+            eprintln!("       sfence-dist submit ADDR --experiment NAME [options]");
             eprintln!("       sfence-dist work ADDR [options]");
             eprintln!("       sfence-dist status ADDR [--json] [--timeout SECS]");
             std::process::exit(2);
         }
         other => {
-            eprintln!("error: unknown subcommand {other:?} (expected serve|work|status)");
+            eprintln!("error: unknown subcommand {other:?} (expected serve|submit|work|status)");
             std::process::exit(2);
         }
     };
@@ -64,10 +93,34 @@ fn main() {
 fn usage(e: String) -> ! {
     eprintln!("error: {e}");
     eprintln!(
-        "usage: sfence-dist serve ADDR --experiment NAME [options] | work ADDR [options] \
-         | status ADDR [--json]"
+        "usage: sfence-dist serve ADDR [--experiment NAME] [options] | submit ADDR \
+         --experiment NAME [options] | work ADDR [options] | status ADDR [--json]"
     );
     std::process::exit(2);
+}
+
+/// Read a `--token-file`: the first line, trimmed, non-empty.
+fn read_token(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read token file {path}: {e}"))?;
+    let token = text.trim();
+    if token.is_empty() {
+        return Err(format!("token file {path} is empty"));
+    }
+    Ok(token.to_string())
+}
+
+fn parse_flag<T: std::str::FromStr>(
+    it: &mut impl Iterator<Item = String>,
+    flag: &str,
+    check: impl Fn(&T) -> bool,
+    expects: &str,
+) -> T {
+    cli::take(it, flag)
+        .unwrap_or_else(|e| usage(e))
+        .parse()
+        .ok()
+        .filter(check)
+        .unwrap_or_else(|| usage(format!("{flag} expects {expects}")))
 }
 
 fn cmd_serve(mut it: impl Iterator<Item = String>) -> Result<(), String> {
@@ -76,8 +129,13 @@ fn cmd_serve(mut it: impl Iterator<Item = String>) -> Result<(), String> {
     let mut scale = None;
     let mut backend: Option<BackendId> = None;
     let mut output = OutputArgs::default();
-    let mut opts = CoordinatorOpts::default();
     let mut json = false;
+    let mut quiet = false;
+    let mut lease_size: usize = 4;
+    let mut lease_ttl_ms: u64 = 30_000;
+    let mut token: Option<String> = None;
+    let mut checkpoint: Option<PathBuf> = None;
+    let mut checkpoint_every_ms: u64 = 1000;
     while let Some(arg) = it.next() {
         let parsed = output.accept(&arg, &mut it).unwrap_or_else(|e| usage(e));
         if parsed {
@@ -101,49 +159,210 @@ fn cmd_serve(mut it: impl Iterator<Item = String>) -> Result<(), String> {
                 )
             }
             "--lease" => {
-                opts.lease_size = cli::take(&mut it, "--lease")
-                    .unwrap_or_else(|e| usage(e))
-                    .parse()
-                    .ok()
-                    .filter(|&n| n > 0)
-                    .unwrap_or_else(|| usage("--lease expects a positive integer".into()))
+                lease_size =
+                    parse_flag(&mut it, "--lease", |&n: &usize| n > 0, "a positive integer")
             }
             "--lease-ttl" => {
-                let secs: u64 = cli::take(&mut it, "--lease-ttl")
-                    .unwrap_or_else(|e| usage(e))
-                    .parse()
-                    .ok()
-                    .filter(|&n| n > 0)
-                    .unwrap_or_else(|| usage("--lease-ttl expects seconds".into()));
-                opts.lease_ttl_ms = secs * 1000;
+                let secs: u64 = parse_flag(&mut it, "--lease-ttl", |&n| n > 0, "seconds");
+                lease_ttl_ms = secs * 1000;
+            }
+            "--token-file" => {
+                token = Some(read_token(
+                    &cli::take(&mut it, "--token-file").unwrap_or_else(|e| usage(e)),
+                )?)
+            }
+            "--checkpoint" => {
+                checkpoint = Some(PathBuf::from(
+                    cli::take(&mut it, "--checkpoint").unwrap_or_else(|e| usage(e)),
+                ))
+            }
+            "--checkpoint-every" => {
+                let secs: u64 = parse_flag(&mut it, "--checkpoint-every", |_| true, "seconds");
+                checkpoint_every_ms = secs * 1000;
             }
             "--json" => json = true,
             "--rows" => json = false,
-            "--quiet" => opts.quiet = true,
+            "--quiet" => quiet = true,
             other if !other.starts_with('-') && addr.is_none() => addr = Some(other.to_string()),
             other => usage(format!("unknown flag {other:?}")),
         }
     }
     let addr =
         addr.unwrap_or_else(|| usage("serve needs a bind address (e.g. 0.0.0.0:7077)".into()));
+    let listener = TcpListener::bind(&addr).map_err(|e| format!("bind {addr}: {e}"))?;
+    let local = listener
+        .local_addr()
+        .map(|a| a.to_string())
+        .unwrap_or(addr.clone());
+
+    match experiment_name {
+        // --- One-shot mode: one fixed campaign, exit at completion.
+        Some(name) => {
+            let spec = ExperimentSpec::new(&name).scale(scale).backend(backend);
+            let experiment = spec
+                .resolve(sfence_bench::experiment_by_name)
+                .unwrap_or_else(|e| usage(e));
+            eprintln!(
+                "dist: serving {} ({} jobs, fingerprint {}) on {local}",
+                experiment.name,
+                experiment.job_count(),
+                &experiment.fingerprint()[..12]
+            );
+            let opts = CoordinatorOpts {
+                lease_size,
+                lease_ttl_ms,
+                quiet,
+                token,
+                ..CoordinatorOpts::default()
+            };
+            let summary = serve(&listener, &experiment, &spec, &opts)?;
+            eprintln!("{}", summary.summary_line());
+            let result =
+                SweepResult::from_indexed(&experiment.name, experiment.job_count(), summary.rows)?;
+            cli::finish_run(&experiment, &result, &output, json)
+        }
+        // --- Daemon mode: accept campaigns until killed.
+        None => {
+            eprintln!(
+                "dist: daemon on {local} (auth {}, checkpoint {})",
+                if token.is_some() { "on" } else { "off" },
+                checkpoint
+                    .as_ref()
+                    .map(|p| p.display().to_string())
+                    .unwrap_or_else(|| "off".into()),
+            );
+            let opts = ServerOpts {
+                default_lease: lease_size,
+                lease_ttl_ms,
+                quiet,
+                token,
+                checkpoint,
+                checkpoint_every_ms,
+                ..ServerOpts::default()
+            };
+            // Runs until the process is killed; the periodic
+            // checkpoint is the shutdown story.
+            run_server(
+                &listener,
+                Some(sfence_bench::experiment_by_name),
+                Vec::new(),
+                &opts,
+            )
+            .map(|_| ())
+        }
+    }
+}
+
+fn cmd_submit(mut it: impl Iterator<Item = String>) -> Result<(), String> {
+    let mut addr: Option<String> = None;
+    let mut experiment_name: Option<String> = None;
+    let mut scale = None;
+    let mut backend: Option<BackendId> = None;
+    let mut output = OutputArgs::default();
+    let mut json = false;
+    let mut quiet = false;
+    let mut priority: u64 = 1;
+    let mut token: Option<String> = None;
+    let mut no_wait = false;
+    let mut wait = client::WaitOpts {
+        retries: 60,
+        ..Default::default()
+    };
+    while let Some(arg) = it.next() {
+        let parsed = output.accept(&arg, &mut it).unwrap_or_else(|e| usage(e));
+        if parsed {
+            continue;
+        }
+        match arg.as_str() {
+            "--experiment" => {
+                experiment_name =
+                    Some(cli::take(&mut it, "--experiment").unwrap_or_else(|e| usage(e)))
+            }
+            "--scale" => {
+                scale = Some(
+                    cli::parse_scale(&cli::take(&mut it, "--scale").unwrap_or_else(|e| usage(e)))
+                        .unwrap_or_else(|e| usage(e)),
+                )
+            }
+            "--backend" => {
+                backend = Some(
+                    BackendId::parse(&cli::take(&mut it, "--backend").unwrap_or_else(|e| usage(e)))
+                        .unwrap_or_else(|e| usage(e)),
+                )
+            }
+            "--priority" => {
+                priority = parse_flag(
+                    &mut it,
+                    "--priority",
+                    |&n: &u64| n > 0,
+                    "a positive integer",
+                )
+            }
+            "--token-file" => {
+                token = Some(read_token(
+                    &cli::take(&mut it, "--token-file").unwrap_or_else(|e| usage(e)),
+                )?)
+            }
+            "--no-wait" => no_wait = true,
+            "--poll-ms" => {
+                wait.poll_ms = parse_flag(&mut it, "--poll-ms", |&n: &u64| n > 0, "milliseconds")
+            }
+            "--retry" => wait.retries = parse_flag(&mut it, "--retry", |_| true, "a retry count"),
+            "--json" => json = true,
+            "--rows" => json = false,
+            "--quiet" => quiet = true,
+            other if !other.starts_with('-') && addr.is_none() => addr = Some(other.to_string()),
+            other => usage(format!("unknown flag {other:?}")),
+        }
+    }
+    let addr = addr.unwrap_or_else(|| usage("submit needs the daemon address (host:port)".into()));
     let name = experiment_name
         .unwrap_or_else(|| usage("--experiment is required (see sfence-sweep --list)".into()));
     let spec = ExperimentSpec::new(&name).scale(scale).backend(backend);
+    // Resolve locally first: the merge below needs the experiment,
+    // and a local resolution error beats a round-trip to find out.
     let experiment = spec
         .resolve(sfence_bench::experiment_by_name)
         .unwrap_or_else(|e| usage(e));
+    wait.client.token = token;
 
-    let listener = TcpListener::bind(&addr).map_err(|e| format!("bind {addr}: {e}"))?;
-    let local = listener.local_addr().map(|a| a.to_string()).unwrap_or(addr);
-    eprintln!(
-        "dist: serving {} ({} jobs, fingerprint {}) on {local}",
-        experiment.name,
-        experiment.job_count(),
-        &experiment.fingerprint()[..12]
-    );
-    let summary = serve(&listener, &experiment, &spec, &opts)?;
-    eprintln!("{}", summary.summary_line());
-    let result = SweepResult::from_indexed(&experiment.name, experiment.job_count(), summary.rows)?;
+    let ticket = client::submit(&addr, &spec, priority, &wait.client)?;
+    // The daemon schedules what *its* binary resolves the spec to; if
+    // that drifts from ours, the rows we'd fetch aren't the rows this
+    // binary's merge expects.
+    if ticket.fingerprint != experiment.fingerprint()
+        || ticket.job_count != experiment.job_count() as u64
+    {
+        return Err(format!(
+            "daemon resolves {name:?} to fingerprint {} ({} jobs) but this binary gets {} \
+             ({} jobs): mismatched builds",
+            ticket.fingerprint,
+            ticket.job_count,
+            experiment.fingerprint(),
+            experiment.job_count()
+        ));
+    }
+    if !quiet || no_wait {
+        eprintln!(
+            "dist: campaign {} submitted ({} jobs, priority {priority})",
+            ticket.campaign, ticket.job_count
+        );
+    }
+    if no_wait {
+        // The id on stdout is the machine-readable product: scripts
+        // capture it and poll later.
+        println!("{}", ticket.campaign);
+        return Ok(());
+    }
+
+    let mut last_done = u64::MAX;
+    let rows = client::wait_for_campaign(&addr, &ticket.campaign, &wait, |done, total| {
+        if !quiet && done != last_done {
+            eprintln!("dist: campaign {}: {done}/{total} jobs", ticket.campaign);
+            last_done = done;
+        }
+    })?;
+    let result = SweepResult::from_indexed(&experiment.name, experiment.job_count(), rows)?;
     cli::finish_run(&experiment, &result, &output, json)
 }
 
@@ -158,14 +377,30 @@ fn cmd_work(mut it: impl Iterator<Item = String>) -> Result<(), String> {
                 ))
             }
             "--threads" => {
-                opts.threads = cli::take(&mut it, "--threads")
-                    .unwrap_or_else(|e| usage(e))
-                    .parse()
-                    .ok()
-                    .filter(|&n| n > 0)
-                    .unwrap_or_else(|| usage("--threads expects a positive integer".into()))
+                opts.threads = parse_flag(
+                    &mut it,
+                    "--threads",
+                    |&n: &usize| n > 0,
+                    "a positive integer",
+                )
             }
             "--name" => opts.name = Some(cli::take(&mut it, "--name").unwrap_or_else(|e| usage(e))),
+            "--token-file" => {
+                opts.token = Some(read_token(
+                    &cli::take(&mut it, "--token-file").unwrap_or_else(|e| usage(e)),
+                )?)
+            }
+            "--lease-batch" => {
+                opts.lease_batch = parse_flag(&mut it, "--lease-batch", |_| true, "a cell count")
+            }
+            "--reconnect" => {
+                opts.reconnect_attempts =
+                    parse_flag(&mut it, "--reconnect", |_| true, "an attempt count")
+            }
+            "--idle-exit" => {
+                let secs: u64 = parse_flag(&mut it, "--idle-exit", |_| true, "seconds");
+                opts.idle_exit_ms = secs * 1000;
+            }
             "--progress" => opts.progress = true,
             "--quiet" => opts.quiet = true,
             other if !other.starts_with('-') && addr.is_none() => addr = Some(other.to_string()),
@@ -177,24 +412,25 @@ fn cmd_work(mut it: impl Iterator<Item = String>) -> Result<(), String> {
     work(&addr, sfence_bench::experiment_by_name, &opts).map(|_| ())
 }
 
-/// `status ADDR`: probe a live coordinator for its campaign snapshot
-/// and print it as a table (default) or as the raw `MetricsReport`
-/// JSON (`--json`).
+/// `status ADDR`: probe a live coordinator for its service snapshot
+/// and print a per-campaign table plus the full metric listing
+/// (default), or the raw `MetricsReport` JSON (`--json`).
 fn cmd_status(mut it: impl Iterator<Item = String>) -> Result<(), String> {
     let mut addr: Option<String> = None;
     let mut json = false;
     let mut timeout = Duration::from_secs(5);
+    let mut token: Option<String> = None;
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--json" => json = true,
             "--timeout" => {
-                let secs: u64 = cli::take(&mut it, "--timeout")
-                    .unwrap_or_else(|e| usage(e))
-                    .parse()
-                    .ok()
-                    .filter(|&n| n > 0)
-                    .unwrap_or_else(|| usage("--timeout expects seconds".into()));
+                let secs: u64 = parse_flag(&mut it, "--timeout", |&n| n > 0, "seconds");
                 timeout = Duration::from_secs(secs);
+            }
+            "--token-file" => {
+                token = Some(read_token(
+                    &cli::take(&mut it, "--token-file").unwrap_or_else(|e| usage(e)),
+                )?)
             }
             other if !other.starts_with('-') && addr.is_none() => addr = Some(other.to_string()),
             other => usage(format!("unknown flag {other:?}")),
@@ -202,11 +438,66 @@ fn cmd_status(mut it: impl Iterator<Item = String>) -> Result<(), String> {
     }
     let addr =
         addr.unwrap_or_else(|| usage("status needs the coordinator address (host:port)".into()));
-    let report = fetch_status(&addr, timeout)?;
+    let report = fetch_status(&addr, timeout, token.as_deref())?;
     if json {
         print!("{}", report.to_json().to_string_pretty());
     } else {
+        print!("{}", render_campaign_table(&report));
         print!("{}", report.render());
     }
     Ok(())
+}
+
+/// The per-campaign breakdown at the top of `sfence-dist status`:
+/// one row per campaign id found in the report's labels.
+fn render_campaign_table(report: &MetricsReport) -> String {
+    let campaigns = report.label_values("campaign");
+    if campaigns.is_empty() {
+        return String::new();
+    }
+    let gauge = |name: &str, id: &str| -> f64 {
+        match report.get(name, &[("campaign", id)]).map(|m| &m.value) {
+            Some(MetricValue::Gauge(g)) => *g,
+            _ => 0.0,
+        }
+    };
+    // `campaign_info` carries the experiment name as a second label;
+    // find the series by scanning rather than by exact label match.
+    let experiment = |id: &str| -> &str {
+        report
+            .metrics
+            .iter()
+            .find(|m| {
+                m.name == "campaign_info"
+                    && m.labels.iter().any(|(k, v)| k == "campaign" && v == id)
+            })
+            .and_then(|m| {
+                m.labels
+                    .iter()
+                    .find(|(k, _)| k == "experiment")
+                    .map(|(_, v)| v.as_str())
+            })
+            .unwrap_or("?")
+    };
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<8} {:<20} {:>8} {:>7} {:>8} {:>7} {:>9} {:>10}\n",
+        "campaign", "experiment", "priority", "done", "pending", "leased", "state", "cells/s"
+    ));
+    for id in campaigns {
+        let complete = gauge("campaign_complete", id) > 0.0;
+        out.push_str(&format!(
+            "{:<8} {:<20} {:>8} {:>7} {:>8} {:>7} {:>9} {:>10.1}\n",
+            id,
+            experiment(id),
+            gauge("campaign_priority", id) as u64,
+            gauge("campaign_done", id) as u64,
+            gauge("campaign_pending", id) as u64,
+            gauge("campaign_leased", id) as u64,
+            if complete { "complete" } else { "running" },
+            gauge("campaign_cells_per_sec", id),
+        ));
+    }
+    out.push('\n');
+    out
 }

@@ -1,0 +1,225 @@
+//! The submitting client: register a campaign with a running daemon,
+//! poll it, and collect its merged rows.
+//!
+//! Every operation is one short-lived connection (`submit` →
+//! `submitted`, `fetch` → `campaign_status` / `result`*), so a client
+//! waiting on a campaign survives a coordinator kill-and-restart
+//! without any connection-level recovery: the next poll simply
+//! connects to the new process, which restored the campaign — under
+//! the same id — from its checkpoint.
+
+use crate::protocol::{write_msg, CampaignState, FrameError, FrameReader, Msg};
+use crate::spec::ExperimentSpec;
+use sfence_harness::IndexedRow;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Connection-level tunables shared by every client call.
+#[derive(Debug, Clone)]
+pub struct ClientOpts {
+    pub token: Option<String>,
+    /// Bounds connect and read alike.
+    pub timeout: Duration,
+}
+
+impl Default for ClientOpts {
+    fn default() -> ClientOpts {
+        ClientOpts {
+            token: None,
+            timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// What `submit` hands back: everything needed to poll the campaign
+/// and to verify this binary agrees with the daemon about what the
+/// campaign *is*.
+#[derive(Debug, Clone)]
+pub struct CampaignTicket {
+    pub campaign: String,
+    pub job_count: u64,
+    pub fingerprint: String,
+}
+
+/// One poll's answer.
+#[derive(Debug)]
+pub enum Poll {
+    Running { done: u64, total: u64 },
+    Complete { rows: Vec<IndexedRow>, total: u64 },
+}
+
+/// Open one connection with both timeouts armed.
+fn connect(addr: &str, timeout: Duration) -> Result<TcpStream, String> {
+    let sock_addr = addr
+        .to_socket_addrs()
+        .map_err(|e| format!("bad address {addr:?}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("address {addr:?} resolves to nothing"))?;
+    let stream = TcpStream::connect_timeout(&sock_addr, timeout)
+        .map_err(|e| format!("connect {addr}: {e}"))?;
+    let _ = stream.set_nodelay(true);
+    stream
+        .set_read_timeout(Some(timeout))
+        .map_err(|e| format!("set_read_timeout: {e}"))?;
+    Ok(stream)
+}
+
+/// Errors that no amount of retrying will fix (the daemon answered
+/// and said no). [`wait_for_campaign`] gives up on these immediately
+/// instead of burning its retry budget.
+fn fatal(msg: String) -> String {
+    format!("fatal: {msg}")
+}
+
+fn is_fatal(msg: &str) -> bool {
+    msg.starts_with("fatal: ")
+}
+
+/// Register `spec` with the daemon at `addr` and return its ticket.
+pub fn submit(
+    addr: &str,
+    spec: &ExperimentSpec,
+    priority: u64,
+    opts: &ClientOpts,
+) -> Result<CampaignTicket, String> {
+    let stream = connect(addr, opts.timeout)?;
+    let mut writer = stream
+        .try_clone()
+        .map_err(|e| format!("clone stream: {e}"))?;
+    write_msg(
+        &mut writer,
+        &Msg::Submit {
+            token: opts.token.clone(),
+            spec: spec.to_json(),
+            priority,
+        },
+    )
+    .map_err(|e| format!("send: {e}"))?;
+    let mut reader = FrameReader::new(stream);
+    match reader.next_msg() {
+        Ok(Some(Msg::Submitted {
+            campaign,
+            job_count,
+            fingerprint,
+        })) => Ok(CampaignTicket {
+            campaign,
+            job_count,
+            fingerprint,
+        }),
+        Ok(Some(Msg::Reject { reason })) => Err(fatal(format!("daemon rejected submit: {reason}"))),
+        Ok(Some(Msg::Done)) => Err("daemon is shutting down".into()),
+        Ok(Some(other)) => Err(format!("expected submitted, got {other:?}")),
+        Ok(None) => Err(format!("daemon silent for {:?}", opts.timeout)),
+        Err(FrameError::Eof) => Err("daemon closed without answering".into()),
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+/// Ask the daemon where `campaign` stands; a complete campaign's
+/// merged rows come back with the answer.
+pub fn poll(addr: &str, campaign: &str, opts: &ClientOpts) -> Result<Poll, String> {
+    let stream = connect(addr, opts.timeout)?;
+    let mut writer = stream
+        .try_clone()
+        .map_err(|e| format!("clone stream: {e}"))?;
+    write_msg(
+        &mut writer,
+        &Msg::Fetch {
+            token: opts.token.clone(),
+            campaign: campaign.to_string(),
+        },
+    )
+    .map_err(|e| format!("send: {e}"))?;
+    let mut reader = FrameReader::new(stream);
+    let mut rows: Vec<IndexedRow> = Vec::new();
+    loop {
+        match reader.next_msg() {
+            Ok(Some(Msg::Result { rows: chunk, .. })) => rows.extend(chunk),
+            Ok(Some(Msg::CampaignStatus {
+                state, done, total, ..
+            })) => {
+                return Ok(match state {
+                    CampaignState::Running => Poll::Running { done, total },
+                    CampaignState::Complete => Poll::Complete { rows, total },
+                });
+            }
+            // An unknown campaign is fatal: the daemon is up but has
+            // never heard of us (wrong address, or a checkpoint-less
+            // daemon restarted). Retrying would loop forever.
+            Ok(Some(Msg::Reject { reason })) => {
+                return Err(fatal(format!("daemon rejected fetch: {reason}")))
+            }
+            Ok(Some(Msg::Done)) => return Err("daemon is shutting down".into()),
+            Ok(Some(other)) => return Err(format!("unexpected fetch reply {other:?}")),
+            Ok(None) => return Err(format!("daemon silent for {:?}", opts.timeout)),
+            Err(FrameError::Eof) => return Err("daemon closed mid-fetch".into()),
+            Err(e) => return Err(e.to_string()),
+        }
+    }
+}
+
+/// Tunables for [`wait_for_campaign`].
+#[derive(Debug, Clone)]
+pub struct WaitOpts {
+    pub client: ClientOpts,
+    /// Delay between polls while the campaign runs.
+    pub poll_ms: u64,
+    /// Consecutive failed polls tolerated before giving up — the
+    /// daemon-restart window a waiting client must ride out. Backoff
+    /// between failed polls is capped exponential.
+    pub retries: u32,
+    pub retry_base_ms: u64,
+    pub retry_cap_ms: u64,
+}
+
+impl Default for WaitOpts {
+    fn default() -> WaitOpts {
+        WaitOpts {
+            client: ClientOpts::default(),
+            poll_ms: 500,
+            retries: 20,
+            retry_base_ms: 250,
+            retry_cap_ms: 5000,
+        }
+    }
+}
+
+/// Poll until `campaign` completes, riding out transient daemon
+/// outages (each poll is a fresh connection), and return the merged
+/// rows. `progress` is called after every successful poll.
+pub fn wait_for_campaign(
+    addr: &str,
+    campaign: &str,
+    opts: &WaitOpts,
+    mut progress: impl FnMut(u64, u64),
+) -> Result<Vec<IndexedRow>, String> {
+    let mut failures: u32 = 0;
+    loop {
+        match poll(addr, campaign, &opts.client) {
+            Ok(Poll::Complete { rows, total }) => {
+                progress(total, total);
+                return Ok(rows);
+            }
+            Ok(Poll::Running { done, total }) => {
+                failures = 0;
+                progress(done, total);
+                std::thread::sleep(Duration::from_millis(opts.poll_ms));
+            }
+            Err(e) if is_fatal(&e) => return Err(e),
+            Err(e) => {
+                failures += 1;
+                if failures > opts.retries {
+                    return Err(format!(
+                        "campaign {campaign}: {e} ({failures} consecutive failed polls)"
+                    ));
+                }
+                let delay = opts
+                    .retry_base_ms
+                    .max(1)
+                    .saturating_mul(1u64 << (failures - 1).min(20))
+                    .min(opts.retry_cap_ms.max(1));
+                std::thread::sleep(Duration::from_millis(delay));
+            }
+        }
+    }
+}

@@ -1,16 +1,14 @@
-//! The coordinator: owns the job table of one experiment and fans
-//! cell-level jobs out to workers over TCP.
+//! The one-shot coordinator: serve a single experiment until every
+//! job has a row, then return the merged rows.
 //!
-//! Lifecycle of a connection (see `protocol` for the message table):
-//! handshake (`hello`/`assign`/`ready`, with schema / protocol /
-//! fingerprint validation), then a lease loop — the worker requests
-//! work, receives a batch of job indices, returns indexed rows, and
-//! heartbeats from a side thread the whole time. Jobs are tracked in
-//! a [`JobQueue`]: a worker that disconnects (death) has its leases
-//! released immediately; one that goes silent while connected loses
-//! them at lease expiry. Either way the jobs are re-leased to the
-//! next requester, so a killed worker delays a campaign instead of
-//! losing it.
+//! Since protocol v3 this is a thin wrapper over the multi-campaign
+//! [`crate::server`]: [`serve`] seeds the campaign table with exactly
+//! one campaign, runs the server with `exit_when_done`, and unwraps
+//! that campaign's rows. `sfence-sweep --workers` and
+//! `sfence-dist serve --experiment` keep their old shape — one
+//! process, one campaign, exit at completion — while the daemon mode
+//! (`sfence-dist serve` without `--experiment`) exposes the full
+//! service.
 //!
 //! Completed rows are merged exactly like process-level shards:
 //! `SweepResult::from_indexed` over every `IndexedRow`, which rejects
@@ -18,22 +16,17 @@
 //! byte-identical to a single-process `run_parallel()` no matter how
 //! many workers ran, died, or were re-leased.
 
-use crate::protocol::{write_msg, FrameError, FrameReader, Msg, PROTOCOL_VERSION};
+use crate::server::{run_server, ServerOpts};
 use crate::spec::ExperimentSpec;
-use sfence_harness::experiment::SweepRow;
-use sfence_harness::{Experiment, IndexedRow, JobQueue, SCHEMA_VERSION};
-use sfence_obs::{MetricsReport, Registry};
-use std::collections::BTreeMap;
-use std::io;
-use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
-use std::time::{Duration, Instant};
+use sfence_harness::{Experiment, IndexedRow};
+use std::net::TcpListener;
+use std::sync::atomic::AtomicBool;
 
 /// Tunables of one [`serve`] call.
 #[derive(Debug, Clone)]
 pub struct CoordinatorOpts {
-    /// Jobs handed out per lease.
+    /// Jobs handed out per lease (when the worker doesn't ask for a
+    /// specific batch).
     pub lease_size: usize,
     /// How long a silent (non-heartbeating) worker keeps its leases.
     pub lease_ttl_ms: u64,
@@ -43,6 +36,8 @@ pub struct CoordinatorOpts {
     pub wait_ms: u64,
     /// Suppress per-connection progress lines on stderr.
     pub quiet: bool,
+    /// Shared auth token; workers and probes must present it.
+    pub token: Option<String>,
     /// Externally-set kill switch: when it flips true the campaign
     /// stops waiting for workers and [`serve`] errors out instead of
     /// blocking forever. `sfence-sweep --workers` sets it when every
@@ -59,6 +54,7 @@ impl Default for CoordinatorOpts {
             poll_ms: 100,
             wait_ms: 200,
             quiet: false,
+            token: None,
             abort: None,
         }
     }
@@ -95,61 +91,6 @@ impl DistSummary {
     }
 }
 
-/// Per-worker accounting behind the `status` frame. Keyed by the
-/// connection-unique worker key, so two workers sharing a name stay
-/// distinguishable in the report.
-#[derive(Debug, Default, Clone, Copy)]
-struct WorkerStat {
-    jobs: u64,
-    executed: u64,
-    cache_hits: u64,
-}
-
-/// Shared mutable state between the accept loop and the
-/// per-connection handler threads.
-struct Shared {
-    queue: JobQueue<SweepRow>,
-    workers: u64,
-    executed: u64,
-    cache_hits: u64,
-    released: u64,
-    rejected: u64,
-    /// BTreeMap so the status report lists workers in a stable order.
-    worker_stats: BTreeMap<String, WorkerStat>,
-}
-
-/// Build the live campaign snapshot a `status_request` probe gets
-/// back: queue shape, campaign totals, throughput, and per-worker
-/// completion rates, all through the shared metrics registry so the
-/// wire schema is the one every other `sfence-obs` consumer reads.
-fn status_metrics(s: &Shared, elapsed_ms: u64) -> MetricsReport {
-    let mut reg = Registry::new();
-    let done = s.queue.done();
-    let pending = s.queue.pending();
-    let leased = s.queue.len() - done - pending;
-    reg.gauge("queue_jobs_total", &[], s.queue.len() as f64);
-    reg.gauge("queue_done", &[], done as f64);
-    reg.gauge("queue_pending", &[], pending as f64);
-    reg.gauge("queue_active_leases", &[], leased as f64);
-    reg.gauge("uptime_ms", &[], elapsed_ms as f64);
-    let secs = elapsed_ms as f64 / 1000.0;
-    let rate = |cells: u64| if secs > 0.0 { cells as f64 / secs } else { 0.0 };
-    reg.gauge("cells_per_sec", &[], rate(done as u64));
-    reg.counter("workers_connected", &[], s.workers);
-    reg.counter("cells_executed", &[], s.executed);
-    reg.counter("cache_hits", &[], s.cache_hits);
-    reg.counter("leases_released", &[], s.released);
-    reg.counter("connections_rejected", &[], s.rejected);
-    for (key, stat) in &s.worker_stats {
-        let labels = [("worker", key.as_str())];
-        reg.counter("worker_jobs", &labels, stat.jobs);
-        reg.counter("worker_executed", &labels, stat.executed);
-        reg.counter("worker_cache_hits", &labels, stat.cache_hits);
-        reg.gauge("worker_cells_per_sec", &labels, rate(stat.jobs));
-    }
-    reg.snapshot("coordinator")
-}
-
 /// Run one distributed campaign: serve `experiment` (described to
 /// workers as `spec`) on `listener` until every job has a row, then
 /// return the merged rows. Workers may connect, die, and reconnect
@@ -160,442 +101,42 @@ pub fn serve(
     spec: &ExperimentSpec,
     opts: &CoordinatorOpts,
 ) -> Result<DistSummary, String> {
-    let job_count = experiment.job_count();
-    let fingerprint = experiment.fingerprint();
-    listener
-        .set_nonblocking(true)
-        .map_err(|e| format!("set_nonblocking: {e}"))?;
-    let shared = Mutex::new(Shared {
-        queue: JobQueue::new(job_count),
-        workers: 0,
-        executed: 0,
-        cache_hits: 0,
-        released: 0,
-        rejected: 0,
-        worker_stats: BTreeMap::new(),
-    });
-    let shutdown = AtomicBool::new(false);
-    let start = Instant::now();
-    let now_ms = || start.elapsed().as_millis() as u64;
-
-    let mut aborted = false;
-    std::thread::scope(|scope| {
-        let mut conn_id: u64 = 0;
-        loop {
-            {
-                let mut s = shared.lock().unwrap();
-                let expired = s.queue.expire(now_ms());
-                if expired > 0 {
-                    s.released += expired as u64;
-                    if !opts.quiet {
-                        eprintln!("dist: {expired} lease(s) expired, re-leasing");
-                    }
-                }
-                if s.queue.is_complete() {
-                    shutdown.store(true, Ordering::SeqCst);
-                    break;
-                }
-            }
-            if matches!(&opts.abort, Some(flag) if flag.load(Ordering::SeqCst)) {
-                aborted = true;
-                shutdown.store(true, Ordering::SeqCst);
-                break;
-            }
-            match listener.accept() {
-                Ok((stream, peer)) => {
-                    conn_id += 1;
-                    let id = conn_id;
-                    if !opts.quiet {
-                        eprintln!("dist: connection {id} from {peer}");
-                    }
-                    let shared = &shared;
-                    let shutdown = &shutdown;
-                    let fingerprint = fingerprint.as_str();
-                    scope.spawn(move || {
-                        handle_conn(
-                            stream,
-                            id,
-                            shared,
-                            shutdown,
-                            spec,
-                            job_count,
-                            fingerprint,
-                            opts,
-                            &now_ms,
-                        );
-                    });
-                }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(opts.poll_ms));
-                }
-                // Transient accept failures (e.g. a connection reset
-                // while queued) must not kill the campaign.
-                Err(_) => std::thread::sleep(Duration::from_millis(opts.poll_ms)),
-            }
-        }
-        // Scope exit joins every handler thread; each notices the
-        // shutdown flag within one read-timeout tick.
-    });
-
-    // Workers that raced the finish line sit un-accepted in the
-    // listen backlog, blocked waiting for a handshake nobody will
-    // serve. Hand each a `done` so they exit cleanly and promptly
-    // (workers treat `done` at any protocol stage as "campaign
-    // over"). Their `hello` is sitting unread in our receive queue,
-    // so a plain drop would RST and could discard the `done` before
-    // the worker reads it — drain until the peer closes instead.
-    while let Ok((mut stream, _)) = listener.accept() {
-        let _ = stream.set_nonblocking(false);
-        let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
-        if write_msg(&mut stream, &Msg::Done).is_ok() {
-            let _ = stream.shutdown(std::net::Shutdown::Write);
-            let mut sink = [0u8; 1024];
-            let deadline = Instant::now() + Duration::from_secs(1);
-            while Instant::now() < deadline {
-                match std::io::Read::read(&mut stream, &mut sink) {
-                    Ok(0) | Err(_) => break,
-                    Ok(_) => {}
-                }
-            }
-        }
-    }
-
-    let s = shared.into_inner().unwrap();
-    if aborted {
+    let server_opts = ServerOpts {
+        default_lease: opts.lease_size,
+        lease_ttl_ms: opts.lease_ttl_ms,
+        poll_ms: opts.poll_ms,
+        wait_ms: opts.wait_ms,
+        quiet: opts.quiet,
+        token: opts.token.clone(),
+        exit_when_done: true,
+        shutdown: opts.abort.clone(),
+        ..ServerOpts::default()
+    };
+    // No registry: a one-shot coordinator rejects remote `submit`s —
+    // its single campaign is fixed at launch.
+    let outcome = run_server(
+        listener,
+        None,
+        vec![(spec.clone(), experiment.clone(), 1)],
+        &server_opts,
+    )?;
+    let campaign = outcome
+        .campaigns
+        .into_iter()
+        .next()
+        .ok_or("server returned no campaign")?;
+    if outcome.aborted || !campaign.complete {
         return Err(format!(
             "campaign aborted with {}/{} jobs complete",
-            s.queue.done(),
-            s.queue.len()
+            campaign.done, campaign.job_count
         ));
     }
-    let rows = s
-        .queue
-        .into_payloads()?
-        .into_iter()
-        .enumerate()
-        .map(|(index, row)| IndexedRow { index, row })
-        .collect();
     Ok(DistSummary {
-        rows,
-        workers: s.workers,
-        executed: s.executed,
-        cache_hits: s.cache_hits,
-        released: s.released,
-        rejected: s.rejected,
+        rows: campaign.rows,
+        workers: outcome.workers,
+        executed: outcome.executed,
+        cache_hits: outcome.cache_hits,
+        released: outcome.released,
+        rejected: outcome.rejected,
     })
-}
-
-/// Half-close after a final `done` and linger until the peer closes
-/// (or a short deadline passes). A plain drop while a worker frame —
-/// a last heartbeat, an unserved `hello` — still sits unread in our
-/// receive queue would turn the close into an RST, which can discard
-/// the buffered `done` before the worker reads it and make a
-/// *successful* campaign look like a connection failure worker-side.
-/// Write a final `done` and, if it went out, close gracefully.
-fn send_done(writer: &mut TcpStream, reader: &mut FrameReader<TcpStream>) {
-    if write_msg(writer, &Msg::Done).is_ok() {
-        close_gracefully(writer, reader, Duration::from_secs(1));
-    }
-}
-
-fn close_gracefully(writer: &TcpStream, reader: &mut FrameReader<TcpStream>, max_wait: Duration) {
-    let _ = writer.shutdown(std::net::Shutdown::Write);
-    let deadline = Instant::now() + max_wait;
-    while Instant::now() < deadline {
-        match reader.next_msg() {
-            // Late frames (heartbeats) are read and discarded; the
-            // reader's read timeout keeps each iteration bounded.
-            Ok(_) => {}
-            // EOF: the peer saw the `done` and closed. (Any error
-            // ends the linger — there is nothing left to protect.)
-            Err(_) => break,
-        }
-    }
-}
-
-/// The `finish` reason for a dead connection: a clean EOF is an
-/// ordinary departure (no reason), anything else is reported.
-fn disconnect_reason(e: FrameError) -> Option<String> {
-    match e {
-        FrameError::Eof => None,
-        other => Some(other.to_string()),
-    }
-}
-
-/// Why a connection's read loop stopped waiting.
-enum ReadStop {
-    /// The campaign completed while this connection idled.
-    Shutdown,
-    /// The connection itself is finished (EOF / torn / io).
-    Dead(FrameError),
-}
-
-/// Block until one message arrives, ticking the read timeout so the
-/// shutdown flag is noticed promptly.
-fn read_msg(reader: &mut FrameReader<TcpStream>, shutdown: &AtomicBool) -> Result<Msg, ReadStop> {
-    loop {
-        match reader.next_msg() {
-            Ok(Some(msg)) => return Ok(msg),
-            Ok(None) => {
-                if shutdown.load(Ordering::SeqCst) {
-                    return Err(ReadStop::Shutdown);
-                }
-            }
-            Err(e) => return Err(ReadStop::Dead(e)),
-        }
-    }
-}
-
-#[allow(clippy::too_many_arguments)]
-fn handle_conn(
-    stream: TcpStream,
-    conn_id: u64,
-    shared: &Mutex<Shared>,
-    shutdown: &AtomicBool,
-    spec: &ExperimentSpec,
-    job_count: usize,
-    fingerprint: &str,
-    opts: &CoordinatorOpts,
-    now_ms: &dyn Fn() -> u64,
-) {
-    // Per-connection cleanup: drop the worker's leases back into the
-    // pool (no-op if it held none) and account the disconnect.
-    let finish = |worker_key: &str, torn: Option<String>| {
-        let mut s = shared.lock().unwrap();
-        let released = s.queue.release(worker_key);
-        s.released += released as u64;
-        if torn.is_some() {
-            s.rejected += 1;
-        }
-        if !opts.quiet {
-            match torn {
-                Some(why) => eprintln!(
-                    "dist: dropping connection {conn_id} ({why}); {released} lease(s) re-queued"
-                ),
-                None if released > 0 => {
-                    eprintln!("dist: connection {conn_id} gone; {released} lease(s) re-queued")
-                }
-                None => {}
-            }
-        }
-    };
-
-    let _ = stream.set_nodelay(true);
-    if stream
-        .set_read_timeout(Some(Duration::from_millis(opts.poll_ms.max(10))))
-        .is_err()
-    {
-        return;
-    }
-    let mut writer = match stream.try_clone() {
-        Ok(w) => w,
-        Err(_) => return,
-    };
-    let mut reader = FrameReader::new(stream);
-
-    // --- Handshake ------------------------------------------------
-    let worker = match read_msg(&mut reader, shutdown) {
-        Ok(Msg::Hello {
-            schema_version,
-            protocol_version,
-            worker,
-        }) => {
-            if schema_version != SCHEMA_VERSION || protocol_version != PROTOCOL_VERSION {
-                let _ = write_msg(
-                    &mut writer,
-                    &Msg::Reject {
-                        reason: format!(
-                            "version mismatch: worker speaks schema {schema_version} / \
-                             protocol {protocol_version}, coordinator speaks schema \
-                             {SCHEMA_VERSION} / protocol {PROTOCOL_VERSION}"
-                        ),
-                    },
-                );
-                finish("", Some("version mismatch".into()));
-                return;
-            }
-            worker
-        }
-        // A status probe opens with `status_request` instead of
-        // `hello`: answer with one snapshot and close. Probes never
-        // touch the job table and are not counted as workers.
-        Ok(Msg::StatusRequest) => {
-            let report = {
-                let s = shared.lock().unwrap();
-                status_metrics(&s, now_ms())
-            };
-            if !opts.quiet {
-                eprintln!("dist: status probe from connection {conn_id}");
-            }
-            if write_msg(
-                &mut writer,
-                &Msg::Status {
-                    metrics: report.to_json(),
-                },
-            )
-            .is_ok()
-            {
-                close_gracefully(&writer, &mut reader, Duration::from_secs(1));
-            }
-            return;
-        }
-        Ok(other) => {
-            finish("", Some(format!("expected hello, got {other:?}")));
-            return;
-        }
-        Err(ReadStop::Shutdown) => {
-            send_done(&mut writer, &mut reader);
-            return;
-        }
-        Err(ReadStop::Dead(e)) => {
-            finish("", disconnect_reason(e));
-            return;
-        }
-    };
-    // Two workers may claim one name; the connection id keeps their
-    // leases separate.
-    let worker_key = format!("{worker}#{conn_id}");
-
-    if write_msg(
-        &mut writer,
-        &Msg::Assign {
-            spec: spec.to_json(),
-            job_count: job_count as u64,
-            fingerprint: fingerprint.to_string(),
-            lease_ttl_ms: opts.lease_ttl_ms,
-        },
-    )
-    .is_err()
-    {
-        finish(&worker_key, None);
-        return;
-    }
-
-    match read_msg(&mut reader, shutdown) {
-        Ok(Msg::Ready {
-            fingerprint: worker_fp,
-        }) => {
-            if worker_fp != fingerprint {
-                let _ = write_msg(
-                    &mut writer,
-                    &Msg::Reject {
-                        reason: format!(
-                            "experiment fingerprint mismatch (coordinator {fingerprint}, \
-                             worker {worker_fp}): the binaries resolve {:?} differently",
-                            spec.experiment
-                        ),
-                    },
-                );
-                finish(&worker_key, Some("fingerprint mismatch".into()));
-                return;
-            }
-        }
-        Ok(Msg::Abort { reason }) => {
-            finish(&worker_key, Some(format!("worker aborted: {reason}")));
-            return;
-        }
-        Ok(other) => {
-            finish(&worker_key, Some(format!("expected ready, got {other:?}")));
-            return;
-        }
-        Err(ReadStop::Shutdown) => {
-            send_done(&mut writer, &mut reader);
-            return;
-        }
-        Err(ReadStop::Dead(e)) => {
-            finish(&worker_key, disconnect_reason(e));
-            return;
-        }
-    }
-    {
-        let mut s = shared.lock().unwrap();
-        s.workers += 1;
-    }
-    if !opts.quiet {
-        eprintln!("dist: worker {worker_key} ready");
-    }
-
-    // --- Lease loop -----------------------------------------------
-    loop {
-        let msg = match read_msg(&mut reader, shutdown) {
-            Ok(msg) => msg,
-            Err(ReadStop::Shutdown) => {
-                send_done(&mut writer, &mut reader);
-                finish(&worker_key, None);
-                return;
-            }
-            Err(ReadStop::Dead(e)) => {
-                finish(&worker_key, disconnect_reason(e));
-                return;
-            }
-        };
-        let reply = match msg {
-            Msg::Request => {
-                let mut s = shared.lock().unwrap();
-                if s.queue.is_complete() {
-                    Some(Msg::Done)
-                } else {
-                    let jobs =
-                        s.queue
-                            .lease(&worker_key, opts.lease_size, now_ms(), opts.lease_ttl_ms);
-                    if jobs.is_empty() {
-                        Some(Msg::Wait { ms: opts.wait_ms })
-                    } else {
-                        Some(Msg::Lease { jobs })
-                    }
-                }
-            }
-            Msg::Result {
-                rows,
-                executed,
-                cache_hits,
-            } => {
-                let mut s = shared.lock().unwrap();
-                let stat = s.worker_stats.entry(worker_key.clone()).or_default();
-                stat.jobs += rows.len() as u64;
-                stat.executed += executed;
-                stat.cache_hits += cache_hits;
-                for row in rows {
-                    match s.queue.complete(row.index, row.row) {
-                        // Ok(false): a re-leased job came back twice —
-                        // deterministic engines make the copies
-                        // identical, so the duplicate is just dropped.
-                        Ok(_) => {}
-                        Err(e) => {
-                            drop(s);
-                            finish(&worker_key, Some(e));
-                            return;
-                        }
-                    }
-                }
-                s.executed += executed;
-                s.cache_hits += cache_hits;
-                None
-            }
-            Msg::Heartbeat => {
-                let mut s = shared.lock().unwrap();
-                s.queue.heartbeat(&worker_key, now_ms(), opts.lease_ttl_ms);
-                None
-            }
-            other => {
-                finish(
-                    &worker_key,
-                    Some(format!("unexpected message in lease loop: {other:?}")),
-                );
-                return;
-            }
-        };
-        if let Some(reply) = reply {
-            let done = reply == Msg::Done;
-            if write_msg(&mut writer, &reply).is_err() {
-                finish(&worker_key, None);
-                return;
-            }
-            if done {
-                close_gracefully(&writer, &mut reader, Duration::from_secs(1));
-                finish(&worker_key, None);
-                return;
-            }
-        }
-    }
 }

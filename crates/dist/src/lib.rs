@@ -29,19 +29,39 @@
 //!   worker-local result caches make the re-run of already-executed
 //!   cells free.
 //!
+//! Since protocol v3 the coordinator is a long-lived **service**: one
+//! daemon holds a table of concurrent *campaigns* (one submitted
+//! experiment each), workers lease cells across all of them through a
+//! deterministic weighted fair-share scheduler ([`scheduler`]), the
+//! whole table checkpoints to an atomic-rename JSONL snapshot
+//! ([`checkpoint`]) so a killed daemon resumes every in-flight
+//! campaign, and every client flow (submit / work / fetch / status)
+//! authenticates with a shared token compared in constant time
+//! ([`server::token_matches`]). The one-shot [`coordinator::serve`]
+//! is now a thin wrapper that runs the server with a single fixed
+//! campaign.
+//!
 //! See `README.md` for the protocol message table and failure model.
 //! The `sfence-dist` binary (in `sfence-bench`, next to the
-//! experiment registry) exposes `serve ADDR` / `work ADDR`;
-//! `sfence-sweep --workers N` spawns local workers over loopback.
+//! experiment registry) exposes `serve` / `submit` / `work` /
+//! `status`; `sfence-sweep --workers N` spawns local workers over
+//! loopback.
 
+pub mod checkpoint;
+pub mod client;
 pub mod coordinator;
 pub mod protocol;
+pub mod scheduler;
+pub mod server;
 pub mod spec;
 pub mod status;
 pub mod worker;
 
+pub use client::{poll, submit, wait_for_campaign, CampaignTicket, ClientOpts, Poll, WaitOpts};
 pub use coordinator::{serve, CoordinatorOpts, DistSummary};
 pub use protocol::{FrameError, FrameReader, Msg, MAX_FRAME, PROTOCOL_VERSION};
+pub use scheduler::FairShare;
+pub use server::{run_server, token_matches, ServerOpts, ServerOutcome};
 pub use spec::{ExperimentSpec, Registry};
 pub use status::fetch_status;
 pub use worker::{work, WorkerOpts, WorkerSummary};

@@ -10,32 +10,46 @@
 //! the pool); torn input never panics either side and never drops
 //! completed rows.
 //!
-//! Message flow (worker connects to coordinator):
+//! Protocol v3 turned the coordinator into a long-lived,
+//! multi-campaign daemon: every lease and result frame carries a
+//! *campaign id*, clients other than workers exist (`submit`,
+//! `fetch`, `status_request`), and every client-opening message
+//! carries an optional shared auth token (checked with a
+//! constant-time compare server-side; see `server::token_matches`).
+//!
+//! Worker flow (worker connects to coordinator):
 //!
 //! | direction | message | meaning |
 //! |---|---|---|
-//! | w → c | `hello`     | protocol + schema version, worker name |
-//! | c → w | `assign`    | experiment spec, job count, fingerprint, lease TTL |
-//! | c → w | `reject`    | handshake refused (version/fingerprint mismatch) |
-//! | w → c | `ready`     | worker resolved the spec; echoes its own fingerprint |
-//! | w → c | `abort`     | worker cannot run the spec (unknown experiment, ...) |
-//! | w → c | `request`   | ask for work |
-//! | c → w | `lease`     | job indices leased to this worker |
+//! | w → c | `hello`     | protocol + schema version, worker name, auth token |
+//! | c → w | `welcome`   | handshake accepted; lease TTL for heartbeat pacing |
+//! | c → w | `reject`    | handshake refused (version mismatch, bad token) |
+//! | w → c | `request`   | ask for work; `batch` cells wanted (0 = server default) |
+//! | c → w | `lease`     | campaign id, its spec + fingerprint, leased job indices |
 //! | c → w | `wait`      | nothing pending right now; re-request after `ms` |
-//! | c → w | `done`      | campaign complete; disconnect |
-//! | w → c | `result`    | completed indexed rows + cache accounting |
+//! | c → w | `done`      | daemon shutting down (or one-shot campaign complete) |
+//! | w → c | `result`    | completed indexed rows for one campaign + cache accounting |
+//! | w → c | `abort`     | worker cannot run a leased spec (unknown experiment, drift) |
 //! | w → c | `heartbeat` | keep-alive; extends this worker's leases |
 //!
-//! A *status probe* is a second, one-shot client flow: connect, send
-//! `status_request` instead of `hello`, receive one `status` frame
-//! (a `sfence-obs` [`MetricsReport`](https://docs.rs) as opaque JSON
-//! — queue depth, active leases, per-worker completion rates), and
-//! disconnect. Probes never touch the job table.
+//! Unlike v2, the spec rides on every `lease` (workers resolve and
+//! fingerprint-check each campaign the first time they see its id),
+//! so one worker serves any number of concurrent campaigns.
+//!
+//! Submit/fetch flows (one request per connection, then close):
 //!
 //! | direction | message | meaning |
 //! |---|---|---|
-//! | p → c | `status_request` | ask for a live campaign snapshot |
-//! | c → p | `status`         | metrics snapshot; connection then closes |
+//! | s → c | `submit`          | auth token, experiment spec, priority weight |
+//! | c → s | `submitted`       | the new campaign's id, job count, fingerprint |
+//! | f → c | `fetch`           | ask after one campaign by id |
+//! | c → f | `campaign_status` | running: progress counts; complete: follows the rows |
+//! | c → f | `result`          | completed campaign's rows, chunked, before `campaign_status` |
+//!
+//! A *status probe* sends `status_request` instead of `hello` and
+//! receives one `status` frame (a `sfence-obs` `MetricsReport` as
+//! opaque JSON — queue depth, per-campaign and per-worker series),
+//! then the connection closes. Probes never touch the job table.
 
 use sfence_harness::json::{self, Json};
 use sfence_harness::IndexedRow;
@@ -44,13 +58,22 @@ use std::io::{self, Read, Write};
 /// Version of this message set. Mixed protocol generations refuse
 /// each other at `hello` instead of mis-parsing frames.
 ///
-/// v2 added the `status_request`/`status` probe flow.
-pub const PROTOCOL_VERSION: u64 = 2;
+/// v2 added the `status_request`/`status` probe flow. v3 made the
+/// coordinator multi-campaign: campaign ids on `lease`/`result`, the
+/// `submit`/`fetch` client flows, per-lease specs (replacing the v2
+/// `assign`/`ready` exchange), batched lease requests, and auth
+/// tokens on every opening message.
+pub const PROTOCOL_VERSION: u64 = 3;
 
 /// Upper bound on a frame's payload. Real frames are a few KB (a
 /// lease of row results); anything bigger is a corrupt or hostile
 /// length prefix and is rejected *before* allocating.
 pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
+
+/// Rows per `result` frame. A row is a few hundred bytes, so chunks
+/// stay far under [`MAX_FRAME`] no matter how large a lease or a
+/// fetched campaign is.
+pub const RESULT_CHUNK_ROWS: usize = 1024;
 
 /// Why a frame could not be read.
 #[derive(Debug)]
@@ -78,8 +101,8 @@ impl std::fmt::Display for FrameError {
 /// that would exceed [`MAX_FRAME`] is an error *before* any bytes hit
 /// the wire — sending it would only be torn by the receiver, and the
 /// sender is the one side that can name the real problem. (Senders
-/// keep frames small by construction: workers chunk large result
-/// batches.)
+/// keep frames small by construction: results ship in
+/// [`RESULT_CHUNK_ROWS`]-row chunks.)
 pub fn write_msg(w: &mut impl Write, msg: &Msg) -> io::Result<()> {
     let payload = msg.to_json().to_string_compact();
     let bytes = payload.as_bytes();
@@ -180,24 +203,47 @@ impl<R: Read> FrameReader<R> {
     }
 }
 
-/// One protocol message. See the module table for the flow.
+/// The lifecycle stage of one campaign, as reported to `fetch`
+/// clients.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CampaignState {
+    Running,
+    Complete,
+}
+
+impl CampaignState {
+    pub fn name(&self) -> &'static str {
+        match self {
+            CampaignState::Running => "running",
+            CampaignState::Complete => "complete",
+        }
+    }
+
+    pub fn parse(s: &str) -> Result<CampaignState, String> {
+        match s {
+            "running" => Ok(CampaignState::Running),
+            "complete" => Ok(CampaignState::Complete),
+            other => Err(format!("unknown campaign state {other:?}")),
+        }
+    }
+}
+
+/// One protocol message. See the module tables for the flows.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Msg {
+    /// Worker handshake. `token` must match the daemon's shared
+    /// secret when one is configured (`None` = unauthenticated —
+    /// accepted only by daemons running without a token).
     Hello {
         schema_version: u64,
         protocol_version: u64,
         worker: String,
+        token: Option<String>,
     },
-    Assign {
-        /// The experiment spec ([`crate::spec::ExperimentSpec`] JSON)
-        /// the worker must resolve through its own registry.
-        spec: Json,
-        job_count: u64,
-        fingerprint: String,
+    /// Worker handshake accepted; carries the lease TTL so the
+    /// worker can pace its heartbeats well inside it.
+    Welcome {
         lease_ttl_ms: u64,
-    },
-    Ready {
-        fingerprint: String,
     },
     Reject {
         reason: String,
@@ -205,28 +251,77 @@ pub enum Msg {
     Abort {
         reason: String,
     },
-    Request,
+    /// Ask for work. `batch` is the number of cells the worker wants
+    /// per lease (`--lease-batch`); 0 means "the server's default".
+    Request {
+        batch: u64,
+    },
+    /// A batch of job indices from one campaign. The spec
+    /// ([`crate::spec::ExperimentSpec`] JSON) and fingerprint ride
+    /// along so a worker can resolve and verify a campaign the first
+    /// time it sees its id.
     Lease {
+        campaign: String,
+        spec: Json,
+        fingerprint: String,
+        job_count: u64,
         jobs: Vec<usize>,
     },
     Wait {
         ms: u64,
     },
     Done,
+    /// Completed rows for one campaign (from a worker), or a chunk of
+    /// a completed campaign's merged rows (to a `fetch` client).
     Result {
+        campaign: String,
         rows: Vec<IndexedRow>,
         executed: u64,
         cache_hits: u64,
     },
     Heartbeat,
+    /// Submit flow: register a new campaign with the daemon.
+    Submit {
+        token: Option<String>,
+        spec: Json,
+        priority: u64,
+    },
+    Submitted {
+        campaign: String,
+        job_count: u64,
+        fingerprint: String,
+    },
+    /// Fetch flow: ask after one campaign by id.
+    Fetch {
+        token: Option<String>,
+        campaign: String,
+    },
+    /// The fetch reply (after any `result` chunks when complete).
+    CampaignStatus {
+        campaign: String,
+        state: CampaignState,
+        done: u64,
+        total: u64,
+    },
     /// Probe flow: sent *instead of* `hello` by a monitoring client.
-    StatusRequest,
-    /// The coordinator's live campaign snapshot: a `sfence-obs`
+    StatusRequest {
+        token: Option<String>,
+    },
+    /// The coordinator's live snapshot: a `sfence-obs`
     /// `MetricsReport` carried as opaque JSON so the protocol layer
     /// stays decoupled from the metrics schema.
     Status {
         metrics: Json,
     },
+}
+
+/// Attach `token` as a field only when present, so unauthenticated
+/// frames stay byte-compatible with token-less deployments.
+fn with_token(obj: Json, token: &Option<String>) -> Json {
+    match token {
+        Some(t) => obj.field("token", t.as_str()),
+        None => obj,
+    }
 }
 
 impl Msg {
@@ -236,44 +331,51 @@ impl Msg {
                 schema_version,
                 protocol_version,
                 worker,
-            } => Json::obj()
-                .field("type", "hello")
-                .field("schema_version", *schema_version)
-                .field("protocol_version", *protocol_version)
-                .field("worker", worker.as_str()),
-            Msg::Assign {
-                spec,
-                job_count,
-                fingerprint,
-                lease_ttl_ms,
-            } => Json::obj()
-                .field("type", "assign")
-                .field("spec", spec.clone())
-                .field("job_count", *job_count)
-                .field("fingerprint", fingerprint.as_str())
+                token,
+            } => with_token(
+                Json::obj()
+                    .field("type", "hello")
+                    .field("schema_version", *schema_version)
+                    .field("protocol_version", *protocol_version)
+                    .field("worker", worker.as_str()),
+                token,
+            ),
+            Msg::Welcome { lease_ttl_ms } => Json::obj()
+                .field("type", "welcome")
                 .field("lease_ttl_ms", *lease_ttl_ms),
-            Msg::Ready { fingerprint } => Json::obj()
-                .field("type", "ready")
-                .field("fingerprint", fingerprint.as_str()),
             Msg::Reject { reason } => Json::obj()
                 .field("type", "reject")
                 .field("reason", reason.as_str()),
             Msg::Abort { reason } => Json::obj()
                 .field("type", "abort")
                 .field("reason", reason.as_str()),
-            Msg::Request => Json::obj().field("type", "request"),
-            Msg::Lease { jobs } => Json::obj().field("type", "lease").field(
-                "jobs",
-                Json::Arr(jobs.iter().map(|&j| Json::from(j)).collect()),
-            ),
+            Msg::Request { batch } => Json::obj().field("type", "request").field("batch", *batch),
+            Msg::Lease {
+                campaign,
+                spec,
+                fingerprint,
+                job_count,
+                jobs,
+            } => Json::obj()
+                .field("type", "lease")
+                .field("campaign", campaign.as_str())
+                .field("spec", spec.clone())
+                .field("fingerprint", fingerprint.as_str())
+                .field("job_count", *job_count)
+                .field(
+                    "jobs",
+                    Json::Arr(jobs.iter().map(|&j| Json::from(j)).collect()),
+                ),
             Msg::Wait { ms } => Json::obj().field("type", "wait").field("ms", *ms),
             Msg::Done => Json::obj().field("type", "done"),
             Msg::Result {
+                campaign,
                 rows,
                 executed,
                 cache_hits,
             } => Json::obj()
                 .field("type", "result")
+                .field("campaign", campaign.as_str())
                 .field(
                     "rows",
                     Json::Arr(rows.iter().map(IndexedRow::to_json).collect()),
@@ -281,7 +383,46 @@ impl Msg {
                 .field("executed", *executed)
                 .field("cache_hits", *cache_hits),
             Msg::Heartbeat => Json::obj().field("type", "heartbeat"),
-            Msg::StatusRequest => Json::obj().field("type", "status_request"),
+            Msg::Submit {
+                token,
+                spec,
+                priority,
+            } => with_token(
+                Json::obj()
+                    .field("type", "submit")
+                    .field("spec", spec.clone())
+                    .field("priority", *priority),
+                token,
+            ),
+            Msg::Submitted {
+                campaign,
+                job_count,
+                fingerprint,
+            } => Json::obj()
+                .field("type", "submitted")
+                .field("campaign", campaign.as_str())
+                .field("job_count", *job_count)
+                .field("fingerprint", fingerprint.as_str()),
+            Msg::Fetch { token, campaign } => with_token(
+                Json::obj()
+                    .field("type", "fetch")
+                    .field("campaign", campaign.as_str()),
+                token,
+            ),
+            Msg::CampaignStatus {
+                campaign,
+                state,
+                done,
+                total,
+            } => Json::obj()
+                .field("type", "campaign_status")
+                .field("campaign", campaign.as_str())
+                .field("state", state.name())
+                .field("done", *done)
+                .field("total", *total),
+            Msg::StatusRequest { token } => {
+                with_token(Json::obj().field("type", "status_request"), token)
+            }
             Msg::Status { metrics } => Json::obj()
                 .field("type", "status")
                 .field("metrics", metrics.clone()),
@@ -304,20 +445,25 @@ impl Msg {
                 .and_then(Json::as_u64)
                 .ok_or_else(|| format!("{ty}: missing u64 field {key:?}"))
         };
+        let token =
+            || -> Option<String> { doc.get("token").and_then(Json::as_str).map(str::to_string) };
+        let rows = || -> Result<Vec<IndexedRow>, String> {
+            doc.get("rows")
+                .and_then(Json::as_arr)
+                .ok_or("result: missing rows")?
+                .iter()
+                .map(IndexedRow::from_json)
+                .collect()
+        };
         Ok(match ty {
             "hello" => Msg::Hello {
                 schema_version: u64_field("schema_version")?,
                 protocol_version: u64_field("protocol_version")?,
                 worker: str_field("worker")?,
+                token: token(),
             },
-            "assign" => Msg::Assign {
-                spec: doc.get("spec").cloned().ok_or("assign: missing spec")?,
-                job_count: u64_field("job_count")?,
-                fingerprint: str_field("fingerprint")?,
+            "welcome" => Msg::Welcome {
                 lease_ttl_ms: u64_field("lease_ttl_ms")?,
-            },
-            "ready" => Msg::Ready {
-                fingerprint: str_field("fingerprint")?,
             },
             "reject" => Msg::Reject {
                 reason: str_field("reason")?,
@@ -325,8 +471,14 @@ impl Msg {
             "abort" => Msg::Abort {
                 reason: str_field("reason")?,
             },
-            "request" => Msg::Request,
+            "request" => Msg::Request {
+                batch: u64_field("batch")?,
+            },
             "lease" => Msg::Lease {
+                campaign: str_field("campaign")?,
+                spec: doc.get("spec").cloned().ok_or("lease: missing spec")?,
+                fingerprint: str_field("fingerprint")?,
+                job_count: u64_field("job_count")?,
                 jobs: doc
                     .get("jobs")
                     .and_then(Json::as_arr)
@@ -341,18 +493,33 @@ impl Msg {
             },
             "done" => Msg::Done,
             "result" => Msg::Result {
-                rows: doc
-                    .get("rows")
-                    .and_then(Json::as_arr)
-                    .ok_or("result: missing rows")?
-                    .iter()
-                    .map(IndexedRow::from_json)
-                    .collect::<Result<Vec<IndexedRow>, String>>()?,
+                campaign: str_field("campaign")?,
+                rows: rows()?,
                 executed: u64_field("executed")?,
                 cache_hits: u64_field("cache_hits")?,
             },
             "heartbeat" => Msg::Heartbeat,
-            "status_request" => Msg::StatusRequest,
+            "submit" => Msg::Submit {
+                token: token(),
+                spec: doc.get("spec").cloned().ok_or("submit: missing spec")?,
+                priority: u64_field("priority")?,
+            },
+            "submitted" => Msg::Submitted {
+                campaign: str_field("campaign")?,
+                job_count: u64_field("job_count")?,
+                fingerprint: str_field("fingerprint")?,
+            },
+            "fetch" => Msg::Fetch {
+                token: token(),
+                campaign: str_field("campaign")?,
+            },
+            "campaign_status" => Msg::CampaignStatus {
+                campaign: str_field("campaign")?,
+                state: CampaignState::parse(&str_field("state")?)?,
+                done: u64_field("done")?,
+                total: u64_field("total")?,
+            },
+            "status_request" => Msg::StatusRequest { token: token() },
             "status" => Msg::Status {
                 metrics: doc
                     .get("metrics")
@@ -379,24 +546,65 @@ mod tests {
     #[test]
     fn messages_round_trip() {
         round_trip(Msg::Hello {
-            schema_version: 3,
+            schema_version: 4,
             protocol_version: PROTOCOL_VERSION,
             worker: "w-1".into(),
+            token: None,
         });
-        round_trip(Msg::Ready {
-            fingerprint: "abc123".into(),
+        round_trip(Msg::Hello {
+            schema_version: 4,
+            protocol_version: PROTOCOL_VERSION,
+            worker: "w-1".into(),
+            token: Some("secret".into()),
+        });
+        round_trip(Msg::Welcome {
+            lease_ttl_ms: 30000,
         });
         round_trip(Msg::Reject {
             reason: "schema mismatch".into(),
         });
-        round_trip(Msg::Request);
+        round_trip(Msg::Request { batch: 0 });
+        round_trip(Msg::Request { batch: 16 });
         round_trip(Msg::Lease {
-            jobs: vec![0, 3, 17],
+            campaign: "c1".into(),
+            spec: Json::obj().field("experiment", "smoke"),
+            fingerprint: "abc123".into(),
+            job_count: 8,
+            jobs: vec![0, 3, 7],
         });
         round_trip(Msg::Wait { ms: 250 });
         round_trip(Msg::Done);
         round_trip(Msg::Heartbeat);
-        round_trip(Msg::StatusRequest);
+        round_trip(Msg::Submit {
+            token: Some("secret".into()),
+            spec: Json::obj().field("experiment", "smoke"),
+            priority: 3,
+        });
+        round_trip(Msg::Submitted {
+            campaign: "c2".into(),
+            job_count: 24,
+            fingerprint: "def".into(),
+        });
+        round_trip(Msg::Fetch {
+            token: None,
+            campaign: "c2".into(),
+        });
+        round_trip(Msg::CampaignStatus {
+            campaign: "c2".into(),
+            state: CampaignState::Running,
+            done: 3,
+            total: 24,
+        });
+        round_trip(Msg::CampaignStatus {
+            campaign: "c2".into(),
+            state: CampaignState::Complete,
+            done: 24,
+            total: 24,
+        });
+        round_trip(Msg::StatusRequest { token: None });
+        round_trip(Msg::StatusRequest {
+            token: Some("secret".into()),
+        });
         round_trip(Msg::Status {
             metrics: Json::obj()
                 .field("schema_version", 1u64)
@@ -405,9 +613,34 @@ mod tests {
     }
 
     #[test]
+    fn absent_tokens_are_omitted_from_the_wire() {
+        let plain = Msg::StatusRequest { token: None }
+            .to_json()
+            .to_string_compact();
+        assert!(!plain.contains("token"), "{plain}");
+        let authed = Msg::StatusRequest {
+            token: Some("t".into()),
+        }
+        .to_json()
+        .to_string_compact();
+        assert!(authed.contains("\"token\""), "{authed}");
+    }
+
+    #[test]
     fn status_without_metrics_is_rejected() {
         let doc = json::parse(r#"{"type":"status"}"#).unwrap();
         assert!(Msg::from_json(&doc).unwrap_err().contains("metrics"));
+    }
+
+    #[test]
+    fn bad_campaign_state_is_rejected() {
+        let doc = json::parse(
+            r#"{"type":"campaign_status","campaign":"c1","state":"warp","done":0,"total":1}"#,
+        )
+        .unwrap();
+        assert!(Msg::from_json(&doc)
+            .unwrap_err()
+            .contains("unknown campaign state"));
     }
 
     #[test]

@@ -1,0 +1,1180 @@
+//! The long-lived sweep service: one daemon, many concurrent
+//! campaigns, many clients.
+//!
+//! Where `coordinator::serve` runs one experiment and exits, the
+//! server keeps a *campaign table*: every `submit` registers a new
+//! campaign (spec + priority weight + its own [`JobQueue`]), workers
+//! lease cells across all running campaigns through the
+//! [`crate::scheduler::FairShare`] scheduler, and `fetch` clients
+//! poll campaigns by id and stream the merged rows once complete.
+//! Three invariants hold throughout:
+//!
+//! - **Byte-identical merges.** Each campaign's rows are completed
+//!   into its own queue and merged with
+//!   `SweepResult::from_indexed`, exactly like a single-process
+//!   `run_parallel()` — interleaving with other campaigns cannot
+//!   perturb the output.
+//! - **Kill-safe.** With `--checkpoint`, the campaign table (specs,
+//!   priorities, fair-share accounting, done rows) is snapshotted to
+//!   an atomic-rename JSONL file ([`crate::checkpoint`]); a restarted
+//!   daemon resumes every in-flight campaign under the *same ids*.
+//!   A checkpoint is forced before `submitted` is acked, so a
+//!   campaign the client knows about is never lost.
+//! - **Authenticated.** With a shared token configured, every
+//!   opening message (`hello`, `submit`, `fetch`, `status_request`)
+//!   must carry it; the comparison is constant-time
+//!   ([`token_matches`]) so the token can't be guessed byte by byte
+//!   from timing.
+
+use crate::checkpoint::{self, CampaignSnapshot, Snapshot};
+use crate::protocol::{
+    write_msg, CampaignState, FrameError, FrameReader, Msg, PROTOCOL_VERSION, RESULT_CHUNK_ROWS,
+};
+use crate::scheduler::FairShare;
+use crate::spec::{ExperimentSpec, Registry};
+use sfence_harness::experiment::SweepRow;
+use sfence_harness::{Experiment, IndexedRow, JobQueue, SCHEMA_VERSION};
+use sfence_obs::MetricsReport;
+use std::collections::BTreeMap;
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Tunables of one [`run_server`] call.
+#[derive(Debug, Clone)]
+pub struct ServerOpts {
+    /// Cells per lease when the worker doesn't ask for a batch size
+    /// (`request.batch == 0`).
+    pub default_lease: usize,
+    /// Upper bound on `--lease-batch`: a worker may ask for at most
+    /// this many cells per frame.
+    pub max_lease: usize,
+    /// How long a silent (non-heartbeating) worker keeps its leases.
+    pub lease_ttl_ms: u64,
+    /// Accept-loop poll / connection read-timeout granularity.
+    pub poll_ms: u64,
+    /// Back-off we tell a worker when everything is leased elsewhere.
+    pub wait_ms: u64,
+    /// Suppress per-connection progress lines on stderr.
+    pub quiet: bool,
+    /// Shared auth token. `None` = open daemon (loopback testing);
+    /// `Some` = every opening message must present the same token.
+    pub token: Option<String>,
+    /// Snapshot file for kill/restart resume. `None` disables
+    /// checkpointing.
+    pub checkpoint: Option<PathBuf>,
+    /// Minimum interval between periodic snapshots. 0 = checkpoint
+    /// after every mutation (slow, but the CI kill-test wants zero
+    /// replay).
+    pub checkpoint_every_ms: u64,
+    /// One-shot mode: exit once every campaign is complete (and at
+    /// least one exists). The daemon CLI leaves this false and runs
+    /// until killed.
+    pub exit_when_done: bool,
+    /// Externally-set kill switch (tests, `sfence-sweep --workers`'s
+    /// all-workers-died detector).
+    pub shutdown: Option<Arc<AtomicBool>>,
+}
+
+impl Default for ServerOpts {
+    fn default() -> ServerOpts {
+        ServerOpts {
+            default_lease: 4,
+            max_lease: 1024,
+            lease_ttl_ms: 30_000,
+            poll_ms: 100,
+            wait_ms: 200,
+            quiet: false,
+            token: None,
+            checkpoint: None,
+            checkpoint_every_ms: 1000,
+            exit_when_done: false,
+            shutdown: None,
+        }
+    }
+}
+
+/// One completed-or-not campaign in the [`ServerOutcome`].
+#[derive(Debug)]
+pub struct FinishedCampaign {
+    pub id: u64,
+    pub experiment: String,
+    pub job_count: usize,
+    pub done: usize,
+    pub complete: bool,
+    /// Present only when complete: every job's row, index-tagged.
+    pub rows: Vec<IndexedRow>,
+}
+
+/// What the server did over its lifetime, for the one-shot wrapper
+/// and tests.
+#[derive(Debug)]
+pub struct ServerOutcome {
+    pub workers: u64,
+    pub executed: u64,
+    pub cache_hits: u64,
+    pub released: u64,
+    pub rejected: u64,
+    pub campaigns: Vec<FinishedCampaign>,
+    /// True when the shutdown flag (not campaign completion) ended
+    /// the run.
+    pub aborted: bool,
+}
+
+/// Constant-time token check. The fold touches every byte of the
+/// longer input regardless of where the first mismatch sits, so
+/// response timing leaks nothing about the prefix a guess got right.
+pub fn token_matches(expected: &str, presented: Option<&str>) -> bool {
+    let presented = presented.unwrap_or("");
+    let a = expected.as_bytes();
+    let b = presented.as_bytes();
+    let len = a.len().max(b.len());
+    let mut diff = (a.len() ^ b.len()) as u8;
+    for i in 0..len {
+        let x = a.get(i).copied().unwrap_or(0);
+        let y = b.get(i).copied().unwrap_or(0);
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+/// One live campaign: the resolved experiment's identity plus its
+/// job queue. The [`Experiment`] itself is *not* stored — workers
+/// resolve specs themselves; the server only needs job counts and
+/// fingerprints.
+struct Campaign {
+    id: u64,
+    spec: ExperimentSpec,
+    /// `spec.to_json()`, pre-rendered once for lease frames.
+    spec_json: sfence_harness::json::Json,
+    priority: u64,
+    fingerprint: String,
+    job_count: usize,
+    queue: JobQueue<SweepRow>,
+    /// Server-clock ms when the campaign was registered (or restored).
+    started_ms: u64,
+    completed: bool,
+}
+
+impl Campaign {
+    fn state(&self) -> CampaignState {
+        if self.queue.is_complete() {
+            CampaignState::Complete
+        } else {
+            CampaignState::Running
+        }
+    }
+
+    fn public_id(&self) -> String {
+        format!("c{}", self.id)
+    }
+}
+
+/// Per-worker accounting behind the `status` frame.
+#[derive(Debug, Default, Clone, Copy)]
+struct WorkerStat {
+    jobs: u64,
+    executed: u64,
+    cache_hits: u64,
+}
+
+/// Shared mutable state between the accept loop and the
+/// per-connection handler threads.
+struct Shared {
+    next_campaign: u64,
+    campaigns: BTreeMap<u64, Campaign>,
+    scheduler: FairShare,
+    workers: u64,
+    executed: u64,
+    cache_hits: u64,
+    released: u64,
+    rejected: u64,
+    worker_stats: BTreeMap<String, WorkerStat>,
+    /// Set on any mutation the checkpoint must capture; cleared on
+    /// snapshot.
+    dirty: bool,
+    last_checkpoint_ms: u64,
+}
+
+impl Shared {
+    fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            schema_version: SCHEMA_VERSION,
+            next_campaign: self.next_campaign,
+            campaigns: self
+                .campaigns
+                .values()
+                .map(|c| CampaignSnapshot {
+                    id: c.id,
+                    spec: c.spec.clone(),
+                    priority: c.priority,
+                    served: self.scheduler.served(c.id),
+                    fingerprint: c.fingerprint.clone(),
+                    job_count: c.job_count as u64,
+                    queue: c.queue.to_json(SweepRow::to_json),
+                })
+                .collect(),
+        }
+    }
+
+    /// Expire stale leases across every campaign's queue.
+    fn expire_all(&mut self, now_ms: u64) -> usize {
+        let mut expired = 0;
+        for c in self.campaigns.values_mut() {
+            expired += c.queue.expire(now_ms);
+        }
+        self.released += expired as u64;
+        if expired > 0 {
+            self.dirty = true;
+        }
+        expired
+    }
+
+    /// Release every lease `worker_key` holds, across all campaigns.
+    fn release_worker(&mut self, worker_key: &str) -> usize {
+        let mut released = 0;
+        for c in self.campaigns.values_mut() {
+            released += c.queue.release(worker_key);
+        }
+        self.released += released as u64;
+        if released > 0 {
+            self.dirty = true;
+        }
+        released
+    }
+
+    fn all_complete(&self) -> bool {
+        !self.campaigns.is_empty() && self.campaigns.values().all(|c| c.queue.is_complete())
+    }
+}
+
+/// Build the live service snapshot a `status_request` probe gets
+/// back. The aggregate series keep their v2 names (dashboards and CI
+/// grep them); v3 adds per-campaign series labeled by campaign id.
+fn status_metrics(s: &Shared, elapsed_ms: u64) -> MetricsReport {
+    let mut reg = sfence_obs::Registry::new();
+    let totals = s.campaigns.values().fold((0, 0, 0, 0), |acc, c| {
+        (
+            acc.0 + c.queue.len(),
+            acc.1 + c.queue.done(),
+            acc.2 + c.queue.pending(),
+            acc.3 + c.queue.leased(),
+        )
+    });
+    reg.gauge("queue_jobs_total", &[], totals.0 as f64);
+    reg.gauge("queue_done", &[], totals.1 as f64);
+    reg.gauge("queue_pending", &[], totals.2 as f64);
+    reg.gauge("queue_active_leases", &[], totals.3 as f64);
+    reg.gauge("uptime_ms", &[], elapsed_ms as f64);
+    let rate = |cells: u64, ms: u64| {
+        let secs = ms as f64 / 1000.0;
+        if secs > 0.0 {
+            cells as f64 / secs
+        } else {
+            0.0
+        }
+    };
+    reg.gauge("cells_per_sec", &[], rate(totals.1 as u64, elapsed_ms));
+    reg.gauge(
+        "campaigns_active",
+        &[],
+        s.campaigns
+            .values()
+            .filter(|c| !c.queue.is_complete())
+            .count() as f64,
+    );
+    reg.gauge(
+        "campaigns_completed",
+        &[],
+        s.campaigns
+            .values()
+            .filter(|c| c.queue.is_complete())
+            .count() as f64,
+    );
+    reg.counter("workers_connected", &[], s.workers);
+    reg.counter("cells_executed", &[], s.executed);
+    reg.counter("cache_hits", &[], s.cache_hits);
+    reg.counter("leases_released", &[], s.released);
+    reg.counter("connections_rejected", &[], s.rejected);
+    for c in s.campaigns.values() {
+        let id = c.public_id();
+        let labels = [("campaign", id.as_str())];
+        let info_labels = [
+            ("campaign", id.as_str()),
+            ("experiment", c.spec.experiment.as_str()),
+        ];
+        reg.gauge("campaign_info", &info_labels, 1.0);
+        reg.gauge("campaign_priority", &labels, c.priority as f64);
+        reg.gauge("campaign_total", &labels, c.queue.len() as f64);
+        reg.gauge("campaign_done", &labels, c.queue.done() as f64);
+        reg.gauge("campaign_pending", &labels, c.queue.pending() as f64);
+        reg.gauge("campaign_leased", &labels, c.queue.leased() as f64);
+        reg.gauge(
+            "campaign_complete",
+            &labels,
+            if c.queue.is_complete() { 1.0 } else { 0.0 },
+        );
+        let age_ms = elapsed_ms.saturating_sub(c.started_ms);
+        reg.gauge(
+            "campaign_cells_per_sec",
+            &labels,
+            rate(c.queue.done() as u64, age_ms),
+        );
+    }
+    for (key, stat) in &s.worker_stats {
+        let labels = [("worker", key.as_str())];
+        reg.counter("worker_jobs", &labels, stat.jobs);
+        reg.counter("worker_executed", &labels, stat.executed);
+        reg.counter("worker_cache_hits", &labels, stat.cache_hits);
+        reg.gauge("worker_cells_per_sec", &labels, rate(stat.jobs, elapsed_ms));
+    }
+    reg.snapshot("coordinator")
+}
+
+/// Snapshot to disk if checkpointing is on and either `force` or the
+/// state is dirty and the interval elapsed. Must be called with the
+/// lock *held by the caller* — takes `&mut Shared` to make that
+/// structural.
+fn maybe_checkpoint(s: &mut Shared, opts: &ServerOpts, now_ms: u64, force: bool) {
+    let Some(path) = &opts.checkpoint else {
+        return;
+    };
+    if !force {
+        if !s.dirty {
+            return;
+        }
+        if now_ms.saturating_sub(s.last_checkpoint_ms) < opts.checkpoint_every_ms {
+            return;
+        }
+    }
+    match checkpoint::save(path, &s.snapshot()) {
+        Ok(()) => {
+            s.dirty = false;
+            s.last_checkpoint_ms = now_ms;
+        }
+        Err(e) => {
+            // A failed snapshot must not kill live campaigns; the
+            // operator sees the complaint and the next interval
+            // retries.
+            eprintln!("dist: checkpoint failed: {e}");
+        }
+    }
+}
+
+/// Run the service on `listener` until the shutdown flag flips (or,
+/// with `exit_when_done`, until every campaign completes).
+///
+/// `registry` resolves remotely-submitted experiment names; a server
+/// embedded by the one-shot wrapper passes `None` and rejects
+/// `submit`. `initial` seeds the campaign table (one-shot mode, or
+/// pre-registered campaigns in tests); campaigns restored from the
+/// checkpoint come first and keep their original ids.
+pub fn run_server(
+    listener: &TcpListener,
+    registry: Option<Registry>,
+    initial: Vec<(ExperimentSpec, Experiment, u64)>,
+    opts: &ServerOpts,
+) -> Result<ServerOutcome, String> {
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("set_nonblocking: {e}"))?;
+    let start = Instant::now();
+    let now_ms = || start.elapsed().as_millis() as u64;
+
+    let mut shared = Shared {
+        next_campaign: 1,
+        campaigns: BTreeMap::new(),
+        scheduler: FairShare::new(),
+        workers: 0,
+        executed: 0,
+        cache_hits: 0,
+        released: 0,
+        rejected: 0,
+        worker_stats: BTreeMap::new(),
+        dirty: false,
+        last_checkpoint_ms: 0,
+    };
+
+    // --- Restore from checkpoint ---------------------------------
+    if let Some(path) = &opts.checkpoint {
+        if let Some(loaded) = checkpoint::load(path)? {
+            if loaded.fallback {
+                eprintln!(
+                    "dist: main checkpoint torn; resumed from {}.prev",
+                    path.display()
+                );
+            }
+            let snap = loaded.snapshot;
+            if snap.schema_version != SCHEMA_VERSION {
+                return Err(format!(
+                    "checkpoint was written at schema {} but this binary speaks {SCHEMA_VERSION}",
+                    snap.schema_version
+                ));
+            }
+            shared.next_campaign = snap.next_campaign;
+            for c in snap.campaigns {
+                // Re-resolve the spec and insist the fingerprint
+                // matches: done rows from a drifted binary cannot be
+                // merged with rows this one would produce.
+                if let Some(registry) = registry {
+                    let experiment = c
+                        .spec
+                        .resolve(registry)
+                        .map_err(|e| format!("checkpoint campaign c{}: {e}", c.id))?;
+                    let fp = experiment.fingerprint();
+                    if fp != c.fingerprint || experiment.job_count() as u64 != c.job_count {
+                        return Err(format!(
+                            "checkpoint campaign c{} ({:?}) was fingerprint {} but this \
+                             binary resolves it to {fp}: refusing to merge drifted rows",
+                            c.id, c.spec.experiment, c.fingerprint
+                        ));
+                    }
+                }
+                let queue = JobQueue::from_json(&c.queue, SweepRow::from_json)
+                    .map_err(|e| format!("checkpoint campaign c{}: {e}", c.id))?;
+                if queue.len() as u64 != c.job_count {
+                    return Err(format!(
+                        "checkpoint campaign c{}: queue has {} jobs, campaign says {}",
+                        c.id,
+                        queue.len(),
+                        c.job_count
+                    ));
+                }
+                if !opts.quiet {
+                    eprintln!(
+                        "dist: resumed campaign c{} ({:?}) at {}/{} jobs",
+                        c.id,
+                        c.spec.experiment,
+                        queue.done(),
+                        queue.len()
+                    );
+                }
+                shared.scheduler.restore(c.id, c.priority.max(1), c.served);
+                shared.campaigns.insert(
+                    c.id,
+                    Campaign {
+                        id: c.id,
+                        spec_json: c.spec.to_json(),
+                        spec: c.spec,
+                        priority: c.priority.max(1),
+                        fingerprint: c.fingerprint,
+                        job_count: c.job_count as usize,
+                        queue,
+                        started_ms: now_ms(),
+                        completed: false,
+                    },
+                );
+            }
+        }
+    }
+
+    // --- Seed initial campaigns ----------------------------------
+    for (spec, experiment, priority) in initial {
+        let id = shared.next_campaign;
+        shared.next_campaign += 1;
+        let priority = priority.max(1);
+        shared.scheduler.add(id, priority);
+        shared.campaigns.insert(
+            id,
+            Campaign {
+                id,
+                spec_json: spec.to_json(),
+                spec,
+                priority,
+                fingerprint: experiment.fingerprint(),
+                job_count: experiment.job_count(),
+                queue: JobQueue::new(experiment.job_count()),
+                started_ms: now_ms(),
+                completed: false,
+            },
+        );
+        shared.dirty = true;
+    }
+    // Campaigns the daemon starts with are part of the resume
+    // contract from second zero.
+    let seed_dirty = shared.dirty;
+    maybe_checkpoint(&mut shared, opts, now_ms(), seed_dirty);
+
+    let shared = Mutex::new(shared);
+    let stop = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        let mut conn_id: u64 = 0;
+        loop {
+            {
+                let mut s = shared.lock().unwrap();
+                let expired = s.expire_all(now_ms());
+                if expired > 0 && !opts.quiet {
+                    eprintln!("dist: {expired} lease(s) expired, re-leasing");
+                }
+                maybe_checkpoint(&mut s, opts, now_ms(), false);
+                if opts.exit_when_done && s.all_complete() {
+                    stop.store(true, Ordering::SeqCst);
+                    break;
+                }
+            }
+            if matches!(&opts.shutdown, Some(flag) if flag.load(Ordering::SeqCst)) {
+                stop.store(true, Ordering::SeqCst);
+                break;
+            }
+            match listener.accept() {
+                Ok((stream, peer)) => {
+                    conn_id += 1;
+                    let id = conn_id;
+                    if !opts.quiet {
+                        eprintln!("dist: connection {id} from {peer}");
+                    }
+                    let shared = &shared;
+                    let stop = &stop;
+                    scope.spawn(move || {
+                        handle_conn(stream, id, shared, stop, registry, opts, &now_ms);
+                    });
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(opts.poll_ms));
+                }
+                // Transient accept failures (e.g. a connection reset
+                // while queued) must not kill the service.
+                Err(_) => std::thread::sleep(Duration::from_millis(opts.poll_ms)),
+            }
+        }
+        // Scope exit joins every handler thread; each notices the
+        // stop flag within one read-timeout tick.
+    });
+
+    // Final snapshot: a clean shutdown resumes with zero replay.
+    {
+        let mut s = shared.lock().unwrap();
+        if s.dirty {
+            maybe_checkpoint(&mut s, opts, now_ms(), true);
+        }
+    }
+
+    // Clients that raced the shutdown sit un-accepted in the listen
+    // backlog; hand each a `done` so they exit cleanly (see
+    // `coordinator::serve` for why the drain reads until EOF).
+    while let Ok((mut stream, _)) = listener.accept() {
+        let _ = stream.set_nonblocking(false);
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+        if write_msg(&mut stream, &Msg::Done).is_ok() {
+            let _ = stream.shutdown(std::net::Shutdown::Write);
+            let mut sink = [0u8; 1024];
+            let deadline = Instant::now() + Duration::from_secs(1);
+            while Instant::now() < deadline {
+                match std::io::Read::read(&mut stream, &mut sink) {
+                    Ok(0) | Err(_) => break,
+                    Ok(_) => {}
+                }
+            }
+        }
+    }
+
+    let s = shared.into_inner().unwrap();
+    let aborted = !s.all_complete();
+    let campaigns = s
+        .campaigns
+        .into_values()
+        .map(|c| {
+            let done = c.queue.done();
+            let complete = c.queue.is_complete();
+            let rows = if complete {
+                c.queue
+                    .into_payloads()
+                    .map(|payloads| {
+                        payloads
+                            .into_iter()
+                            .enumerate()
+                            .map(|(index, row)| IndexedRow { index, row })
+                            .collect()
+                    })
+                    .unwrap_or_default()
+            } else {
+                Vec::new()
+            };
+            FinishedCampaign {
+                id: c.id,
+                experiment: c.spec.experiment,
+                job_count: c.job_count,
+                done,
+                complete,
+                rows,
+            }
+        })
+        .collect();
+    Ok(ServerOutcome {
+        workers: s.workers,
+        executed: s.executed,
+        cache_hits: s.cache_hits,
+        released: s.released,
+        rejected: s.rejected,
+        campaigns,
+        aborted,
+    })
+}
+
+/// Half-close after a final frame and linger until the peer closes.
+/// See `coordinator::close_gracefully` for why a plain drop can RST
+/// away the buffered reply.
+fn close_gracefully(writer: &TcpStream, reader: &mut FrameReader<TcpStream>, max_wait: Duration) {
+    let _ = writer.shutdown(std::net::Shutdown::Write);
+    let deadline = Instant::now() + max_wait;
+    while Instant::now() < deadline {
+        match reader.next_msg() {
+            Ok(_) => {}
+            Err(_) => break,
+        }
+    }
+}
+
+fn send_done(writer: &mut TcpStream, reader: &mut FrameReader<TcpStream>) {
+    if write_msg(writer, &Msg::Done).is_ok() {
+        close_gracefully(writer, reader, Duration::from_secs(1));
+    }
+}
+
+fn disconnect_reason(e: FrameError) -> Option<String> {
+    match e {
+        FrameError::Eof => None,
+        other => Some(other.to_string()),
+    }
+}
+
+enum ReadStop {
+    Shutdown,
+    Dead(FrameError),
+}
+
+fn read_msg(reader: &mut FrameReader<TcpStream>, stop: &AtomicBool) -> Result<Msg, ReadStop> {
+    loop {
+        match reader.next_msg() {
+            Ok(Some(msg)) => return Ok(msg),
+            Ok(None) => {
+                if stop.load(Ordering::SeqCst) {
+                    return Err(ReadStop::Shutdown);
+                }
+            }
+            Err(e) => return Err(ReadStop::Dead(e)),
+        }
+    }
+}
+
+fn handle_conn(
+    stream: TcpStream,
+    conn_id: u64,
+    shared: &Mutex<Shared>,
+    stop: &AtomicBool,
+    registry: Option<Registry>,
+    opts: &ServerOpts,
+    now_ms: &dyn Fn() -> u64,
+) {
+    let _ = stream.set_nodelay(true);
+    if stream
+        .set_read_timeout(Some(Duration::from_millis(opts.poll_ms.max(10))))
+        .is_err()
+    {
+        return;
+    }
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = FrameReader::new(stream);
+
+    // Reject a connection at its opening message: count it, tell the
+    // peer why, close. Used for auth failures and version mismatches
+    // alike, so a probing client can't distinguish "bad token" from
+    // any other refusal beyond the reason string we choose to send.
+    let reject =
+        |writer: &mut TcpStream, reader: &mut FrameReader<TcpStream>, reason: String, log: &str| {
+            let mut s = shared.lock().unwrap();
+            s.rejected += 1;
+            drop(s);
+            if !opts.quiet {
+                eprintln!("dist: rejecting connection {conn_id} ({log})");
+            }
+            if write_msg(writer, &Msg::Reject { reason }).is_ok() {
+                close_gracefully(writer, reader, Duration::from_secs(1));
+            }
+        };
+    let auth_ok = |token: &Option<String>| match &opts.token {
+        None => true,
+        Some(expected) => token_matches(expected, token.as_deref()),
+    };
+
+    let first = match read_msg(&mut reader, stop) {
+        Ok(msg) => msg,
+        Err(ReadStop::Shutdown) => {
+            send_done(&mut writer, &mut reader);
+            return;
+        }
+        Err(ReadStop::Dead(e)) => {
+            if let Some(why) = disconnect_reason(e) {
+                let mut s = shared.lock().unwrap();
+                s.rejected += 1;
+                drop(s);
+                if !opts.quiet {
+                    eprintln!("dist: dropping connection {conn_id} ({why})");
+                }
+            }
+            return;
+        }
+    };
+
+    match first {
+        // --- Worker flow -----------------------------------------
+        Msg::Hello {
+            schema_version,
+            protocol_version,
+            worker,
+            token,
+        } => {
+            if !auth_ok(&token) {
+                reject(&mut writer, &mut reader, "bad token".into(), "bad token");
+                return;
+            }
+            if schema_version != SCHEMA_VERSION || protocol_version != PROTOCOL_VERSION {
+                reject(
+                    &mut writer,
+                    &mut reader,
+                    format!(
+                        "version mismatch: worker speaks schema {schema_version} / protocol \
+                         {protocol_version}, coordinator speaks schema {SCHEMA_VERSION} / \
+                         protocol {PROTOCOL_VERSION}"
+                    ),
+                    "version mismatch",
+                );
+                return;
+            }
+            let worker_key = format!("{worker}#{conn_id}");
+            if write_msg(
+                &mut writer,
+                &Msg::Welcome {
+                    lease_ttl_ms: opts.lease_ttl_ms,
+                },
+            )
+            .is_err()
+            {
+                return;
+            }
+            {
+                let mut s = shared.lock().unwrap();
+                s.workers += 1;
+            }
+            if !opts.quiet {
+                eprintln!("dist: worker {worker_key} ready");
+            }
+            worker_loop(
+                &worker_key,
+                &mut writer,
+                &mut reader,
+                shared,
+                stop,
+                opts,
+                now_ms,
+            );
+        }
+
+        // --- Submit flow -----------------------------------------
+        Msg::Submit {
+            token,
+            spec,
+            priority,
+        } => {
+            if !auth_ok(&token) {
+                reject(&mut writer, &mut reader, "bad token".into(), "bad token");
+                return;
+            }
+            let Some(registry) = registry else {
+                reject(
+                    &mut writer,
+                    &mut reader,
+                    "this coordinator runs a single fixed campaign and does not accept \
+                     submissions"
+                        .into(),
+                    "submit to one-shot coordinator",
+                );
+                return;
+            };
+            let spec = match ExperimentSpec::from_json(&spec) {
+                Ok(spec) => spec,
+                Err(e) => {
+                    reject(&mut writer, &mut reader, e.clone(), &e);
+                    return;
+                }
+            };
+            let experiment = match spec.resolve(registry) {
+                Ok(e) => e,
+                Err(e) => {
+                    reject(&mut writer, &mut reader, e.clone(), &e);
+                    return;
+                }
+            };
+            let fingerprint = experiment.fingerprint();
+            let job_count = experiment.job_count();
+            let priority = priority.max(1);
+            let reply = {
+                let mut s = shared.lock().unwrap();
+                let id = s.next_campaign;
+                s.next_campaign += 1;
+                s.scheduler.add(id, priority);
+                s.campaigns.insert(
+                    id,
+                    Campaign {
+                        id,
+                        spec_json: spec.to_json(),
+                        spec,
+                        priority,
+                        fingerprint: fingerprint.clone(),
+                        job_count,
+                        queue: JobQueue::new(job_count),
+                        started_ms: now_ms(),
+                        completed: false,
+                    },
+                );
+                s.dirty = true;
+                // Force the snapshot *before* acking: once the client
+                // holds the campaign id, a daemon restart must not
+                // have forgotten it.
+                maybe_checkpoint(&mut s, opts, now_ms(), true);
+                if !opts.quiet {
+                    eprintln!(
+                        "dist: campaign c{id} submitted ({} jobs, priority {priority})",
+                        job_count
+                    );
+                }
+                Msg::Submitted {
+                    campaign: format!("c{id}"),
+                    job_count: job_count as u64,
+                    fingerprint,
+                }
+            };
+            if write_msg(&mut writer, &reply).is_ok() {
+                close_gracefully(&writer, &mut reader, Duration::from_secs(1));
+            }
+        }
+
+        // --- Fetch flow ------------------------------------------
+        Msg::Fetch { token, campaign } => {
+            if !auth_ok(&token) {
+                reject(&mut writer, &mut reader, "bad token".into(), "bad token");
+                return;
+            }
+            let parsed_id = campaign
+                .strip_prefix('c')
+                .and_then(|rest| rest.parse::<u64>().ok());
+            // Collect everything under the lock, send outside it:
+            // result chunks for a big campaign are many frames and
+            // must not stall the lease path.
+            enum Fetched {
+                Unknown,
+                Running { done: u64, total: u64 },
+                Complete { rows: Vec<IndexedRow>, total: u64 },
+            }
+            let fetched = {
+                let s = shared.lock().unwrap();
+                match parsed_id.and_then(|id| s.campaigns.get(&id)) {
+                    None => Fetched::Unknown,
+                    Some(c) if c.state() == CampaignState::Running => Fetched::Running {
+                        done: c.queue.done() as u64,
+                        total: c.queue.len() as u64,
+                    },
+                    Some(c) => Fetched::Complete {
+                        rows: c
+                            .queue
+                            .done_payloads()
+                            .map(|(index, row)| IndexedRow {
+                                index,
+                                row: row.clone(),
+                            })
+                            .collect(),
+                        total: c.queue.len() as u64,
+                    },
+                }
+            };
+            let ok = match fetched {
+                Fetched::Unknown => {
+                    reject(
+                        &mut writer,
+                        &mut reader,
+                        format!("unknown campaign {campaign:?}"),
+                        "unknown campaign",
+                    );
+                    return;
+                }
+                Fetched::Running { done, total } => write_msg(
+                    &mut writer,
+                    &Msg::CampaignStatus {
+                        campaign,
+                        state: CampaignState::Running,
+                        done,
+                        total,
+                    },
+                )
+                .is_ok(),
+                Fetched::Complete { rows, total } => {
+                    let mut ok = true;
+                    for chunk in rows.chunks(RESULT_CHUNK_ROWS) {
+                        ok = write_msg(
+                            &mut writer,
+                            &Msg::Result {
+                                campaign: campaign.clone(),
+                                rows: chunk.to_vec(),
+                                executed: 0,
+                                cache_hits: 0,
+                            },
+                        )
+                        .is_ok();
+                        if !ok {
+                            break;
+                        }
+                    }
+                    ok && write_msg(
+                        &mut writer,
+                        &Msg::CampaignStatus {
+                            campaign,
+                            state: CampaignState::Complete,
+                            done: total,
+                            total,
+                        },
+                    )
+                    .is_ok()
+                }
+            };
+            if ok {
+                close_gracefully(&writer, &mut reader, Duration::from_secs(1));
+            }
+        }
+
+        // --- Probe flow ------------------------------------------
+        Msg::StatusRequest { token } => {
+            if !auth_ok(&token) {
+                reject(&mut writer, &mut reader, "bad token".into(), "bad token");
+                return;
+            }
+            let report = {
+                let s = shared.lock().unwrap();
+                status_metrics(&s, now_ms())
+            };
+            if !opts.quiet {
+                eprintln!("dist: status probe from connection {conn_id}");
+            }
+            if write_msg(
+                &mut writer,
+                &Msg::Status {
+                    metrics: report.to_json(),
+                },
+            )
+            .is_ok()
+            {
+                close_gracefully(&writer, &mut reader, Duration::from_secs(1));
+            }
+        }
+
+        other => {
+            reject(
+                &mut writer,
+                &mut reader,
+                format!("expected hello/submit/fetch/status_request, got {other:?}"),
+                "bad opening message",
+            );
+        }
+    }
+}
+
+/// The post-handshake worker conversation: requests become leases
+/// picked by the fair-share scheduler, results land in their
+/// campaign's queue, heartbeats extend leases across every campaign.
+fn worker_loop(
+    worker_key: &str,
+    writer: &mut TcpStream,
+    reader: &mut FrameReader<TcpStream>,
+    shared: &Mutex<Shared>,
+    stop: &AtomicBool,
+    opts: &ServerOpts,
+    now_ms: &dyn Fn() -> u64,
+) {
+    // Per-connection cleanup: drop the worker's leases back into the
+    // pool (no-op if it held none) and account the disconnect.
+    let finish = |torn: Option<String>| {
+        let mut s = shared.lock().unwrap();
+        let released = s.release_worker(worker_key);
+        if torn.is_some() {
+            s.rejected += 1;
+        }
+        if !opts.quiet {
+            match torn {
+                Some(why) => eprintln!(
+                    "dist: dropping worker {worker_key} ({why}); {released} lease(s) re-queued"
+                ),
+                None if released > 0 => {
+                    eprintln!("dist: worker {worker_key} gone; {released} lease(s) re-queued")
+                }
+                None => {}
+            }
+        }
+    };
+
+    loop {
+        let msg = match read_msg(reader, stop) {
+            Ok(msg) => msg,
+            Err(ReadStop::Shutdown) => {
+                send_done(writer, reader);
+                finish(None);
+                return;
+            }
+            Err(ReadStop::Dead(e)) => {
+                finish(disconnect_reason(e));
+                return;
+            }
+        };
+        let reply = match msg {
+            // A stopping server answers `done` instead of a lease. The
+            // read-timeout path below can't be the only stop check: a
+            // worker cycling request/wait keeps the socket warm, so an
+            // idle window may never open.
+            Msg::Request { .. } if stop.load(Ordering::SeqCst) => Some(Msg::Done),
+            Msg::Request { batch } => {
+                let want = if batch == 0 {
+                    opts.default_lease
+                } else {
+                    (batch as usize).min(opts.max_lease)
+                }
+                .max(1);
+                let mut s = shared.lock().unwrap();
+                if opts.exit_when_done && s.all_complete() {
+                    Some(Msg::Done)
+                } else {
+                    // Fair-share pick among campaigns with pending
+                    // cells; the whole batch comes from one campaign
+                    // so the lease frame carries one spec.
+                    let now = now_ms();
+                    let picked = {
+                        let campaigns = &s.campaigns;
+                        s.scheduler
+                            .pick(|id| campaigns.get(&id).is_some_and(|c| c.queue.pending() > 0))
+                    };
+                    match picked {
+                        None => Some(Msg::Wait { ms: opts.wait_ms }),
+                        Some(id) => {
+                            let lease_ttl = opts.lease_ttl_ms;
+                            let c = s.campaigns.get_mut(&id).expect("picked campaign exists");
+                            let jobs = c.queue.lease(worker_key, want, now, lease_ttl);
+                            let msg = Msg::Lease {
+                                campaign: c.public_id(),
+                                spec: c.spec_json.clone(),
+                                fingerprint: c.fingerprint.clone(),
+                                job_count: c.job_count as u64,
+                                jobs: jobs.clone(),
+                            };
+                            s.scheduler.charge(id, jobs.len() as u64);
+                            s.dirty = true;
+                            Some(msg)
+                        }
+                    }
+                }
+            }
+            Msg::Result {
+                campaign,
+                rows,
+                executed,
+                cache_hits,
+            } => {
+                let parsed_id = campaign
+                    .strip_prefix('c')
+                    .and_then(|rest| rest.parse::<u64>().ok());
+                let mut s = shared.lock().unwrap();
+                let Some(id) = parsed_id.filter(|id| s.campaigns.contains_key(id)) else {
+                    drop(s);
+                    finish(Some(format!("result for unknown campaign {campaign:?}")));
+                    return;
+                };
+                let stat = s.worker_stats.entry(worker_key.to_string()).or_default();
+                stat.jobs += rows.len() as u64;
+                stat.executed += executed;
+                stat.cache_hits += cache_hits;
+                let c = s.campaigns.get_mut(&id).expect("checked above");
+                for row in rows {
+                    match c.queue.complete(row.index, row.row) {
+                        // Ok(false): a re-leased job came back twice —
+                        // deterministic engines make the copies
+                        // identical, so the duplicate is just dropped.
+                        Ok(_) => {}
+                        Err(e) => {
+                            drop(s);
+                            finish(Some(e));
+                            return;
+                        }
+                    }
+                }
+                let newly_complete = c.queue.is_complete() && !c.completed;
+                if newly_complete {
+                    c.completed = true;
+                }
+                let (id_str, done, total) = (c.public_id(), c.queue.done(), c.queue.len());
+                s.executed += executed;
+                s.cache_hits += cache_hits;
+                s.dirty = true;
+                maybe_checkpoint(&mut s, opts, now_ms(), false);
+                drop(s);
+                if newly_complete && !opts.quiet {
+                    eprintln!("dist: campaign {id_str} complete ({done}/{total} jobs)");
+                }
+                None
+            }
+            Msg::Heartbeat => {
+                let mut s = shared.lock().unwrap();
+                let now = now_ms();
+                let ttl = opts.lease_ttl_ms;
+                for c in s.campaigns.values_mut() {
+                    c.queue.heartbeat(worker_key, now, ttl);
+                }
+                None
+            }
+            // A worker that cannot run a leased campaign (unknown
+            // experiment, drifted fingerprint) bows out; its leases
+            // re-queue for a worker that can.
+            Msg::Abort { reason } => {
+                finish(Some(format!("worker aborted: {reason}")));
+                return;
+            }
+            other => {
+                finish(Some(format!("unexpected message in lease loop: {other:?}")));
+                return;
+            }
+        };
+        if let Some(reply) = reply {
+            let done = reply == Msg::Done;
+            if write_msg(writer, &reply).is_err() {
+                finish(None);
+                return;
+            }
+            if done {
+                close_gracefully(writer, reader, Duration::from_secs(1));
+                finish(None);
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_comparison_accepts_only_the_exact_token() {
+        assert!(token_matches("secret", Some("secret")));
+        assert!(!token_matches("secret", Some("secret2")));
+        assert!(!token_matches("secret", Some("secre")));
+        assert!(!token_matches("secret", Some("")));
+        assert!(!token_matches("secret", None));
+        assert!(token_matches("", Some("")));
+        assert!(
+            token_matches("", None),
+            "no token presented matches the empty token"
+        );
+    }
+}

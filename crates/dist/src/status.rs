@@ -7,11 +7,16 @@ use sfence_obs::MetricsReport;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
-/// Connect to the coordinator at `addr` and fetch its live campaign
+/// Connect to the coordinator at `addr` and fetch its live service
 /// snapshot. `timeout` bounds both the connect and the read, so a
 /// probe against a hung coordinator fails instead of blocking a
-/// monitoring loop.
-pub fn fetch_status(addr: &str, timeout: Duration) -> Result<MetricsReport, String> {
+/// monitoring loop. `token` must match the daemon's shared secret
+/// when one is configured.
+pub fn fetch_status(
+    addr: &str,
+    timeout: Duration,
+    token: Option<&str>,
+) -> Result<MetricsReport, String> {
     let sock_addr = addr
         .to_socket_addrs()
         .map_err(|e| format!("bad address {addr:?}: {e}"))?
@@ -26,14 +31,21 @@ pub fn fetch_status(addr: &str, timeout: Duration) -> Result<MetricsReport, Stri
     let mut writer = stream
         .try_clone()
         .map_err(|e| format!("clone stream: {e}"))?;
-    write_msg(&mut writer, &Msg::StatusRequest).map_err(|e| format!("send: {e}"))?;
+    write_msg(
+        &mut writer,
+        &Msg::StatusRequest {
+            token: token.map(str::to_string),
+        },
+    )
+    .map_err(|e| format!("send: {e}"))?;
     let mut reader = FrameReader::new(stream);
     match reader.next_msg() {
         Ok(Some(Msg::Status { metrics })) => MetricsReport::from_json(&metrics),
-        // A `done` here means the campaign finished before our probe
+        Ok(Some(Msg::Reject { reason })) => Err(format!("coordinator rejected probe: {reason}")),
+        // A `done` here means the service finished before our probe
         // was accepted (the coordinator drains its backlog with
         // `done` frames) — report that plainly.
-        Ok(Some(Msg::Done)) => Err("campaign already complete".into()),
+        Ok(Some(Msg::Done)) => Err("service already finished".into()),
         Ok(Some(other)) => Err(format!("expected status, got {other:?}")),
         Ok(None) => Err(format!("coordinator silent for {timeout:?}")),
         Err(FrameError::Eof) => Err("coordinator closed without answering".into()),

@@ -1,28 +1,30 @@
-//! The worker: connects to a coordinator, resolves the assigned
-//! experiment spec through its own registry, and executes leased jobs
-//! through the ordinary
-//! [`Experiment::run_with`](sfence_harness::Experiment::run_with)
+//! The worker: connects to a coordinator, leases cells across any
+//! number of concurrent campaigns, and executes them through the
+//! ordinary [`Experiment::run_with`](sfence_harness::Experiment::run_with)
 //! machinery — with an optional worker-local result cache, so a
-//! re-run of a campaign executes zero cells on every worker that has
-//! seen them before.
+//! re-run (or a checkpoint-resumed replay) of a campaign executes
+//! zero cells on every worker that has seen them before.
 //!
-//! A heartbeat thread keeps the worker's leases alive while cells
-//! execute; if the coordinator vanishes the worker errors out rather
-//! than hanging (reads are bounded by a timeout).
+//! Since protocol v3 each `lease` frame carries its campaign's spec
+//! and fingerprint; the worker resolves each campaign the first time
+//! it sees its id and keeps the resolved [`Experiment`] for later
+//! leases. A heartbeat thread keeps leases alive while cells execute,
+//! and a reconnect loop with capped exponential backoff + jitter
+//! (`--reconnect`) rides out coordinator restarts, so checkpoint
+//! resume is hands-off end to end.
 
-use crate::protocol::{write_msg, FrameError, FrameReader, Msg, PROTOCOL_VERSION};
+use crate::protocol::{
+    write_msg, FrameError, FrameReader, Msg, PROTOCOL_VERSION, RESULT_CHUNK_ROWS,
+};
 use crate::spec::{ExperimentSpec, Registry};
-use sfence_harness::{host_token, ResultCache, RunOptions, SCHEMA_VERSION};
+use sfence_harness::{host_token, Experiment, ResultCache, RunOptions, SCHEMA_VERSION};
+use sfence_workloads::support::Prng;
+use std::collections::HashMap;
 use std::net::TcpStream;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
-
-/// Rows per `result` frame. A row is a few hundred bytes, so chunks
-/// stay far under the protocol's frame limit no matter how large a
-/// lease the coordinator hands out.
-const RESULT_CHUNK_ROWS: usize = 1024;
 
 /// Tunables of one [`work`] call.
 #[derive(Debug, Clone)]
@@ -44,9 +46,26 @@ pub struct WorkerOpts {
     pub read_timeout_ms: u64,
     /// Suppress per-lease progress lines on stderr.
     pub quiet: bool,
-    /// Emit a throttled progress line (this worker's completed jobs
-    /// against the campaign total, cells/sec, ETA) on stderr.
+    /// Emit a throttled progress line on stderr.
     pub progress: bool,
+    /// Shared auth token presented in the handshake.
+    pub token: Option<String>,
+    /// Cells requested per lease (`--lease-batch`); 0 = let the
+    /// coordinator pick its default.
+    pub lease_batch: u64,
+    /// Connection attempts after a lost coordinator before giving up
+    /// (`--reconnect`); 0 = exit on the first loss (the v2 behavior).
+    /// The counter resets on every completed handshake, so a worker
+    /// that outlives many coordinator restarts never exhausts it.
+    pub reconnect_attempts: u32,
+    /// First reconnect delay; doubles per consecutive failure.
+    pub reconnect_base_ms: u64,
+    /// Reconnect delay ceiling.
+    pub reconnect_cap_ms: u64,
+    /// Exit cleanly after this long with no work offered (`wait`
+    /// replies only); 0 = keep asking forever. Lets a daemon-attached
+    /// worker drain away once its campaigns finish.
+    pub idle_exit_ms: u64,
 }
 
 impl Default for WorkerOpts {
@@ -60,11 +79,17 @@ impl Default for WorkerOpts {
             read_timeout_ms: 1000,
             quiet: false,
             progress: false,
+            token: None,
+            lease_batch: 0,
+            reconnect_attempts: 0,
+            reconnect_base_ms: 250,
+            reconnect_cap_ms: 5000,
+            idle_exit_ms: 0,
         }
     }
 }
 
-/// Per-worker accounting of one campaign.
+/// Per-worker accounting across every campaign and session.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct WorkerSummary {
     /// Jobs this worker returned rows for.
@@ -75,106 +100,49 @@ pub struct WorkerSummary {
     pub cache_hits: u64,
 }
 
+/// How one connected session ended.
+enum SessionEnd {
+    /// The coordinator said `done` (shutdown or one-shot completion).
+    Done,
+    /// The idle-exit budget ran out with no work on offer.
+    Idle,
+}
+
+/// Why one session failed.
+struct SessionError {
+    /// Worth reconnecting: connection refused/reset, silence, EOF —
+    /// the shapes a coordinator restart produces. Rejections and
+    /// fingerprint mismatches are not: retrying cannot fix them.
+    retryable: bool,
+    msg: String,
+}
+
+impl SessionError {
+    fn fatal(msg: impl Into<String>) -> SessionError {
+        SessionError {
+            retryable: false,
+            msg: msg.into(),
+        }
+    }
+
+    fn retryable(msg: impl Into<String>) -> SessionError {
+        SessionError {
+            retryable: true,
+            msg: msg.into(),
+        }
+    }
+}
+
 /// Connect to the coordinator at `addr`, serve leases until the
-/// campaign completes (`done`), and return this worker's accounting.
+/// service says `done` (or the worker idles out), and return this
+/// worker's accounting. With `reconnect_attempts > 0`, a lost
+/// coordinator triggers capped-exponential-backoff retries instead of
+/// an error.
 pub fn work(addr: &str, registry: Registry, opts: &WorkerOpts) -> Result<WorkerSummary, String> {
-    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
-    let _ = stream.set_nodelay(true);
-    stream
-        .set_read_timeout(Some(Duration::from_millis(opts.read_timeout_ms.max(10))))
-        .map_err(|e| format!("set_read_timeout: {e}"))?;
     let name = opts
         .name
         .clone()
         .unwrap_or_else(|| format!("{}-{}", host_token(), std::process::id()));
-
-    // All writes go through one mutex so heartbeat frames (side
-    // thread) and protocol frames (this thread) never interleave
-    // bytes within a frame.
-    let writer = Arc::new(Mutex::new(
-        stream
-            .try_clone()
-            .map_err(|e| format!("clone stream: {e}"))?,
-    ));
-    let mut reader = FrameReader::new(stream);
-    let send = |msg: &Msg| -> Result<(), String> {
-        write_msg(&mut *writer.lock().unwrap(), msg).map_err(|e| format!("send: {e}"))
-    };
-    let recv = |reader: &mut FrameReader<TcpStream>| -> Result<Msg, String> {
-        let mut idle: u32 = 0;
-        loop {
-            match reader.next_msg() {
-                Ok(Some(msg)) => return Ok(msg),
-                Ok(None) => {
-                    idle += 1;
-                    if idle >= opts.max_idle_windows {
-                        return Err(format!(
-                            "coordinator silent for {} windows of {}ms",
-                            idle, opts.read_timeout_ms
-                        ));
-                    }
-                }
-                Err(FrameError::Eof) => return Err("coordinator closed the connection".into()),
-                Err(e) => return Err(e.to_string()),
-            }
-        }
-    };
-
-    // --- Handshake ------------------------------------------------
-    send(&Msg::Hello {
-        schema_version: SCHEMA_VERSION,
-        protocol_version: PROTOCOL_VERSION,
-        worker: name.clone(),
-    })?;
-    let (spec, job_count, coord_fp, lease_ttl_ms) = match recv(&mut reader)? {
-        Msg::Assign {
-            spec,
-            job_count,
-            fingerprint,
-            lease_ttl_ms,
-        } => (
-            ExperimentSpec::from_json(&spec)?,
-            job_count as usize,
-            fingerprint,
-            lease_ttl_ms,
-        ),
-        Msg::Reject { reason } => return Err(format!("coordinator rejected us: {reason}")),
-        // The campaign finished while we were connecting; nothing to
-        // do is a clean exit, not a protocol error.
-        Msg::Done => {
-            if !opts.quiet {
-                eprintln!("worker {name}: campaign already complete");
-            }
-            return Ok(WorkerSummary::default());
-        }
-        other => return Err(format!("expected assign, got {other:?}")),
-    };
-    let experiment = match spec.resolve(registry) {
-        Ok(e) => e,
-        Err(why) => {
-            let _ = send(&Msg::Abort {
-                reason: why.clone(),
-            });
-            return Err(format!("cannot run assigned spec: {why}"));
-        }
-    };
-    let fingerprint = experiment.fingerprint();
-    if fingerprint != coord_fp || experiment.job_count() != job_count {
-        // Tell the coordinator why we're leaving rather than silently
-        // disconnecting; it would also catch the mismatch on `ready`.
-        let why = format!(
-            "fingerprint mismatch for {:?}: coordinator {coord_fp} ({job_count} jobs), \
-             this binary {fingerprint} ({} jobs)",
-            spec.experiment,
-            experiment.job_count()
-        );
-        let _ = send(&Msg::Abort {
-            reason: why.clone(),
-        });
-        return Err(why);
-    }
-    send(&Msg::Ready { fingerprint })?;
-
     let mut cache = match &opts.cache_dir {
         // Unique writer name: any number of workers on any number of
         // hosts may share one cache directory.
@@ -184,6 +152,153 @@ pub fn work(addr: &str, registry: Registry, opts: &WorkerOpts) -> Result<WorkerS
         ),
         None => None,
     };
+    let mut summary = WorkerSummary::default();
+    // Campaigns survive sessions: a worker that reconnects after a
+    // coordinator restart already holds the resolved experiments.
+    let mut campaigns: HashMap<String, Experiment> = HashMap::new();
+    // Deterministic per-worker jitter stream; seeding off the name
+    // decorrelates a fleet launched in the same instant.
+    let mut rng = Prng::seed_from_u64(name.bytes().fold(0xfe5ce5u64, |acc, b| {
+        acc.wrapping_mul(31).wrapping_add(b as u64)
+    }));
+
+    let mut attempt: u32 = 0;
+    loop {
+        match session(
+            addr,
+            &name,
+            registry,
+            opts,
+            &mut summary,
+            &mut campaigns,
+            &mut cache,
+            &mut attempt,
+        ) {
+            Ok(end) => {
+                if !opts.quiet {
+                    match end {
+                        SessionEnd::Done => eprintln!(
+                            "worker {name}: done ({} jobs, {} executed, {} cache hits)",
+                            summary.jobs, summary.executed, summary.cache_hits
+                        ),
+                        SessionEnd::Idle => eprintln!(
+                            "worker {name}: no work for {}ms, exiting ({} jobs total)",
+                            opts.idle_exit_ms, summary.jobs
+                        ),
+                    }
+                }
+                return Ok(summary);
+            }
+            Err(e) if e.retryable && attempt < opts.reconnect_attempts => {
+                attempt += 1;
+                // Capped exponential backoff: base * 2^(attempt-1) up
+                // to the cap, plus up to 25% jitter so a worker fleet
+                // doesn't stampede a restarting coordinator.
+                let base = opts
+                    .reconnect_base_ms
+                    .max(1)
+                    .saturating_mul(1u64 << (attempt - 1).min(20))
+                    .min(opts.reconnect_cap_ms.max(1));
+                let jitter = rng.next_u64() % (base / 4 + 1);
+                let delay = base + jitter;
+                if !opts.quiet {
+                    eprintln!(
+                        "worker {name}: lost coordinator ({}); retry {attempt}/{} in {delay}ms",
+                        e.msg, opts.reconnect_attempts
+                    );
+                }
+                std::thread::sleep(Duration::from_millis(delay));
+            }
+            Err(e) => return Err(e.msg),
+        }
+    }
+}
+
+/// One connected session: handshake, then the lease loop, until the
+/// coordinator closes, says `done`, or the connection dies.
+#[allow(clippy::too_many_arguments)]
+fn session(
+    addr: &str,
+    name: &str,
+    registry: Registry,
+    opts: &WorkerOpts,
+    summary: &mut WorkerSummary,
+    campaigns: &mut HashMap<String, Experiment>,
+    cache: &mut Option<ResultCache>,
+    attempt: &mut u32,
+) -> Result<SessionEnd, SessionError> {
+    let stream = TcpStream::connect(addr)
+        .map_err(|e| SessionError::retryable(format!("connect {addr}: {e}")))?;
+    let _ = stream.set_nodelay(true);
+    stream
+        .set_read_timeout(Some(Duration::from_millis(opts.read_timeout_ms.max(10))))
+        .map_err(|e| SessionError::fatal(format!("set_read_timeout: {e}")))?;
+
+    // All writes go through one mutex so heartbeat frames (side
+    // thread) and protocol frames (this thread) never interleave
+    // bytes within a frame.
+    let writer =
+        Arc::new(Mutex::new(stream.try_clone().map_err(|e| {
+            SessionError::fatal(format!("clone stream: {e}"))
+        })?));
+    let mut reader = FrameReader::new(stream);
+    let send = |msg: &Msg| -> Result<(), SessionError> {
+        write_msg(&mut *writer.lock().unwrap(), msg)
+            .map_err(|e| SessionError::retryable(format!("send: {e}")))
+    };
+    let recv = |reader: &mut FrameReader<TcpStream>| -> Result<Msg, SessionError> {
+        let mut idle: u32 = 0;
+        loop {
+            match reader.next_msg() {
+                Ok(Some(msg)) => return Ok(msg),
+                Ok(None) => {
+                    idle += 1;
+                    if idle >= opts.max_idle_windows {
+                        return Err(SessionError::retryable(format!(
+                            "coordinator silent for {} windows of {}ms",
+                            idle, opts.read_timeout_ms
+                        )));
+                    }
+                }
+                Err(FrameError::Eof) => {
+                    return Err(SessionError::retryable("coordinator closed the connection"))
+                }
+                Err(e) => return Err(SessionError::retryable(e.to_string())),
+            }
+        }
+    };
+
+    // --- Handshake ------------------------------------------------
+    send(&Msg::Hello {
+        schema_version: SCHEMA_VERSION,
+        protocol_version: PROTOCOL_VERSION,
+        worker: name.to_string(),
+        token: opts.token.clone(),
+    })?;
+    let lease_ttl_ms = match recv(&mut reader)? {
+        Msg::Welcome { lease_ttl_ms } => lease_ttl_ms,
+        Msg::Reject { reason } => {
+            return Err(SessionError::fatal(format!(
+                "coordinator rejected us: {reason}"
+            )))
+        }
+        // The service finished while we were connecting; nothing to
+        // do is a clean exit, not a protocol error.
+        Msg::Done => {
+            if !opts.quiet {
+                eprintln!("worker {name}: service already finished");
+            }
+            return Ok(SessionEnd::Done);
+        }
+        other => {
+            return Err(SessionError::fatal(format!(
+                "expected welcome, got {other:?}"
+            )))
+        }
+    };
+    // A completed handshake proves the coordinator is back: refill
+    // the reconnect budget for the *next* loss.
+    *attempt = 0;
 
     // --- Heartbeats -----------------------------------------------
     // Leases only exist while a batch of cells executes, so that is
@@ -197,7 +312,7 @@ pub fn work(addr: &str, registry: Registry, opts: &WorkerOpts) -> Result<WorkerS
     let hb_stop = Arc::clone(&stop);
     let hb_executing = Arc::clone(&executing);
     // Beat well inside the coordinator's lease TTL (shipped in
-    // `assign` for exactly this): a configured interval at or above
+    // `welcome` for exactly this): a configured interval at or above
     // the TTL would lose the renewal race and spuriously expire a
     // live worker's leases.
     let hb_interval = Duration::from_millis(opts.heartbeat_ms.min(lease_ttl_ms / 3).max(10));
@@ -217,22 +332,18 @@ pub fn work(addr: &str, registry: Registry, opts: &WorkerOpts) -> Result<WorkerS
             }
         }
     });
-    let stop_heartbeat = |result: Result<WorkerSummary, String>| {
+    let stop_heartbeat = |result: Result<SessionEnd, SessionError>| {
         stop.store(true, Ordering::SeqCst);
         let _ = heartbeat.join();
         result
     };
 
     // --- Lease loop -----------------------------------------------
-    // The meter tracks *this worker's* completed jobs against the
-    // campaign total, so with one worker the ETA is exact and with N
-    // workers it reads as this worker's share of the whole.
-    let meter = opts
-        .progress
-        .then(|| sfence_obs::ProgressMeter::new(&spec.experiment, job_count));
-    let mut summary = WorkerSummary::default();
+    let mut idle_ms: u64 = 0;
     loop {
-        if let Err(e) = send(&Msg::Request) {
+        if let Err(e) = send(&Msg::Request {
+            batch: opts.lease_batch,
+        }) {
             return stop_heartbeat(Err(e));
         }
         let msg = match recv(&mut reader) {
@@ -240,13 +351,62 @@ pub fn work(addr: &str, registry: Registry, opts: &WorkerOpts) -> Result<WorkerS
             Err(e) => return stop_heartbeat(Err(e)),
         };
         match msg {
-            Msg::Lease { jobs } => {
-                if jobs.iter().any(|&j| j >= job_count) {
-                    let why = format!("lease contains out-of-range indices: {jobs:?}");
+            Msg::Lease {
+                campaign,
+                spec,
+                fingerprint: coord_fp,
+                job_count,
+                jobs,
+            } => {
+                idle_ms = 0;
+                // Resolve-and-verify once per campaign; later leases
+                // reuse the cached experiment.
+                if !campaigns.contains_key(&campaign) {
+                    let spec = match ExperimentSpec::from_json(&spec) {
+                        Ok(spec) => spec,
+                        Err(e) => return stop_heartbeat(Err(SessionError::fatal(e))),
+                    };
+                    let experiment = match spec.resolve(registry) {
+                        Ok(e) => e,
+                        Err(why) => {
+                            let _ = send(&Msg::Abort {
+                                reason: why.clone(),
+                            });
+                            return stop_heartbeat(Err(SessionError::fatal(format!(
+                                "cannot run campaign {campaign}: {why}"
+                            ))));
+                        }
+                    };
+                    let fp = experiment.fingerprint();
+                    if fp != coord_fp || experiment.job_count() as u64 != job_count {
+                        let why = format!(
+                            "fingerprint mismatch for {:?} (campaign {campaign}): coordinator \
+                             {coord_fp} ({job_count} jobs), this binary {fp} ({} jobs)",
+                            spec.experiment,
+                            experiment.job_count()
+                        );
+                        let _ = send(&Msg::Abort {
+                            reason: why.clone(),
+                        });
+                        return stop_heartbeat(Err(SessionError::fatal(why)));
+                    }
+                    if !opts.quiet {
+                        eprintln!(
+                            "worker {name}: campaign {campaign} = {:?} ({job_count} jobs)",
+                            spec.experiment
+                        );
+                    }
+                    campaigns.insert(campaign.clone(), experiment);
+                }
+                let experiment = campaigns.get(&campaign).expect("inserted above");
+                if jobs.iter().any(|&j| j >= experiment.job_count()) {
+                    let why = format!(
+                        "lease for campaign {campaign} contains out-of-range indices: {jobs:?}"
+                    );
                     let _ = send(&Msg::Abort {
                         reason: why.clone(),
                     });
-                    return stop_heartbeat(Err(why));
+                    return stop_heartbeat(Err(SessionError::fatal(why)));
                 }
                 let threads = if opts.threads == 0 {
                     sfence_harness::default_threads(jobs.len())
@@ -262,15 +422,14 @@ pub fn work(addr: &str, registry: Registry, opts: &WorkerOpts) -> Result<WorkerS
                 summary.jobs += outcome.rows.len() as u64;
                 summary.executed += outcome.stats.executed as u64;
                 summary.cache_hits += outcome.stats.cache_hits as u64;
-                if let Some(meter) = &meter {
-                    meter.update(summary.jobs as usize);
-                }
-                if !opts.quiet {
+                if !opts.quiet || opts.progress {
                     eprintln!(
-                        "worker {name}: lease of {} job(s): {} executed, {} cache hits",
+                        "worker {name}: {campaign} lease of {} job(s): {} executed, {} cache \
+                         hits ({} jobs total)",
                         jobs.len(),
                         outcome.stats.executed,
-                        outcome.stats.cache_hits
+                        outcome.stats.cache_hits,
+                        summary.jobs
                     );
                 }
                 // A huge lease's rows could exceed the frame limit as
@@ -281,6 +440,7 @@ pub fn work(addr: &str, registry: Registry, opts: &WorkerOpts) -> Result<WorkerS
                 while !rows.is_empty() || first {
                     let rest = rows.split_off(rows.len().min(RESULT_CHUNK_ROWS));
                     let msg = Msg::Result {
+                        campaign: campaign.clone(),
                         rows: std::mem::replace(&mut rows, rest),
                         executed: if first {
                             outcome.stats.executed as u64
@@ -300,21 +460,25 @@ pub fn work(addr: &str, registry: Registry, opts: &WorkerOpts) -> Result<WorkerS
                 }
                 executing.store(false, Ordering::SeqCst);
             }
-            Msg::Wait { ms } => std::thread::sleep(Duration::from_millis(ms.min(5000))),
-            Msg::Done => break,
+            Msg::Wait { ms } => {
+                let nap = ms.min(5000);
+                std::thread::sleep(Duration::from_millis(nap));
+                idle_ms = idle_ms.saturating_add(nap);
+                if opts.idle_exit_ms > 0 && idle_ms >= opts.idle_exit_ms {
+                    return stop_heartbeat(Ok(SessionEnd::Idle));
+                }
+            }
+            Msg::Done => return stop_heartbeat(Ok(SessionEnd::Done)),
             Msg::Reject { reason } => {
-                return stop_heartbeat(Err(format!("coordinator rejected us: {reason}")))
+                return stop_heartbeat(Err(SessionError::fatal(format!(
+                    "coordinator rejected us: {reason}"
+                ))))
             }
             other => {
-                return stop_heartbeat(Err(format!("unexpected message {other:?}")));
+                return stop_heartbeat(Err(SessionError::fatal(format!(
+                    "unexpected message {other:?}"
+                ))));
             }
         }
     }
-    if !opts.quiet {
-        eprintln!(
-            "worker {name}: done ({} jobs, {} executed, {} cache hits)",
-            summary.jobs, summary.executed, summary.cache_hits
-        );
-    }
-    stop_heartbeat(Ok(summary))
 }

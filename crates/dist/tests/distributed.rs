@@ -58,6 +58,7 @@ fn test_coordinator_opts() -> CoordinatorOpts {
         poll_ms: 10,
         wait_ms: 10,
         quiet: true,
+        token: None,
         abort: None,
     }
 }
@@ -125,11 +126,11 @@ fn two_workers_merge_byte_identical_to_single_process() {
     assert_eq!(summary.rejected, 0);
 }
 
-/// A client that completes the handshake (echoing the coordinator's
-/// own fingerprint), takes one lease, and then either drops the
-/// connection (a killed worker) or goes silent while keeping it open
-/// (a hung worker). Returns the leased indices and, for the hung
-/// case, the stream that must be kept alive by the caller.
+/// A client that completes the v3 handshake, takes one lease, and
+/// then either drops the connection (a killed worker) or goes silent
+/// while keeping it open (a hung worker). Returns the leased indices
+/// and, for the hung case, the stream that must be kept alive by the
+/// caller.
 fn take_lease_and_stop(addr: &str, hang: bool) -> (Vec<usize>, Option<TcpStream>) {
     let stream = TcpStream::connect(addr).unwrap();
     let mut writer = stream.try_clone().unwrap();
@@ -141,17 +142,17 @@ fn take_lease_and_stop(addr: &str, hang: bool) -> (Vec<usize>, Option<TcpStream>
             schema_version: SCHEMA_VERSION,
             protocol_version: PROTOCOL_VERSION,
             worker: "doomed".into(),
+            token: None,
         },
     )
     .unwrap();
-    let fingerprint = match next() {
-        Msg::Assign { fingerprint, .. } => fingerprint,
-        other => panic!("expected assign, got {other:?}"),
-    };
-    write_msg(&mut writer, &Msg::Ready { fingerprint }).unwrap();
-    write_msg(&mut writer, &Msg::Request).unwrap();
+    match next() {
+        Msg::Welcome { .. } => {}
+        other => panic!("expected welcome, got {other:?}"),
+    }
+    write_msg(&mut writer, &Msg::Request { batch: 0 }).unwrap();
     let jobs = match next() {
-        Msg::Lease { jobs } => jobs,
+        Msg::Lease { jobs, .. } => jobs,
         other => panic!("expected lease, got {other:?}"),
     };
     assert!(!jobs.is_empty());
@@ -268,7 +269,7 @@ fn warm_cache_rerun_executes_zero_cells_on_every_worker() {
 }
 
 #[test]
-fn drifted_binary_is_rejected_at_handshake_and_campaign_still_completes() {
+fn drifted_binary_aborts_at_first_lease_and_campaign_still_completes() {
     let experiment = registry("tiny").unwrap();
     let expected = experiment.run_parallel().to_json_string();
     let listener = TcpListener::bind("127.0.0.1:0").unwrap();
@@ -278,9 +279,10 @@ fn drifted_binary_is_rejected_at_handshake_and_campaign_still_completes() {
 
     let summary = std::thread::scope(|s| {
         let coord = s.spawn(|| serve(&listener, &experiment, &spec, &opts));
-        // The drifted worker resolves "tiny" to a different job list;
-        // it must refuse to participate (and the coordinator must not
-        // count it as a worker).
+        // The drifted worker resolves "tiny" to a different job list.
+        // Under v3 the spec rides on each lease, so the mismatch is
+        // caught at its first lease: it aborts, its lease re-queues,
+        // and it must not return a single row.
         let drifted = {
             let addr = addr.clone();
             s.spawn(move || work(&addr, drifted_registry, &test_worker_opts("drifted")))
@@ -298,8 +300,12 @@ fn drifted_binary_is_rejected_at_handshake_and_campaign_still_completes() {
         w.join().unwrap().expect("healthy worker exits cleanly");
         summary
     });
-    assert_eq!(summary.workers, 1, "only the healthy worker handshook");
-    assert!(summary.rejected >= 1);
+    assert!(summary.rejected >= 1, "the aborting worker is accounted");
+    assert!(
+        summary.released >= 2,
+        "the drifted worker's lease re-queued (released {})",
+        summary.released
+    );
     let result =
         SweepResult::from_indexed(&experiment.name, experiment.job_count(), summary.rows).unwrap();
     assert_eq!(result.to_json_string(), expected);
@@ -364,6 +370,7 @@ fn version_mismatch_is_rejected_with_a_reason() {
                 schema_version: SCHEMA_VERSION,
                 protocol_version: PROTOCOL_VERSION + 1,
                 worker: "time-traveler".into(),
+                token: None,
             },
         )
         .unwrap();
@@ -398,7 +405,7 @@ fn status_probe_reports_live_queue_state_mid_campaign() {
         let (held, hung_stream) = take_lease_and_stop(&addr, true);
         assert_eq!(held.len(), 2);
 
-        let report = sfence_dist::fetch_status(&addr, std::time::Duration::from_secs(5))
+        let report = sfence_dist::fetch_status(&addr, std::time::Duration::from_secs(5), None)
             .expect("status probe answered");
         assert_eq!(report.produced_by, "coordinator");
         let gauge = |name: &str| match report.get(name, &[]) {

@@ -1,0 +1,394 @@
+//! Integration tests of the multi-campaign service layer: concurrent
+//! campaigns merge byte-identical to their solo runs, a killed
+//! coordinator resumes every in-flight campaign from its checkpoint
+//! (same ids, same bytes), batched leases respect the request and the
+//! server cap, and every client flow is refused without the shared
+//! token.
+
+use sfence_dist::protocol::{write_msg, FrameReader, Msg, PROTOCOL_VERSION};
+use sfence_dist::{client, fetch_status, run_server, work, ExperimentSpec, ServerOpts, WorkerOpts};
+use sfence_harness::{Axis, BackendId, Experiment, RunOptions, SweepResult, SCHEMA_VERSION};
+use sfence_sim::FenceConfig;
+use sfence_workloads::WorkloadParams;
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Functional-backend experiments so whole campaigns run in
+/// milliseconds. Two distinct names so interleaved campaigns have
+/// distinguishable outputs.
+fn registry(name: &str) -> Option<Experiment> {
+    match name {
+        "tiny" => Some(
+            Experiment::new("tiny")
+                .workloads(["dekker", "msn"], WorkloadParams::small())
+                .fences(vec![FenceConfig::TRADITIONAL, FenceConfig::SFENCE])
+                .axis(Axis::Level(vec![1, 2]))
+                .backend(BackendId::Functional),
+        ),
+        "tiny2" => Some(
+            Experiment::new("tiny2")
+                .workloads(["dekker", "wsq"], WorkloadParams::small())
+                .fences(vec![FenceConfig::TRADITIONAL, FenceConfig::SFENCE])
+                .axis(Axis::Level(vec![1, 2, 3]))
+                .backend(BackendId::Functional),
+        ),
+        _ => None,
+    }
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "sfence-service-test-{}-{}-{}",
+        std::process::id(),
+        tag,
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn test_server_opts() -> ServerOpts {
+    ServerOpts {
+        default_lease: 2,
+        lease_ttl_ms: 10_000,
+        poll_ms: 10,
+        wait_ms: 10,
+        quiet: true,
+        ..ServerOpts::default()
+    }
+}
+
+fn test_worker_opts(name: &str) -> WorkerOpts {
+    WorkerOpts {
+        threads: 1,
+        heartbeat_ms: 50,
+        name: Some(name.to_string()),
+        read_timeout_ms: 20,
+        max_idle_windows: 500, // 10s of silence before giving up
+        quiet: true,
+        ..WorkerOpts::default()
+    }
+}
+
+fn fast_wait_opts(token: Option<&str>) -> client::WaitOpts {
+    let mut wait = client::WaitOpts {
+        poll_ms: 20,
+        retries: 100,
+        retry_base_ms: 20,
+        retry_cap_ms: 200,
+        ..Default::default()
+    };
+    wait.client.token = token.map(str::to_string);
+    wait
+}
+
+fn merged_json(experiment: &Experiment, rows: Vec<sfence_harness::IndexedRow>) -> String {
+    SweepResult::from_indexed(&experiment.name, experiment.job_count(), rows)
+        .expect("merge covers every job exactly once")
+        .to_json_string()
+}
+
+#[test]
+fn two_interleaved_campaigns_each_match_their_solo_runs() {
+    let tiny = registry("tiny").unwrap();
+    let tiny2 = registry("tiny2").unwrap();
+    let expected_tiny = tiny.run_parallel().to_json_string();
+    let expected_tiny2 = tiny2.run_parallel().to_json_string();
+
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let opts = ServerOpts {
+        shutdown: Some(Arc::clone(&shutdown)),
+        ..test_server_opts()
+    };
+
+    let (json1, json2) = std::thread::scope(|s| {
+        let server = s.spawn(|| run_server(&listener, Some(registry), Vec::new(), &opts));
+        // Two workers serve both campaigns concurrently; they exit
+        // when the daemon shuts down.
+        let workers: Vec<_> = ["w0", "w1"]
+            .iter()
+            .map(|name| {
+                let addr = addr.clone();
+                s.spawn(move || work(&addr, registry, &test_worker_opts(name)))
+            })
+            .collect();
+
+        let wait = fast_wait_opts(None);
+        let t1 = client::submit(&addr, &ExperimentSpec::new("tiny"), 1, &wait.client).unwrap();
+        let t2 = client::submit(&addr, &ExperimentSpec::new("tiny2"), 3, &wait.client).unwrap();
+        assert_eq!(t1.campaign, "c1");
+        assert_eq!(t2.campaign, "c2");
+        assert_eq!(t1.job_count, tiny.job_count() as u64);
+        assert_eq!(t2.job_count, tiny2.job_count() as u64);
+
+        let rows1 = client::wait_for_campaign(&addr, &t1.campaign, &wait, |_, _| {}).unwrap();
+        let rows2 = client::wait_for_campaign(&addr, &t2.campaign, &wait, |_, _| {}).unwrap();
+
+        shutdown.store(true, Ordering::SeqCst);
+        let outcome = server.join().unwrap().expect("server exits cleanly");
+        for w in workers {
+            w.join().unwrap().expect("worker exits cleanly");
+        }
+        assert_eq!(outcome.campaigns.len(), 2);
+        assert!(outcome.campaigns.iter().all(|c| c.complete));
+        (merged_json(&tiny, rows1), merged_json(&tiny2, rows2))
+    });
+
+    assert_eq!(json1, expected_tiny, "campaign c1 byte-identical to solo");
+    assert_eq!(json2, expected_tiny2, "campaign c2 byte-identical to solo");
+}
+
+#[test]
+fn killed_coordinator_resumes_from_checkpoint_byte_identical() {
+    let tiny = registry("tiny").unwrap();
+    let expected = tiny.run_parallel().to_json_string();
+    let dir = scratch_dir("resume");
+    let ckpt = dir.join("ckpt.jsonl");
+    let wait = fast_wait_opts(None);
+
+    // --- Phase 1: submit, complete 3 of 8 jobs, kill the daemon. ---
+    let ticket = {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let opts = ServerOpts {
+            checkpoint: Some(ckpt.clone()),
+            checkpoint_every_ms: 0, // snapshot every mutation
+            shutdown: Some(Arc::clone(&shutdown)),
+            ..test_server_opts()
+        };
+        std::thread::scope(|s| {
+            let server = s.spawn(|| run_server(&listener, Some(registry), Vec::new(), &opts));
+            let ticket =
+                client::submit(&addr, &ExperimentSpec::new("tiny"), 1, &wait.client).unwrap();
+            assert_eq!(ticket.campaign, "c1");
+
+            // A hand-rolled worker completes exactly 3 jobs, then its
+            // connection drops — mid-campaign state for the kill.
+            let stream = TcpStream::connect(&addr).unwrap();
+            let mut writer = stream.try_clone().unwrap();
+            let mut reader = FrameReader::new(stream);
+            write_msg(
+                &mut writer,
+                &Msg::Hello {
+                    schema_version: SCHEMA_VERSION,
+                    protocol_version: PROTOCOL_VERSION,
+                    worker: "mortal".into(),
+                    token: None,
+                },
+            )
+            .unwrap();
+            match reader.next_msg().unwrap().unwrap() {
+                Msg::Welcome { .. } => {}
+                other => panic!("expected welcome, got {other:?}"),
+            }
+            write_msg(&mut writer, &Msg::Request { batch: 3 }).unwrap();
+            let (campaign, jobs) = match reader.next_msg().unwrap().unwrap() {
+                Msg::Lease { campaign, jobs, .. } => (campaign, jobs),
+                other => panic!("expected lease, got {other:?}"),
+            };
+            assert_eq!(jobs.len(), 3, "batched lease honors the request");
+            let outcome = tiny.run_with(RunOptions::new(1).jobs(jobs));
+            write_msg(
+                &mut writer,
+                &Msg::Result {
+                    campaign,
+                    rows: outcome.rows,
+                    executed: outcome.stats.executed as u64,
+                    cache_hits: 0,
+                },
+            )
+            .unwrap();
+            drop(writer);
+            drop(reader);
+
+            // "Kill" the daemon. The handler drains the buffered
+            // result before exiting, and checkpoint-every-mutation
+            // means the snapshot already has all 3 rows.
+            shutdown.store(true, Ordering::SeqCst);
+            let outcome = server.join().unwrap().expect("server exits");
+            assert!(outcome.aborted, "campaign was mid-flight at the kill");
+            assert_eq!(outcome.campaigns[0].done, 3);
+            ticket
+        })
+    };
+    assert!(ckpt.exists(), "checkpoint written before the kill");
+
+    // --- Phase 2: a fresh daemon process resumes the campaign. ---
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let opts = ServerOpts {
+        checkpoint: Some(ckpt.clone()),
+        checkpoint_every_ms: 0,
+        shutdown: Some(Arc::clone(&shutdown)),
+        ..test_server_opts()
+    };
+    let json = std::thread::scope(|s| {
+        let server = s.spawn(|| run_server(&listener, Some(registry), Vec::new(), &opts));
+        let worker = {
+            let addr = addr.clone();
+            s.spawn(move || work(&addr, registry, &test_worker_opts("survivor")))
+        };
+        // Same campaign id, polled against the *new* process.
+        let rows = client::wait_for_campaign(&addr, &ticket.campaign, &wait, |_, _| {}).unwrap();
+        shutdown.store(true, Ordering::SeqCst);
+        let outcome = server.join().unwrap().expect("server exits");
+        let ws = worker.join().unwrap().expect("worker exits cleanly");
+        assert_eq!(
+            ws.executed,
+            tiny.job_count() as u64 - 3,
+            "resume replays only the jobs the checkpoint lacked"
+        );
+        assert_eq!(outcome.campaigns[0].id, 1, "campaign id survives restart");
+        assert!(outcome.campaigns[0].complete);
+        merged_json(&tiny, rows)
+    });
+    assert_eq!(
+        json, expected,
+        "kill + resume output byte-identical to solo"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn batched_leases_respect_request_and_cap_and_merge_identically() {
+    let tiny = registry("tiny").unwrap();
+    let expected = tiny.run_parallel().to_json_string();
+    let jobs_total = tiny.job_count();
+    assert_eq!(jobs_total, 8);
+
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let opts = ServerOpts {
+        max_lease: 4,
+        exit_when_done: true,
+        ..test_server_opts()
+    };
+    let spec = ExperimentSpec::new("tiny");
+
+    let outcome = std::thread::scope(|s| {
+        let server = s.spawn(|| {
+            run_server(
+                &listener,
+                None,
+                vec![(spec.clone(), tiny.clone(), 1)],
+                &opts,
+            )
+        });
+        let stream = TcpStream::connect(&addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = FrameReader::new(stream);
+        write_msg(
+            &mut writer,
+            &Msg::Hello {
+                schema_version: SCHEMA_VERSION,
+                protocol_version: PROTOCOL_VERSION,
+                worker: "batcher".into(),
+                token: None,
+            },
+        )
+        .unwrap();
+        match reader.next_msg().unwrap().unwrap() {
+            Msg::Welcome { .. } => {}
+            other => panic!("expected welcome, got {other:?}"),
+        }
+        // batch=3 → exactly 3; batch=0 → server default (2);
+        // batch=999 → capped at max_lease(4), 3 jobs remain.
+        for (batch, expect) in [(3u64, 3usize), (0, 2), (999, 3)] {
+            write_msg(&mut writer, &Msg::Request { batch }).unwrap();
+            let (campaign, jobs) = match reader.next_msg().unwrap().unwrap() {
+                Msg::Lease { campaign, jobs, .. } => (campaign, jobs),
+                other => panic!("expected lease, got {other:?}"),
+            };
+            assert_eq!(jobs.len(), expect, "batch={batch}");
+            let outcome = tiny.run_with(RunOptions::new(1).jobs(jobs));
+            write_msg(
+                &mut writer,
+                &Msg::Result {
+                    campaign,
+                    rows: outcome.rows,
+                    executed: outcome.stats.executed as u64,
+                    cache_hits: 0,
+                },
+            )
+            .unwrap();
+        }
+        write_msg(&mut writer, &Msg::Request { batch: 0 }).unwrap();
+        match reader.next_msg().unwrap().unwrap() {
+            Msg::Done => {}
+            other => panic!("expected done, got {other:?}"),
+        }
+        server.join().unwrap().expect("server exits")
+    });
+    assert!(!outcome.aborted);
+    let campaign = outcome.campaigns.into_iter().next().unwrap();
+    assert!(campaign.complete);
+    assert_eq!(merged_json(&tiny, campaign.rows), expected);
+}
+
+#[test]
+fn every_client_flow_is_refused_without_the_token() {
+    let tiny = registry("tiny").unwrap();
+    let expected = tiny.run_parallel().to_json_string();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let opts = ServerOpts {
+        token: Some("sesame".into()),
+        shutdown: Some(Arc::clone(&shutdown)),
+        ..test_server_opts()
+    };
+    let timeout = std::time::Duration::from_secs(5);
+
+    let json = std::thread::scope(|s| {
+        let server = s.spawn(|| run_server(&listener, Some(registry), Vec::new(), &opts));
+
+        // Status: missing and wrong tokens refused, right one served.
+        let err = fetch_status(&addr, timeout, None).unwrap_err();
+        assert!(err.contains("rejected"), "{err}");
+        let err = fetch_status(&addr, timeout, Some("wrong")).unwrap_err();
+        assert!(err.contains("rejected"), "{err}");
+        fetch_status(&addr, timeout, Some("sesame")).expect("authed probe answered");
+
+        // Submit: refused without the token...
+        let bad = fast_wait_opts(None);
+        let err = client::submit(&addr, &ExperimentSpec::new("tiny"), 1, &bad.client).unwrap_err();
+        assert!(err.contains("rejected"), "{err}");
+        // ...accepted with it.
+        let wait = fast_wait_opts(Some("sesame"));
+        let ticket = client::submit(&addr, &ExperimentSpec::new("tiny"), 1, &wait.client).unwrap();
+
+        // Fetch: an unauthenticated poll of a real campaign is refused.
+        let err = client::poll(&addr, &ticket.campaign, &bad.client).unwrap_err();
+        assert!(err.contains("rejected"), "{err}");
+
+        // Work: a token-less worker is turned away at the handshake...
+        let err = work(&addr, registry, &test_worker_opts("gatecrasher")).unwrap_err();
+        assert!(err.contains("rejected"), "{err}");
+        // ...an authed one completes the campaign.
+        let worker = {
+            let addr = addr.clone();
+            let mut w = test_worker_opts("keyholder");
+            w.token = Some("sesame".into());
+            s.spawn(move || work(&addr, registry, &w))
+        };
+        let rows = client::wait_for_campaign(&addr, &ticket.campaign, &wait, |_, _| {}).unwrap();
+        shutdown.store(true, Ordering::SeqCst);
+        let outcome = server.join().unwrap().expect("server exits");
+        worker.join().unwrap().expect("authed worker exits cleanly");
+        assert!(
+            outcome.rejected >= 4,
+            "every unauthenticated flow accounted (got {})",
+            outcome.rejected
+        );
+        merged_json(&tiny, rows)
+    });
+    assert_eq!(json, expected, "authed campaign byte-identical to solo");
+}

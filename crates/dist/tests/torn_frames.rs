@@ -38,7 +38,7 @@ fn torn(bytes: &[u8]) -> String {
 #[test]
 fn truncated_frames_are_torn_not_panics() {
     let mut wire = Vec::new();
-    write_msg(&mut wire, &Msg::Request).unwrap();
+    write_msg(&mut wire, &Msg::Request { batch: 0 }).unwrap();
     // Cut the frame anywhere: inside the length prefix or the body.
     for cut in 1..wire.len() {
         let why = torn(&wire[..cut]);
@@ -126,17 +126,17 @@ fn live_coordinator_survives_torn_clients() {
                 schema_version: SCHEMA_VERSION,
                 protocol_version: PROTOCOL_VERSION,
                 worker: "corrupt".into(),
+                token: None,
             },
         )
         .unwrap();
-        let fingerprint = match reader.next_msg().unwrap().unwrap() {
-            Msg::Assign { fingerprint, .. } => fingerprint,
-            other => panic!("expected assign, got {other:?}"),
-        };
-        write_msg(&mut writer, &Msg::Ready { fingerprint }).unwrap();
-        write_msg(&mut writer, &Msg::Request).unwrap();
         match reader.next_msg().unwrap().unwrap() {
-            Msg::Lease { jobs } => assert!(!jobs.is_empty()),
+            Msg::Welcome { .. } => {}
+            other => panic!("expected welcome, got {other:?}"),
+        }
+        write_msg(&mut writer, &Msg::Request { batch: 0 }).unwrap();
+        match reader.next_msg().unwrap().unwrap() {
+            Msg::Lease { jobs, .. } => assert!(!jobs.is_empty()),
             other => panic!("expected lease, got {other:?}"),
         }
         writer.write_all(b"\x00\x00\x00\x09{\"bad\":1}").unwrap();

@@ -148,6 +148,23 @@ impl<T> JobQueue<T> {
             .count()
     }
 
+    /// Jobs currently leased to some worker (not yet done, not
+    /// pending).
+    pub fn leased(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| matches!(s, JobState::Leased { .. }))
+            .count()
+    }
+
+    /// Completed jobs in index order, payloads borrowed.
+    pub fn done_payloads(&self) -> impl Iterator<Item = (usize, &T)> {
+        self.slots.iter().enumerate().filter_map(|(i, s)| match s {
+            JobState::Done(payload) => Some((i, payload)),
+            _ => None,
+        })
+    }
+
     /// Every job has a payload.
     pub fn is_complete(&self) -> bool {
         self.done == self.slots.len()
@@ -256,6 +273,66 @@ impl<T> JobQueue<T> {
             }
         }
         released
+    }
+
+    /// Serialize the queue for a coordinator checkpoint: total job
+    /// count, every completed job's payload, and the indices currently
+    /// leased. Leases are bound to live connections, so
+    /// [`JobQueue::from_json`] reloads them as *pending* — the leased
+    /// list is recorded for observability (how much in-flight work a
+    /// crash would re-run), not replayed.
+    pub fn to_json(&self, payload: impl Fn(&T) -> crate::json::Json) -> crate::json::Json {
+        use crate::json::Json;
+        let mut done = Vec::new();
+        let mut leased = Vec::new();
+        for (i, slot) in self.slots.iter().enumerate() {
+            match slot {
+                JobState::Done(p) => done.push(Json::Arr(vec![Json::from(i), payload(p)])),
+                JobState::Leased { .. } => leased.push(Json::from(i)),
+                JobState::Pending => {}
+            }
+        }
+        Json::obj()
+            .field("jobs", self.slots.len())
+            .field("done", Json::Arr(done))
+            .field("leased", Json::Arr(leased))
+    }
+
+    /// Rebuild a queue from [`JobQueue::to_json`] output. Completed
+    /// jobs keep their payloads; everything else (including
+    /// previously-leased jobs, whose workers did not survive the
+    /// round-trip) comes back pending. Out-of-range or duplicated done
+    /// indices are a corrupt snapshot and error out.
+    pub fn from_json(
+        doc: &crate::json::Json,
+        payload: impl Fn(&crate::json::Json) -> Result<T, String>,
+    ) -> Result<JobQueue<T>, String> {
+        use crate::json::Json;
+        let jobs = doc
+            .get("jobs")
+            .and_then(Json::as_u64)
+            .ok_or("queue: missing jobs count")? as usize;
+        let mut queue = JobQueue::new(jobs);
+        let done = doc
+            .get("done")
+            .and_then(Json::as_arr)
+            .ok_or("queue: missing done list")?;
+        for entry in done {
+            let pair = entry.as_arr().ok_or("queue: done entry is not a pair")?;
+            let [index, row] = pair else {
+                return Err("queue: done entry is not an [index, payload] pair".into());
+            };
+            let index = index
+                .as_u64()
+                .ok_or("queue: done entry has a non-integer index")?
+                as usize;
+            match queue.complete(index, payload(row)?) {
+                Ok(true) => {}
+                Ok(false) => return Err(format!("queue: done index {index} appears twice")),
+                Err(e) => return Err(format!("queue: {e}")),
+            }
+        }
+        Ok(queue)
     }
 
     /// Consume the queue into its payloads, in job order. Errors if
@@ -371,6 +448,48 @@ mod tests {
         assert!(q.complete(7, 0).is_err());
         q.complete(0, 1).unwrap();
         assert!(q.into_payloads().is_err());
+    }
+
+    #[test]
+    fn queue_serialization_round_trips_and_reloads_leases_as_pending() {
+        use crate::json::Json;
+        let mut q: JobQueue<u64> = JobQueue::new(5);
+        q.lease("a", 2, 0, 100); // 0, 1 leased
+        q.complete(3, 33).unwrap();
+        q.complete(4, 44).unwrap();
+        assert_eq!((q.done(), q.leased(), q.pending()), (2, 2, 1));
+        assert_eq!(q.done_payloads().collect::<Vec<_>>(), [(3, &33), (4, &44)]);
+
+        let doc = q.to_json(|&v| Json::from(v));
+        let back: JobQueue<u64> =
+            JobQueue::from_json(&doc, |j| j.as_u64().ok_or("bad payload".into())).unwrap();
+        // Done payloads survive; the leased jobs come back pending
+        // (their worker connections did not survive the round-trip).
+        assert_eq!(back.done(), 2);
+        assert_eq!(back.leased(), 0);
+        assert_eq!(back.pending(), 3);
+        assert_eq!(
+            back.done_payloads().collect::<Vec<_>>(),
+            [(3, &33), (4, &44)]
+        );
+
+        // The reloaded queue leases the previously-leased jobs afresh.
+        let mut back = back;
+        assert_eq!(back.lease("b", 10, 0, 100), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn corrupt_queue_snapshots_error() {
+        use crate::json::{self, Json};
+        let payload = |j: &Json| j.as_u64().ok_or_else(|| "bad payload".to_string());
+        let parse = |text: &str| {
+            JobQueue::<u64>::from_json(&json::parse(text).unwrap(), payload)
+                .expect_err("corrupt snapshot must error")
+        };
+        assert!(parse(r#"{"done":[],"leased":[]}"#).contains("jobs"));
+        assert!(parse(r#"{"jobs":2,"done":[[7,1]],"leased":[]}"#).contains("out of range"));
+        assert!(parse(r#"{"jobs":2,"done":[[0,1],[0,2]],"leased":[]}"#).contains("twice"));
+        assert!(parse(r#"{"jobs":2,"done":[[0]],"leased":[]}"#).contains("pair"));
     }
 
     #[test]

@@ -261,6 +261,23 @@ impl MetricsReport {
             .find(|m| m.name == name && m.labels == labels)
     }
 
+    /// Sorted, de-duplicated values of one label key across every
+    /// series — e.g. `label_values("campaign")` lists the campaigns a
+    /// coordinator status frame covers, `label_values("worker")` its
+    /// workers.
+    pub fn label_values(&self, key: &str) -> Vec<&str> {
+        let mut values: Vec<&str> = self
+            .metrics
+            .iter()
+            .flat_map(|m| m.labels.iter())
+            .filter(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+            .collect();
+        values.sort_unstable();
+        values.dedup();
+        values
+    }
+
     /// A plain-text rendering, one metric per line, for CLI display.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -376,6 +393,19 @@ fn metric_from_json(json: &Json) -> Result<Metric, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn label_values_are_sorted_and_deduped() {
+        let mut reg = Registry::new();
+        reg.gauge("done", &[("campaign", "c2")], 1.0);
+        reg.gauge("pending", &[("campaign", "c1")], 2.0);
+        reg.gauge("leased", &[("campaign", "c2")], 3.0);
+        reg.counter("jobs", &[("worker", "w0")], 4);
+        let report = reg.snapshot("test");
+        assert_eq!(report.label_values("campaign"), ["c1", "c2"]);
+        assert_eq!(report.label_values("worker"), ["w0"]);
+        assert!(report.label_values("nonesuch").is_empty());
+    }
 
     #[test]
     fn counters_accumulate_and_labels_are_order_insensitive() {
