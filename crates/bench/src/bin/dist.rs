@@ -10,6 +10,11 @@
 //!     [--checkpoint-every SECS]                snapshot interval (0 = every mutation)
 //!     [--lease N]                              default jobs per lease (default 4)
 //!     [--lease-ttl SECS]                       silent-worker lease expiry (default 30)
+//!     [--retain-fetched SECS]                  evict a completed campaign this long after
+//!                                              its rows were first fetched (default 600;
+//!                                              0 = keep forever)
+//!     [--handshake-timeout SECS]               drop connections with no opening message
+//!                                              after this long (default 10; 0 = never)
 //!     [--quiet]
 //!
 //! sfence-dist serve ADDR --experiment NAME     # one-shot: a single fixed campaign
@@ -136,6 +141,8 @@ fn cmd_serve(mut it: impl Iterator<Item = String>) -> Result<(), String> {
     let mut token: Option<String> = None;
     let mut checkpoint: Option<PathBuf> = None;
     let mut checkpoint_every_ms: u64 = 1000;
+    let mut retain_fetched_ms: u64 = 600_000;
+    let mut handshake_timeout_ms: u64 = 10_000;
     while let Some(arg) = it.next() {
         let parsed = output.accept(&arg, &mut it).unwrap_or_else(|e| usage(e));
         if parsed {
@@ -179,6 +186,14 @@ fn cmd_serve(mut it: impl Iterator<Item = String>) -> Result<(), String> {
             "--checkpoint-every" => {
                 let secs: u64 = parse_flag(&mut it, "--checkpoint-every", |_| true, "seconds");
                 checkpoint_every_ms = secs * 1000;
+            }
+            "--retain-fetched" => {
+                let secs: u64 = parse_flag(&mut it, "--retain-fetched", |_| true, "seconds");
+                retain_fetched_ms = secs * 1000;
+            }
+            "--handshake-timeout" => {
+                let secs: u64 = parse_flag(&mut it, "--handshake-timeout", |_| true, "seconds");
+                handshake_timeout_ms = secs * 1000;
             }
             "--json" => json = true,
             "--rows" => json = false,
@@ -238,6 +253,8 @@ fn cmd_serve(mut it: impl Iterator<Item = String>) -> Result<(), String> {
                 token,
                 checkpoint,
                 checkpoint_every_ms,
+                retain_fetched_ms,
+                handshake_timeout_ms,
                 ..ServerOpts::default()
             };
             // Runs until the process is killed; the periodic

@@ -35,6 +35,13 @@
 //! falls back to `.prev` when the main file is torn, so the worst
 //! outcome of a badly-timed kill is resuming from the previous
 //! checkpoint interval.
+//!
+//! When [`load`] does fall back, the torn main file is quarantined to
+//! `<path>.torn` right then (kept for post-mortem, replaced on the
+//! next fallback). Leaving it in place would be a trap: the first
+//! post-recovery [`save`] would rotate the torn file over `.prev` —
+//! the only good snapshot — and a crash between its two renames
+//! would then leave nothing loadable.
 
 use crate::spec::ExperimentSpec;
 use sfence_harness::json::{self, Json};
@@ -90,6 +97,26 @@ fn tmp_path(path: &Path) -> std::path::PathBuf {
     let mut name = path.as_os_str().to_os_string();
     name.push(".tmp");
     std::path::PathBuf::from(name)
+}
+
+fn torn_path(path: &Path) -> std::path::PathBuf {
+    let mut name = path.as_os_str().to_os_string();
+    name.push(".torn");
+    std::path::PathBuf::from(name)
+}
+
+/// Move an unreadable main snapshot aside so a later [`save`] cannot
+/// rotate it over the good `.prev`. Failure is an error, not a
+/// shrug: proceeding with the torn file in place risks the only good
+/// snapshot.
+fn quarantine_torn(path: &Path) -> Result<(), String> {
+    fs::rename(path, torn_path(path)).map_err(|e| {
+        format!(
+            "cannot quarantine torn checkpoint {} to {}: {e}",
+            path.display(),
+            torn_path(path).display()
+        )
+    })
 }
 
 impl Snapshot {
@@ -223,7 +250,9 @@ pub fn save(path: &Path, snapshot: &Snapshot) -> Result<(), String> {
 }
 
 /// Load the snapshot at `path`, falling back to `<path>.prev` if the
-/// main file is torn or unreadable. `Ok(None)` means no snapshot
+/// main file is torn or unreadable — in which case the torn main is
+/// quarantined to `<path>.torn` so a subsequent [`save`] cannot
+/// rotate it over the good `.prev`. `Ok(None)` means no snapshot
 /// exists at all (a fresh daemon). `Err` means snapshots exist but
 /// none is readable — the operator must intervene rather than
 /// silently restart the world.
@@ -235,10 +264,13 @@ pub fn load(path: &Path) -> Result<Option<LoadedSnapshot>, String> {
             fallback: false,
         })),
         Some(Err(main_err)) => match read_snapshot(&prev_path(path)) {
-            Some(Ok(snapshot)) => Ok(Some(LoadedSnapshot {
-                snapshot,
-                fallback: true,
-            })),
+            Some(Ok(snapshot)) => {
+                quarantine_torn(path)?;
+                Ok(Some(LoadedSnapshot {
+                    snapshot,
+                    fallback: true,
+                }))
+            }
             Some(Err(prev_err)) => Err(format!(
                 "checkpoint {} unreadable ({main_err}); fallback {} also unreadable ({prev_err})",
                 path.display(),
@@ -345,6 +377,41 @@ mod tests {
         let loaded = load(&path).unwrap().unwrap();
         assert!(loaded.fallback, "fell back to .prev");
         assert_eq!(loaded.snapshot, s1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fallback_quarantines_torn_main_so_the_next_save_keeps_prev_good() {
+        let dir = tmp_dir("quarantine");
+        let path = dir.join("ckpt.jsonl");
+        let s1 = snapshot(2, &[1]);
+        let s2 = snapshot(3, &[1, 2]);
+        let s3 = snapshot(4, &[1, 2, 3]);
+        save(&path, &s1).unwrap();
+        save(&path, &s2).unwrap();
+        // Tear the main file, then load: the fallback must move the
+        // torn main aside...
+        let torn: String = fs::read_to_string(&path)
+            .unwrap()
+            .lines()
+            .take(2)
+            .map(|l| format!("{l}\n"))
+            .collect();
+        fs::write(&path, &torn).unwrap();
+        let loaded = load(&path).unwrap().unwrap();
+        assert!(loaded.fallback);
+        assert_eq!(loaded.snapshot, s1);
+        assert!(!path.exists(), "torn main moved out of the rotation path");
+        assert_eq!(fs::read_to_string(torn_path(&path)).unwrap(), torn);
+        // ...so the first post-recovery save does not rotate garbage
+        // over the only good snapshot: .prev still parses (it keeps
+        // s1; rotation was skipped because main was quarantined).
+        save(&path, &s3).unwrap();
+        let prev = read_snapshot(&prev_path(&path)).unwrap().unwrap();
+        assert_eq!(prev, s1);
+        let loaded = load(&path).unwrap().unwrap();
+        assert!(!loaded.fallback);
+        assert_eq!(loaded.snapshot, s3);
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -18,8 +18,13 @@
 //!   priorities, fair-share accounting, done rows) is snapshotted to
 //!   an atomic-rename JSONL file ([`crate::checkpoint`]); a restarted
 //!   daemon resumes every in-flight campaign under the *same ids*.
-//!   A checkpoint is forced before `submitted` is acked, so a
-//!   campaign the client knows about is never lost.
+//!   A checkpoint is forced before `submitted` is acked — and a
+//!   submit whose forced snapshot cannot be written is rolled back
+//!   and rejected — so a campaign the client knows about is never
+//!   lost. Completed campaigns are retained until `retain_fetched_ms`
+//!   after their rows were first fetched (never-fetched campaigns
+//!   are kept), bounding a persistent daemon's memory and checkpoint
+//!   growth.
 //! - **Authenticated.** With a shared token configured, every
 //!   opening message (`hello`, `submit`, `fetch`, `status_request`)
 //!   must carry it; the comparison is constant-time
@@ -70,6 +75,18 @@ pub struct ServerOpts {
     /// after every mutation (slow, but the CI kill-test wants zero
     /// replay).
     pub checkpoint_every_ms: u64,
+    /// Deadline for a connection's *opening* message. A peer that
+    /// connects and says nothing (port scanner, half-open TCP) is
+    /// dropped after this long instead of pinning a handler thread
+    /// for the daemon's lifetime. 0 = wait forever.
+    pub handshake_timeout_ms: u64,
+    /// Retention for completed campaigns: evict a campaign (rows and
+    /// all) this long after its merged rows were first successfully
+    /// fetched, so a persistent daemon's memory and checkpoint don't
+    /// grow without bound. Never-fetched campaigns are kept — a
+    /// client that knows the id can always come back for it. 0 =
+    /// keep everything forever.
+    pub retain_fetched_ms: u64,
     /// One-shot mode: exit once every campaign is complete (and at
     /// least one exists). The daemon CLI leaves this false and runs
     /// until killed.
@@ -91,6 +108,8 @@ impl Default for ServerOpts {
             token: None,
             checkpoint: None,
             checkpoint_every_ms: 1000,
+            handshake_timeout_ms: 10_000,
+            retain_fetched_ms: 600_000,
             exit_when_done: false,
             shutdown: None,
         }
@@ -157,6 +176,10 @@ struct Campaign {
     /// Server-clock ms when the campaign was registered (or restored).
     started_ms: u64,
     completed: bool,
+    /// Server-clock ms of the first successful *complete* fetch —
+    /// the retention clock. Not persisted: a restarted daemon starts
+    /// the clock afresh, which only ever keeps campaigns longer.
+    fetched_at_ms: Option<u64>,
 }
 
 impl Campaign {
@@ -249,6 +272,32 @@ impl Shared {
     fn all_complete(&self) -> bool {
         !self.campaigns.is_empty() && self.campaigns.values().all(|c| c.queue.is_complete())
     }
+
+    /// Evict completed campaigns whose rows were first fetched more
+    /// than `retain_ms` ago (0 = never evict), returning their ids.
+    /// Eviction marks the state dirty so the next snapshot drops
+    /// them from the checkpoint too.
+    fn evict_fetched(&mut self, now_ms: u64, retain_ms: u64) -> Vec<u64> {
+        if retain_ms == 0 {
+            return Vec::new();
+        }
+        let expired: Vec<u64> = self
+            .campaigns
+            .values()
+            .filter(|c| c.queue.is_complete() && c.queue.leased() == 0)
+            .filter(|c| {
+                c.fetched_at_ms
+                    .is_some_and(|t| now_ms.saturating_sub(t) >= retain_ms)
+            })
+            .map(|c| c.id)
+            .collect();
+        for &id in &expired {
+            self.campaigns.remove(&id);
+            self.scheduler.remove(id);
+            self.dirty = true;
+        }
+        expired
+    }
 }
 
 /// Build the live service snapshot a `status_request` probe gets
@@ -334,33 +383,35 @@ fn status_metrics(s: &Shared, elapsed_ms: u64) -> MetricsReport {
     reg.snapshot("coordinator")
 }
 
-/// Snapshot to disk if checkpointing is on and either `force` or the
-/// state is dirty and the interval elapsed. Must be called with the
-/// lock *held by the caller* — takes `&mut Shared` to make that
+/// Snapshot to disk unconditionally (no-op when checkpointing is
+/// off) and report failure to the caller. The caller decides what a
+/// failure means: the submit ack path rolls back and rejects (the
+/// client must never hold an id a restart would forget), periodic
+/// callers log and let the next interval retry. Must be called with
+/// the lock *held by the caller* — takes `&mut Shared` to make that
 /// structural.
-fn maybe_checkpoint(s: &mut Shared, opts: &ServerOpts, now_ms: u64, force: bool) {
+fn checkpoint_now(s: &mut Shared, opts: &ServerOpts, now_ms: u64) -> Result<(), String> {
     let Some(path) = &opts.checkpoint else {
-        return;
+        return Ok(());
     };
-    if !force {
-        if !s.dirty {
-            return;
-        }
-        if now_ms.saturating_sub(s.last_checkpoint_ms) < opts.checkpoint_every_ms {
-            return;
-        }
+    checkpoint::save(path, &s.snapshot())?;
+    s.dirty = false;
+    s.last_checkpoint_ms = now_ms;
+    Ok(())
+}
+
+/// Periodic snapshot: only when the state is dirty and the interval
+/// elapsed. A failed periodic snapshot must not kill live campaigns;
+/// the operator sees the complaint and the next interval retries.
+fn maybe_checkpoint(s: &mut Shared, opts: &ServerOpts, now_ms: u64) {
+    if opts.checkpoint.is_none() || !s.dirty {
+        return;
     }
-    match checkpoint::save(path, &s.snapshot()) {
-        Ok(()) => {
-            s.dirty = false;
-            s.last_checkpoint_ms = now_ms;
-        }
-        Err(e) => {
-            // A failed snapshot must not kill live campaigns; the
-            // operator sees the complaint and the next interval
-            // retries.
-            eprintln!("dist: checkpoint failed: {e}");
-        }
+    if now_ms.saturating_sub(s.last_checkpoint_ms) < opts.checkpoint_every_ms {
+        return;
+    }
+    if let Err(e) = checkpoint_now(s, opts, now_ms) {
+        eprintln!("dist: checkpoint failed: {e}");
     }
 }
 
@@ -465,6 +516,7 @@ pub fn run_server(
                         queue,
                         started_ms: now_ms(),
                         completed: false,
+                        fetched_at_ms: None,
                     },
                 );
             }
@@ -489,14 +541,19 @@ pub fn run_server(
                 queue: JobQueue::new(experiment.job_count()),
                 started_ms: now_ms(),
                 completed: false,
+                fetched_at_ms: None,
             },
         );
         shared.dirty = true;
     }
     // Campaigns the daemon starts with are part of the resume
-    // contract from second zero.
-    let seed_dirty = shared.dirty;
-    maybe_checkpoint(&mut shared, opts, now_ms(), seed_dirty);
+    // contract from second zero: a daemon told to checkpoint but
+    // unable to write its file fails fast instead of running with an
+    // unsatisfiable resume promise.
+    if shared.dirty {
+        checkpoint_now(&mut shared, opts, now_ms())
+            .map_err(|e| format!("initial checkpoint: {e}"))?;
+    }
 
     let shared = Mutex::new(shared);
     let stop = AtomicBool::new(false);
@@ -510,7 +567,12 @@ pub fn run_server(
                 if expired > 0 && !opts.quiet {
                     eprintln!("dist: {expired} lease(s) expired, re-leasing");
                 }
-                maybe_checkpoint(&mut s, opts, now_ms(), false);
+                for id in s.evict_fetched(now_ms(), opts.retain_fetched_ms) {
+                    if !opts.quiet {
+                        eprintln!("dist: campaign c{id} evicted (fetched and retention elapsed)");
+                    }
+                }
+                maybe_checkpoint(&mut s, opts, now_ms());
                 if opts.exit_when_done && s.all_complete() {
                     stop.store(true, Ordering::SeqCst);
                     break;
@@ -549,7 +611,9 @@ pub fn run_server(
     {
         let mut s = shared.lock().unwrap();
         if s.dirty {
-            maybe_checkpoint(&mut s, opts, now_ms(), true);
+            if let Err(e) = checkpoint_now(&mut s, opts, now_ms()) {
+                eprintln!("dist: final checkpoint failed: {e}");
+            }
         }
     }
 
@@ -645,9 +709,20 @@ fn disconnect_reason(e: FrameError) -> Option<String> {
 enum ReadStop {
     Shutdown,
     Dead(FrameError),
+    /// The idle-window budget ran out with no frame received (only
+    /// possible through [`read_msg_within`] with a nonzero budget).
+    TimedOut,
 }
 
-fn read_msg(reader: &mut FrameReader<TcpStream>, stop: &AtomicBool) -> Result<Msg, ReadStop> {
+/// Wait for a frame, tolerating at most `max_idle` read-timeout
+/// windows of silence (0 = wait forever, i.e. until a frame, EOF, or
+/// shutdown).
+fn read_msg_within(
+    reader: &mut FrameReader<TcpStream>,
+    stop: &AtomicBool,
+    max_idle: u64,
+) -> Result<Msg, ReadStop> {
+    let mut idle: u64 = 0;
     loop {
         match reader.next_msg() {
             Ok(Some(msg)) => return Ok(msg),
@@ -655,10 +730,18 @@ fn read_msg(reader: &mut FrameReader<TcpStream>, stop: &AtomicBool) -> Result<Ms
                 if stop.load(Ordering::SeqCst) {
                     return Err(ReadStop::Shutdown);
                 }
+                idle += 1;
+                if max_idle > 0 && idle >= max_idle {
+                    return Err(ReadStop::TimedOut);
+                }
             }
             Err(e) => return Err(ReadStop::Dead(e)),
         }
     }
+}
+
+fn read_msg(reader: &mut FrameReader<TcpStream>, stop: &AtomicBool) -> Result<Msg, ReadStop> {
+    read_msg_within(reader, stop, 0)
 }
 
 fn handle_conn(
@@ -704,10 +787,30 @@ fn handle_conn(
         Some(expected) => token_matches(expected, token.as_deref()),
     };
 
-    let first = match read_msg(&mut reader, stop) {
+    // The opening message must arrive promptly: a peer that connects
+    // and sends nothing (port scanner, half-open TCP) must not pin
+    // this handler thread for the daemon's lifetime.
+    let handshake_windows = if opts.handshake_timeout_ms == 0 {
+        0
+    } else {
+        (opts.handshake_timeout_ms / opts.poll_ms.max(10)).max(1)
+    };
+    let first = match read_msg_within(&mut reader, stop, handshake_windows) {
         Ok(msg) => msg,
         Err(ReadStop::Shutdown) => {
             send_done(&mut writer, &mut reader);
+            return;
+        }
+        Err(ReadStop::TimedOut) => {
+            let mut s = shared.lock().unwrap();
+            s.rejected += 1;
+            drop(s);
+            if !opts.quiet {
+                eprintln!(
+                    "dist: dropping connection {conn_id} (no opening message within {}ms)",
+                    opts.handshake_timeout_ms
+                );
+            }
             return;
         }
         Err(ReadStop::Dead(e)) => {
@@ -818,6 +921,7 @@ fn handle_conn(
             let reply = {
                 let mut s = shared.lock().unwrap();
                 let id = s.next_campaign;
+                let was_dirty = s.dirty;
                 s.next_campaign += 1;
                 s.scheduler.add(id, priority);
                 s.campaigns.insert(
@@ -832,23 +936,40 @@ fn handle_conn(
                         queue: JobQueue::new(job_count),
                         started_ms: now_ms(),
                         completed: false,
+                        fetched_at_ms: None,
                     },
                 );
                 s.dirty = true;
                 // Force the snapshot *before* acking: once the client
                 // holds the campaign id, a daemon restart must not
-                // have forgotten it.
-                maybe_checkpoint(&mut s, opts, now_ms(), true);
-                if !opts.quiet {
-                    eprintln!(
-                        "dist: campaign c{id} submitted ({} jobs, priority {priority})",
-                        job_count
-                    );
-                }
-                Msg::Submitted {
-                    campaign: format!("c{id}"),
-                    job_count: job_count as u64,
-                    fingerprint,
+                // have forgotten it. If the save fails that invariant
+                // is unsatisfiable, so roll the campaign back and
+                // reject — never ack an id a restart would forget.
+                match checkpoint_now(&mut s, opts, now_ms()) {
+                    Ok(()) => {
+                        if !opts.quiet {
+                            eprintln!(
+                                "dist: campaign c{id} submitted ({} jobs, priority {priority})",
+                                job_count
+                            );
+                        }
+                        Msg::Submitted {
+                            campaign: format!("c{id}"),
+                            job_count: job_count as u64,
+                            fingerprint,
+                        }
+                    }
+                    Err(e) => {
+                        s.campaigns.remove(&id);
+                        s.scheduler.remove(id);
+                        s.next_campaign = id;
+                        s.dirty = was_dirty;
+                        s.rejected += 1;
+                        eprintln!("dist: rejecting submit on connection {conn_id}: checkpoint failed: {e}");
+                        Msg::Reject {
+                            reason: format!("coordinator cannot persist the campaign: {e}"),
+                        }
+                    }
                 }
             };
             if write_msg(&mut writer, &reply).is_ok() {
@@ -894,6 +1015,7 @@ fn handle_conn(
                     },
                 }
             };
+            let was_complete = matches!(fetched, Fetched::Complete { .. });
             let ok = match fetched {
                 Fetched::Unknown => {
                     reject(
@@ -944,6 +1066,14 @@ fn handle_conn(
                 }
             };
             if ok {
+                // The rows were delivered: start the retention clock
+                // (first successful fetch only).
+                if was_complete {
+                    let mut s = shared.lock().unwrap();
+                    if let Some(c) = parsed_id.and_then(|id| s.campaigns.get_mut(&id)) {
+                        c.fetched_at_ms.get_or_insert(now_ms());
+                    }
+                }
                 close_gracefully(&writer, &mut reader, Duration::from_secs(1));
             }
         }
@@ -1022,6 +1152,11 @@ fn worker_loop(
             Ok(msg) => msg,
             Err(ReadStop::Shutdown) => {
                 send_done(writer, reader);
+                finish(None);
+                return;
+            }
+            // Unreachable with an unbounded read; drop defensively.
+            Err(ReadStop::TimedOut) => {
                 finish(None);
                 return;
             }
@@ -1117,7 +1252,7 @@ fn worker_loop(
                 s.executed += executed;
                 s.cache_hits += cache_hits;
                 s.dirty = true;
-                maybe_checkpoint(&mut s, opts, now_ms(), false);
+                maybe_checkpoint(&mut s, opts, now_ms());
                 drop(s);
                 if newly_complete && !opts.quiet {
                     eprintln!("dist: campaign {id_str} complete ({done}/{total} jobs)");

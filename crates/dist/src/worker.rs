@@ -8,7 +8,11 @@
 //! Since protocol v3 each `lease` frame carries its campaign's spec
 //! and fingerprint; the worker resolves each campaign the first time
 //! it sees its id and keeps the resolved [`Experiment`] for later
-//! leases. A heartbeat thread keeps leases alive while cells execute,
+//! leases — re-checking the frame's fingerprint against the cached
+//! one on every lease, because the id→experiment binding is only
+//! stable while one daemon's state lives (a daemon restarted without
+//! its checkpoint reissues ids from `c1` for whatever is submitted
+//! next). A heartbeat thread keeps leases alive while cells execute,
 //! and a reconnect loop with capped exponential backoff + jitter
 //! (`--reconnect`) rides out coordinator restarts, so checkpoint
 //! resume is hands-off end to end.
@@ -154,8 +158,10 @@ pub fn work(addr: &str, registry: Registry, opts: &WorkerOpts) -> Result<WorkerS
     };
     let mut summary = WorkerSummary::default();
     // Campaigns survive sessions: a worker that reconnects after a
-    // coordinator restart already holds the resolved experiments.
-    let mut campaigns: HashMap<String, Experiment> = HashMap::new();
+    // coordinator restart already holds the resolved experiments,
+    // keyed by campaign id and guarded by the fingerprint each entry
+    // resolved to (see the re-verification in the lease loop).
+    let mut campaigns: HashMap<String, (String, Experiment)> = HashMap::new();
     // Deterministic per-worker jitter stream; seeding off the name
     // decorrelates a fleet launched in the same instant.
     let mut rng = Prng::seed_from_u64(name.bytes().fold(0xfe5ce5u64, |acc, b| {
@@ -223,7 +229,7 @@ fn session(
     registry: Registry,
     opts: &WorkerOpts,
     summary: &mut WorkerSummary,
-    campaigns: &mut HashMap<String, Experiment>,
+    campaigns: &mut HashMap<String, (String, Experiment)>,
     cache: &mut Option<ResultCache>,
     attempt: &mut u32,
 ) -> Result<SessionEnd, SessionError> {
@@ -359,6 +365,25 @@ fn session(
                 jobs,
             } => {
                 idle_ms = 0;
+                // A cached id→experiment binding is only valid while
+                // the daemon state that issued it lives: a daemon
+                // restarted without its checkpoint reissues ids from
+                // c1 for whatever is submitted next. Every lease
+                // frame carries the campaign's fingerprint, so check
+                // it on cache hits too — on mismatch the entry is
+                // stale; drop it and re-resolve below.
+                if campaigns
+                    .get(&campaign)
+                    .is_some_and(|(fp, _)| *fp != coord_fp)
+                {
+                    if !opts.quiet {
+                        eprintln!(
+                            "worker {name}: campaign {campaign} rebound to a different \
+                             experiment (coordinator restart?); re-resolving"
+                        );
+                    }
+                    campaigns.remove(&campaign);
+                }
                 // Resolve-and-verify once per campaign; later leases
                 // reuse the cached experiment.
                 if !campaigns.contains_key(&campaign) {
@@ -396,9 +421,9 @@ fn session(
                             spec.experiment
                         );
                     }
-                    campaigns.insert(campaign.clone(), experiment);
+                    campaigns.insert(campaign.clone(), (fp, experiment));
                 }
-                let experiment = campaigns.get(&campaign).expect("inserted above");
+                let (_, experiment) = campaigns.get(&campaign).expect("inserted above");
                 if jobs.iter().any(|&j| j >= experiment.job_count()) {
                     let why = format!(
                         "lease for campaign {campaign} contains out-of-range indices: {jobs:?}"

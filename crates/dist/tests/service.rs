@@ -333,6 +333,213 @@ fn batched_leases_respect_request_and_cap_and_merge_identically() {
     assert_eq!(merged_json(&tiny, campaign.rows), expected);
 }
 
+/// Read the next frame, skipping the keep-alives a worker's side
+/// thread interleaves while cells execute.
+fn recv_skip_heartbeats(reader: &mut FrameReader<TcpStream>) -> Msg {
+    loop {
+        match reader.next_msg().unwrap() {
+            Some(Msg::Heartbeat) => continue,
+            Some(msg) => return msg,
+            None => continue,
+        }
+    }
+}
+
+fn rows_json(rows: &[sfence_harness::IndexedRow]) -> Vec<String> {
+    rows.iter()
+        .map(|r| r.to_json().to_string_compact())
+        .collect()
+}
+
+#[test]
+fn worker_re_verifies_a_cached_campaign_when_its_fingerprint_changes() {
+    // A daemon restarted without its checkpoint reissues campaign ids
+    // from c1 for whatever is submitted next, so a reconnected
+    // worker's cached id→experiment binding can go stale. The lease
+    // frame's fingerprint is the tell: the worker must drop the cache
+    // and re-resolve, not silently run the old experiment's cells.
+    // A hand-rolled coordinator plays both daemon generations over
+    // one connection, which exercises exactly the cache-hit path a
+    // reconnect session takes.
+    let tiny = registry("tiny").unwrap();
+    let tiny2 = registry("tiny2").unwrap();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+
+    let server = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = FrameReader::new(stream);
+        match reader.next_msg().unwrap().unwrap() {
+            Msg::Hello { .. } => {}
+            other => panic!("expected hello, got {other:?}"),
+        }
+        write_msg(
+            &mut writer,
+            &Msg::Welcome {
+                lease_ttl_ms: 10_000,
+            },
+        )
+        .unwrap();
+        let mut lease = |spec_name: &str, exp: &Experiment| -> Vec<sfence_harness::IndexedRow> {
+            match recv_skip_heartbeats(&mut reader) {
+                Msg::Request { .. } => {}
+                other => panic!("expected request, got {other:?}"),
+            }
+            write_msg(
+                &mut writer,
+                &Msg::Lease {
+                    campaign: "c1".into(),
+                    spec: ExperimentSpec::new(spec_name).to_json(),
+                    fingerprint: exp.fingerprint(),
+                    job_count: exp.job_count() as u64,
+                    jobs: vec![0, 1],
+                },
+            )
+            .unwrap();
+            match recv_skip_heartbeats(&mut reader) {
+                Msg::Result { rows, .. } => rows,
+                other => panic!("expected result, got {other:?}"),
+            }
+        };
+        // First lease: c1 is "tiny". Second lease: same id, but the
+        // "restarted daemon" has bound c1 to "tiny2".
+        let rows1 = lease("tiny", &tiny);
+        let rows2 = lease("tiny2", &tiny2);
+        match recv_skip_heartbeats(&mut reader) {
+            Msg::Request { .. } => {}
+            other => panic!("expected request, got {other:?}"),
+        }
+        write_msg(&mut writer, &Msg::Done).unwrap();
+        (rows1, rows2)
+    });
+
+    let summary = work(&addr, registry, &test_worker_opts("chameleon")).unwrap();
+    let (rows1, rows2) = server.join().unwrap();
+    assert_eq!(summary.jobs, 4);
+    let tiny = registry("tiny").unwrap();
+    let tiny2 = registry("tiny2").unwrap();
+    let expect1 = tiny.run_with(RunOptions::new(1).jobs(vec![0, 1])).rows;
+    let expect2 = tiny2.run_with(RunOptions::new(1).jobs(vec![0, 1])).rows;
+    assert_eq!(rows_json(&rows1), rows_json(&expect1));
+    assert_eq!(
+        rows_json(&rows2),
+        rows_json(&expect2),
+        "second lease ran the rebound experiment, not the stale cache"
+    );
+}
+
+#[test]
+fn submit_is_rejected_when_the_forced_checkpoint_cannot_be_written() {
+    // The ack invariant — a campaign id the client holds survives a
+    // daemon restart — is unsatisfiable when the snapshot cannot be
+    // saved, so the submit must be rejected and rolled back, never
+    // acked.
+    let dir = scratch_dir("ckpt-fail");
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let opts = ServerOpts {
+        // The parent directory does not exist, so every save fails.
+        checkpoint: Some(dir.join("no-such-subdir").join("ckpt.jsonl")),
+        checkpoint_every_ms: 0,
+        shutdown: Some(Arc::clone(&shutdown)),
+        ..test_server_opts()
+    };
+
+    std::thread::scope(|s| {
+        let server = s.spawn(|| run_server(&listener, Some(registry), Vec::new(), &opts));
+        let wait = fast_wait_opts(None);
+        let err = client::submit(&addr, &ExperimentSpec::new("tiny"), 1, &wait.client).unwrap_err();
+        assert!(err.contains("cannot persist"), "{err}");
+        // The rollback means the daemon has never heard of c1.
+        let err = client::poll(&addr, "c1", &wait.client).unwrap_err();
+        assert!(err.contains("unknown campaign"), "{err}");
+        shutdown.store(true, Ordering::SeqCst);
+        let outcome = server.join().unwrap().expect("server exits");
+        assert!(outcome.campaigns.is_empty(), "no campaign survived");
+        assert!(outcome.rejected >= 1);
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_silent_connection_is_dropped_at_the_handshake_deadline() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let opts = ServerOpts {
+        handshake_timeout_ms: 100,
+        shutdown: Some(Arc::clone(&shutdown)),
+        ..test_server_opts()
+    };
+
+    std::thread::scope(|s| {
+        let server = s.spawn(|| run_server(&listener, Some(registry), Vec::new(), &opts));
+        // Connect and say nothing — the daemon must hang up on us,
+        // not pin a handler thread forever.
+        let mut stream = TcpStream::connect(&addr).unwrap();
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+            .unwrap();
+        let mut buf = [0u8; 16];
+        match std::io::Read::read(&mut stream, &mut buf) {
+            Ok(0) => {}
+            Ok(n) => panic!("expected a close, got {n} bytes"),
+            Err(e) if e.kind() == std::io::ErrorKind::ConnectionReset => {}
+            Err(e) => panic!("server did not close the silent connection: {e}"),
+        }
+        shutdown.store(true, Ordering::SeqCst);
+        let outcome = server.join().unwrap().expect("server exits");
+        assert!(outcome.rejected >= 1, "silent connection accounted");
+    });
+}
+
+#[test]
+fn completed_campaigns_are_evicted_after_the_fetch_retention_window() {
+    let tiny = registry("tiny").unwrap();
+    let expected = tiny.run_parallel().to_json_string();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let opts = ServerOpts {
+        retain_fetched_ms: 50,
+        shutdown: Some(Arc::clone(&shutdown)),
+        ..test_server_opts()
+    };
+
+    std::thread::scope(|s| {
+        let server = s.spawn(|| run_server(&listener, Some(registry), Vec::new(), &opts));
+        let worker = {
+            let addr = addr.clone();
+            s.spawn(move || work(&addr, registry, &test_worker_opts("ephemeral")))
+        };
+        let wait = fast_wait_opts(None);
+        let ticket = client::submit(&addr, &ExperimentSpec::new("tiny"), 1, &wait.client).unwrap();
+        // The first fetch delivers the rows and starts the retention
+        // clock...
+        let rows = client::wait_for_campaign(&addr, &ticket.campaign, &wait, |_, _| {}).unwrap();
+        assert_eq!(merged_json(&tiny, rows), expected);
+        // ...after which the campaign is evicted: polling it again
+        // eventually comes back unknown.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            match client::poll(&addr, &ticket.campaign, &wait.client) {
+                Err(e) if e.contains("unknown campaign") => break,
+                Err(e) => panic!("unexpected poll failure: {e}"),
+                Ok(_) if std::time::Instant::now() < deadline => {
+                    std::thread::sleep(std::time::Duration::from_millis(20))
+                }
+                Ok(_) => panic!("campaign never evicted"),
+            }
+        }
+        shutdown.store(true, Ordering::SeqCst);
+        let outcome = server.join().unwrap().expect("server exits");
+        worker.join().unwrap().expect("worker exits cleanly");
+        assert!(outcome.campaigns.is_empty(), "evicted from the table");
+    });
+}
+
 #[test]
 fn every_client_flow_is_refused_without_the_token() {
     let tiny = registry("tiny").unwrap();
