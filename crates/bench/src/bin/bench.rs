@@ -83,7 +83,12 @@ fn perf_main(args: PerfArgs) -> Result<(), String> {
         prof::disable();
         eprint!("{}", prof::report().render());
     }
-    let report = perf::report_json(&rows, threads, args.runs, &git_describe());
+    let stamp = git_describe();
+    if stamp.ends_with("-dirty") {
+        eprintln!("bench: WARNING: working tree is dirty; stamping perf report as {stamp:?}");
+        eprintln!("bench: WARNING: commit first before refreshing a checked-in baseline");
+    }
+    let report = perf::report_json(&rows, threads, args.runs, &stamp);
     let text = report.to_string_pretty();
     match &args.out {
         Some(path) => {

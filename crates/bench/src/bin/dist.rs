@@ -15,6 +15,11 @@
 //!                                              0 = keep forever)
 //!     [--handshake-timeout SECS]               drop connections with no opening message
 //!                                              after this long (default 10; 0 = never)
+//!     [--log FILE]                             structured JSONL event log (rotated)
+//!     [--log-level error|warn|info|debug]      verbosity for stderr and the event log
+//!     [--log-max-bytes N] [--log-max-files N]  event-log rotation policy
+//!     [--metrics-log FILE]                     periodic MetricsReport JSONL history
+//!     [--metrics-interval SECS]                history snapshot interval (default 10)
 //!     [--quiet]
 //!
 //! sfence-dist serve ADDR --experiment NAME     # one-shot: a single fixed campaign
@@ -43,12 +48,19 @@
 //!     [--lease-batch N]                        cells requested per lease (0 = server default)
 //!     [--reconnect N]                          retries after a lost coordinator (default 0)
 //!     [--idle-exit SECS]                       exit after this long with no work (0 = never)
+//!     [--log-level error|warn|info|debug]      stderr verbosity (overrides --quiet)
 //!     [--progress] [--quiet]
 //!
 //! sfence-dist status ADDR                      # probe a live coordinator
 //!     [--token-file FILE]
 //!     [--json]                                 raw MetricsReport JSON instead of tables
 //!     [--timeout SECS]                         connect/read bound (default 5)
+//!
+//! sfence-dist metrics ADDR                     # Prometheus-style text exposition
+//!     [--token-file FILE] [--timeout SECS]
+//!
+//! sfence-dist dump ADDR                        # flight recorder as JSONL on stdout
+//!     [--token-file FILE] [--timeout SECS]
 //! ```
 //!
 //! Every campaign's merged stdout/store output is byte-identical to
@@ -60,13 +72,17 @@
 
 use sfence_bench::cli::{self, OutputArgs};
 use sfence_dist::{
-    client, fetch_status, run_server, serve, work, CoordinatorOpts, ExperimentSpec, ServerOpts,
-    WorkerOpts,
+    client, fetch_dump, fetch_status, render_campaign_table, run_server, serve, work,
+    CoordinatorOpts, ExperimentSpec, ServerOpts, WorkerOpts,
 };
 use sfence_harness::{BackendId, SweepResult};
-use sfence_obs::{MetricValue, MetricsReport};
+use sfence_obs::log::{
+    install_panic_dump, EventLog, LogLevel, DEFAULT_LOG_MAX_BYTES, DEFAULT_LOG_MAX_FILES,
+};
+use sfence_obs::prometheus_text;
 use std::net::TcpListener;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Duration;
 
 fn main() {
@@ -77,15 +93,22 @@ fn main() {
         "submit" => cmd_submit(args),
         "work" => cmd_work(args),
         "status" => cmd_status(args),
+        "metrics" => cmd_metrics(args),
+        "dump" => cmd_dump(args),
         "" | "--help" | "-h" => {
             eprintln!("usage: sfence-dist serve ADDR [--experiment NAME] [options]");
             eprintln!("       sfence-dist submit ADDR --experiment NAME [options]");
             eprintln!("       sfence-dist work ADDR [options]");
             eprintln!("       sfence-dist status ADDR [--json] [--timeout SECS]");
+            eprintln!("       sfence-dist metrics ADDR [--timeout SECS]");
+            eprintln!("       sfence-dist dump ADDR [--timeout SECS]");
             std::process::exit(2);
         }
         other => {
-            eprintln!("error: unknown subcommand {other:?} (expected serve|submit|work|status)");
+            eprintln!(
+                "error: unknown subcommand {other:?} (expected \
+                 serve|submit|work|status|metrics|dump)"
+            );
             std::process::exit(2);
         }
     };
@@ -143,6 +166,12 @@ fn cmd_serve(mut it: impl Iterator<Item = String>) -> Result<(), String> {
     let mut checkpoint_every_ms: u64 = 1000;
     let mut retain_fetched_ms: u64 = 600_000;
     let mut handshake_timeout_ms: u64 = 10_000;
+    let mut log_path: Option<PathBuf> = None;
+    let mut log_level = LogLevel::Info;
+    let mut log_max_bytes: u64 = DEFAULT_LOG_MAX_BYTES;
+    let mut log_max_files: usize = DEFAULT_LOG_MAX_FILES;
+    let mut metrics_log: Option<PathBuf> = None;
+    let mut metrics_interval_ms: u64 = 10_000;
     while let Some(arg) = it.next() {
         let parsed = output.accept(&arg, &mut it).unwrap_or_else(|e| usage(e));
         if parsed {
@@ -195,6 +224,35 @@ fn cmd_serve(mut it: impl Iterator<Item = String>) -> Result<(), String> {
                 let secs: u64 = parse_flag(&mut it, "--handshake-timeout", |_| true, "seconds");
                 handshake_timeout_ms = secs * 1000;
             }
+            "--log" => {
+                log_path = Some(PathBuf::from(
+                    cli::take(&mut it, "--log").unwrap_or_else(|e| usage(e)),
+                ))
+            }
+            "--log-level" => {
+                log_level = parse_log_level(&mut it);
+            }
+            "--log-max-bytes" => {
+                log_max_bytes =
+                    parse_flag(&mut it, "--log-max-bytes", |&n: &u64| n > 0, "a byte count")
+            }
+            "--log-max-files" => {
+                log_max_files = parse_flag(
+                    &mut it,
+                    "--log-max-files",
+                    |&n: &usize| n > 0,
+                    "a file count",
+                )
+            }
+            "--metrics-log" => {
+                metrics_log = Some(PathBuf::from(
+                    cli::take(&mut it, "--metrics-log").unwrap_or_else(|e| usage(e)),
+                ))
+            }
+            "--metrics-interval" => {
+                let secs: u64 = parse_flag(&mut it, "--metrics-interval", |&n| n > 0, "seconds");
+                metrics_interval_ms = secs * 1000;
+            }
             "--json" => json = true,
             "--rows" => json = false,
             "--quiet" => quiet = true,
@@ -246,6 +304,30 @@ fn cmd_serve(mut it: impl Iterator<Item = String>) -> Result<(), String> {
                     .map(|p| p.display().to_string())
                     .unwrap_or_else(|| "off".into()),
             );
+            let stderr_level = if quiet { None } else { Some(log_level) };
+            let log = match &log_path {
+                Some(path) => Arc::new(
+                    EventLog::with_file(
+                        "dist",
+                        stderr_level,
+                        log_level,
+                        path,
+                        log_max_bytes,
+                        log_max_files,
+                    )
+                    .map_err(|e| format!("open event log {}: {e}", path.display()))?,
+                ),
+                None => Arc::new(EventLog::to_stderr("dist", stderr_level)),
+            };
+            // A panicking daemon leaves its flight recorder behind:
+            // beside the event log when one is configured, else on
+            // stderr.
+            let panic_path = log_path.as_ref().map(|p| {
+                let mut s = p.as_os_str().to_os_string();
+                s.push(".panic");
+                PathBuf::from(s)
+            });
+            install_panic_dump(Arc::clone(&log), panic_path);
             let opts = ServerOpts {
                 default_lease: lease_size,
                 lease_ttl_ms,
@@ -255,6 +337,9 @@ fn cmd_serve(mut it: impl Iterator<Item = String>) -> Result<(), String> {
                 checkpoint_every_ms,
                 retain_fetched_ms,
                 handshake_timeout_ms,
+                log: Some(log),
+                metrics_log,
+                metrics_interval_ms,
                 ..ServerOpts::default()
             };
             // Runs until the process is killed; the periodic
@@ -268,6 +353,16 @@ fn cmd_serve(mut it: impl Iterator<Item = String>) -> Result<(), String> {
             .map(|_| ())
         }
     }
+}
+
+/// Parse a `--log-level` value.
+fn parse_log_level(it: &mut impl Iterator<Item = String>) -> LogLevel {
+    let raw = cli::take(it, "--log-level").unwrap_or_else(|e| usage(e));
+    LogLevel::parse(&raw).unwrap_or_else(|| {
+        usage(format!(
+            "--log-level expects error|warn|info|debug, got {raw:?}"
+        ))
+    })
 }
 
 fn cmd_submit(mut it: impl Iterator<Item = String>) -> Result<(), String> {
@@ -386,8 +481,10 @@ fn cmd_submit(mut it: impl Iterator<Item = String>) -> Result<(), String> {
 fn cmd_work(mut it: impl Iterator<Item = String>) -> Result<(), String> {
     let mut addr: Option<String> = None;
     let mut opts = WorkerOpts::default();
+    let mut log_level: Option<LogLevel> = None;
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--log-level" => log_level = Some(parse_log_level(&mut it)),
             "--cache-dir" => {
                 opts.cache_dir = Some(PathBuf::from(
                     cli::take(&mut it, "--cache-dir").unwrap_or_else(|e| usage(e)),
@@ -426,6 +523,11 @@ fn cmd_work(mut it: impl Iterator<Item = String>) -> Result<(), String> {
     }
     let addr =
         addr.unwrap_or_else(|| usage("work needs the coordinator address (host:port)".into()));
+    // An explicit `--log-level` overrides `--quiet` / `--progress`:
+    // one knob governs all worker stderr output.
+    if let Some(level) = log_level {
+        opts.log = Some(Arc::new(EventLog::to_stderr("worker", Some(level))));
+    }
     work(&addr, sfence_bench::experiment_by_name, &opts).map(|_| ())
 }
 
@@ -465,56 +567,67 @@ fn cmd_status(mut it: impl Iterator<Item = String>) -> Result<(), String> {
     Ok(())
 }
 
-/// The per-campaign breakdown at the top of `sfence-dist status`:
-/// one row per campaign id found in the report's labels.
-fn render_campaign_table(report: &MetricsReport) -> String {
-    let campaigns = report.label_values("campaign");
-    if campaigns.is_empty() {
-        return String::new();
-    }
-    let gauge = |name: &str, id: &str| -> f64 {
-        match report.get(name, &[("campaign", id)]).map(|m| &m.value) {
-            Some(MetricValue::Gauge(g)) => *g,
-            _ => 0.0,
+/// `metrics ADDR`: probe a live coordinator and print its service
+/// snapshot as Prometheus-style text exposition, for scraping into
+/// ordinary monitoring tooling (`curl`-shaped, hand-rolled, no
+/// external crates).
+fn cmd_metrics(mut it: impl Iterator<Item = String>) -> Result<(), String> {
+    let mut addr: Option<String> = None;
+    let mut timeout = Duration::from_secs(5);
+    let mut token: Option<String> = None;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--timeout" => {
+                let secs: u64 = parse_flag(&mut it, "--timeout", |&n| n > 0, "seconds");
+                timeout = Duration::from_secs(secs);
+            }
+            "--token-file" => {
+                token = Some(read_token(
+                    &cli::take(&mut it, "--token-file").unwrap_or_else(|e| usage(e)),
+                )?)
+            }
+            other if !other.starts_with('-') && addr.is_none() => addr = Some(other.to_string()),
+            other => usage(format!("unknown flag {other:?}")),
         }
-    };
-    // `campaign_info` carries the experiment name as a second label;
-    // find the series by scanning rather than by exact label match.
-    let experiment = |id: &str| -> &str {
-        report
-            .metrics
-            .iter()
-            .find(|m| {
-                m.name == "campaign_info"
-                    && m.labels.iter().any(|(k, v)| k == "campaign" && v == id)
-            })
-            .and_then(|m| {
-                m.labels
-                    .iter()
-                    .find(|(k, _)| k == "experiment")
-                    .map(|(_, v)| v.as_str())
-            })
-            .unwrap_or("?")
-    };
-    let mut out = String::new();
-    out.push_str(&format!(
-        "{:<8} {:<20} {:>8} {:>7} {:>8} {:>7} {:>9} {:>10}\n",
-        "campaign", "experiment", "priority", "done", "pending", "leased", "state", "cells/s"
-    ));
-    for id in campaigns {
-        let complete = gauge("campaign_complete", id) > 0.0;
-        out.push_str(&format!(
-            "{:<8} {:<20} {:>8} {:>7} {:>8} {:>7} {:>9} {:>10.1}\n",
-            id,
-            experiment(id),
-            gauge("campaign_priority", id) as u64,
-            gauge("campaign_done", id) as u64,
-            gauge("campaign_pending", id) as u64,
-            gauge("campaign_leased", id) as u64,
-            if complete { "complete" } else { "running" },
-            gauge("campaign_cells_per_sec", id),
-        ));
     }
-    out.push('\n');
-    out
+    let addr =
+        addr.unwrap_or_else(|| usage("metrics needs the coordinator address (host:port)".into()));
+    let report = fetch_status(&addr, timeout, token.as_deref())?;
+    print!("{}", prometheus_text(&report, "sfence"));
+    Ok(())
+}
+
+/// `dump ADDR`: fetch the daemon's flight recorder and print it as
+/// JSONL on stdout (one event per line, same schema as `--log`
+/// files), plus a summary line on stderr.
+fn cmd_dump(mut it: impl Iterator<Item = String>) -> Result<(), String> {
+    let mut addr: Option<String> = None;
+    let mut timeout = Duration::from_secs(5);
+    let mut token: Option<String> = None;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--timeout" => {
+                let secs: u64 = parse_flag(&mut it, "--timeout", |&n| n > 0, "seconds");
+                timeout = Duration::from_secs(secs);
+            }
+            "--token-file" => {
+                token = Some(read_token(
+                    &cli::take(&mut it, "--token-file").unwrap_or_else(|e| usage(e)),
+                )?)
+            }
+            other if !other.starts_with('-') && addr.is_none() => addr = Some(other.to_string()),
+            other => usage(format!("unknown flag {other:?}")),
+        }
+    }
+    let addr =
+        addr.unwrap_or_else(|| usage("dump needs the coordinator address (host:port)".into()));
+    let (events, dropped) = fetch_dump(&addr, timeout, token.as_deref())?;
+    for ev in &events {
+        println!("{}", ev.to_json().to_string_compact());
+    }
+    eprintln!(
+        "dist: dumped {} event(s) ({dropped} older event(s) aged out of the ring)",
+        events.len()
+    );
+    Ok(())
 }

@@ -63,5 +63,5 @@ pub use protocol::{FrameError, FrameReader, Msg, MAX_FRAME, PROTOCOL_VERSION};
 pub use scheduler::FairShare;
 pub use server::{run_server, token_matches, ServerOpts, ServerOutcome};
 pub use spec::{ExperimentSpec, Registry};
-pub use status::fetch_status;
+pub use status::{fetch_dump, fetch_status, render_campaign_table};
 pub use worker::{work, WorkerOpts, WorkerSummary};

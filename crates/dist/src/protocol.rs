@@ -48,8 +48,16 @@
 //!
 //! A *status probe* sends `status_request` instead of `hello` and
 //! receives one `status` frame (a `sfence-obs` `MetricsReport` as
-//! opaque JSON — queue depth, per-campaign and per-worker series),
-//! then the connection closes. Probes never touch the job table.
+//! opaque JSON — queue depth, per-campaign and per-worker series,
+//! latency histograms with p50/p95/p99 buckets), then the connection
+//! closes. Probes never touch the job table.
+//!
+//! A *debug dump* probe (`debug_dump` → `debug_dump_reply`) works the
+//! same way but returns the daemon's flight recorder: the last N
+//! structured lifecycle events (`sfence-obs` `log::Event` records) as
+//! an opaque JSON array, for post-mortem inspection of a live daemon.
+//! Both probes are token-checked exactly like every other opening
+//! message.
 
 use sfence_harness::json::{self, Json};
 use sfence_harness::IndexedRow;
@@ -273,11 +281,17 @@ pub enum Msg {
     Done,
     /// Completed rows for one campaign (from a worker), or a chunk of
     /// a completed campaign's merged rows (to a `fetch` client).
+    ///
+    /// `wall_ms` is the wall-clock time the worker spent executing
+    /// the lease these rows came from (0 when not measured, e.g. on
+    /// fetch-flow chunks) — the coordinator divides it by the row
+    /// count to feed its per-cell latency histograms.
     Result {
         campaign: String,
         rows: Vec<IndexedRow>,
         executed: u64,
         cache_hits: u64,
+        wall_ms: f64,
     },
     Heartbeat,
     /// Submit flow: register a new campaign with the daemon.
@@ -312,6 +326,18 @@ pub enum Msg {
     /// stays decoupled from the metrics schema.
     Status {
         metrics: Json,
+    },
+    /// Probe flow: ask for the daemon's flight recorder (sent
+    /// *instead of* `hello`, token-checked like `status_request`).
+    DumpRequest {
+        token: Option<String>,
+    },
+    /// The flight-recorder reply: recent `sfence-obs` `log::Event`
+    /// records, oldest first, as opaque JSON. `dropped` counts events
+    /// that aged out of the ring before this dump.
+    DumpReply {
+        events: Json,
+        dropped: u64,
     },
 }
 
@@ -373,6 +399,7 @@ impl Msg {
                 rows,
                 executed,
                 cache_hits,
+                wall_ms,
             } => Json::obj()
                 .field("type", "result")
                 .field("campaign", campaign.as_str())
@@ -381,7 +408,8 @@ impl Msg {
                     Json::Arr(rows.iter().map(IndexedRow::to_json).collect()),
                 )
                 .field("executed", *executed)
-                .field("cache_hits", *cache_hits),
+                .field("cache_hits", *cache_hits)
+                .field("wall_ms", *wall_ms),
             Msg::Heartbeat => Json::obj().field("type", "heartbeat"),
             Msg::Submit {
                 token,
@@ -426,6 +454,13 @@ impl Msg {
             Msg::Status { metrics } => Json::obj()
                 .field("type", "status")
                 .field("metrics", metrics.clone()),
+            Msg::DumpRequest { token } => {
+                with_token(Json::obj().field("type", "debug_dump"), token)
+            }
+            Msg::DumpReply { events, dropped } => Json::obj()
+                .field("type", "debug_dump_reply")
+                .field("events", events.clone())
+                .field("dropped", *dropped),
         }
     }
 
@@ -497,6 +532,9 @@ impl Msg {
                 rows: rows()?,
                 executed: u64_field("executed")?,
                 cache_hits: u64_field("cache_hits")?,
+                // Absent on frames from pre-telemetry senders; 0
+                // means "not measured" everywhere it is read.
+                wall_ms: doc.get("wall_ms").and_then(Json::as_f64).unwrap_or(0.0),
             },
             "heartbeat" => Msg::Heartbeat,
             "submit" => Msg::Submit {
@@ -525,6 +563,14 @@ impl Msg {
                     .get("metrics")
                     .cloned()
                     .ok_or("status: missing metrics")?,
+            },
+            "debug_dump" => Msg::DumpRequest { token: token() },
+            "debug_dump_reply" => Msg::DumpReply {
+                events: doc
+                    .get("events")
+                    .cloned()
+                    .ok_or("debug_dump_reply: missing events")?,
+                dropped: u64_field("dropped")?,
             },
             other => return Err(format!("unknown message type {other:?}")),
         })
@@ -610,6 +656,35 @@ mod tests {
                 .field("schema_version", 1u64)
                 .field("produced_by", "coordinator"),
         });
+        round_trip(Msg::Result {
+            campaign: "c1".into(),
+            rows: Vec::new(),
+            executed: 2,
+            cache_hits: 1,
+            wall_ms: 12.5,
+        });
+        round_trip(Msg::DumpRequest { token: None });
+        round_trip(Msg::DumpRequest {
+            token: Some("secret".into()),
+        });
+        round_trip(Msg::DumpReply {
+            events: Json::Arr(vec![Json::obj().field("event", "lease")]),
+            dropped: 7,
+        });
+    }
+
+    #[test]
+    fn result_without_wall_ms_defaults_to_unmeasured() {
+        // Telemetry is additive within protocol v3: a result frame
+        // from a sender that never measures wall time still parses.
+        let doc = json::parse(
+            r#"{"type":"result","campaign":"c1","rows":[],"executed":1,"cache_hits":0}"#,
+        )
+        .unwrap();
+        match Msg::from_json(&doc).unwrap() {
+            Msg::Result { wall_ms, .. } => assert_eq!(wall_ms, 0.0),
+            other => panic!("expected result, got {other:?}"),
+        }
     }
 
     #[test]

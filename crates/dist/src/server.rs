@@ -38,7 +38,11 @@ use crate::protocol::{
 use crate::scheduler::FairShare;
 use crate::spec::{ExperimentSpec, Registry};
 use sfence_harness::experiment::SweepRow;
+use sfence_harness::json::Json;
 use sfence_harness::{Experiment, IndexedRow, JobQueue, SCHEMA_VERSION};
+use sfence_obs::log::{
+    EventLog, LogLevel, RotatingWriter, DEFAULT_LOG_MAX_BYTES, DEFAULT_LOG_MAX_FILES,
+};
 use sfence_obs::MetricsReport;
 use std::collections::BTreeMap;
 use std::io;
@@ -47,6 +51,15 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// A worker whose per-cell p99 exceeds this multiple of the fleet's
+/// median per-cell latency is flagged as a straggler in the `status`
+/// frame (`worker_straggler` gauge).
+pub const STRAGGLER_FACTOR: f64 = 4.0;
+
+/// Minimum per-worker sample count before straggler flagging kicks
+/// in — a worker's first lease or two is warmup, not evidence.
+pub const STRAGGLER_MIN_SAMPLES: u64 = 8;
 
 /// Tunables of one [`run_server`] call.
 #[derive(Debug, Clone)]
@@ -94,6 +107,17 @@ pub struct ServerOpts {
     /// Externally-set kill switch (tests, `sfence-sweep --workers`'s
     /// all-workers-died detector).
     pub shutdown: Option<Arc<AtomicBool>>,
+    /// Event logger for lifecycle events (stderr + optional JSONL
+    /// file + flight recorder). `None` = the server builds a
+    /// stderr-only logger whose verbosity follows `quiet`.
+    pub log: Option<Arc<EventLog>>,
+    /// Append a `MetricsReport` snapshot to this rotated JSONL file
+    /// every `metrics_interval_ms`. `None` disables the history.
+    pub metrics_log: Option<PathBuf>,
+    /// Interval between metrics-history snapshots.
+    pub metrics_interval_ms: u64,
+    /// Rotation threshold for the metrics history file.
+    pub metrics_max_bytes: u64,
 }
 
 impl Default for ServerOpts {
@@ -112,6 +136,10 @@ impl Default for ServerOpts {
             retain_fetched_ms: 600_000,
             exit_when_done: false,
             shutdown: None,
+            log: None,
+            metrics_log: None,
+            metrics_interval_ms: 10_000,
+            metrics_max_bytes: DEFAULT_LOG_MAX_BYTES,
         }
     }
 }
@@ -216,6 +244,10 @@ struct Shared {
     released: u64,
     rejected: u64,
     worker_stats: BTreeMap<String, WorkerStat>,
+    /// Long-lived latency histograms (lease grant, per-cell wall
+    /// time, frame handling, checkpoint saves), spliced into every
+    /// `status` snapshot via [`sfence_obs::Registry::absorb`].
+    hist: sfence_obs::Registry,
     /// Set on any mutation the checkpoint must capture; cleared on
     /// snapshot.
     dirty: bool,
@@ -302,7 +334,9 @@ impl Shared {
 
 /// Build the live service snapshot a `status_request` probe gets
 /// back. The aggregate series keep their v2 names (dashboards and CI
-/// grep them); v3 adds per-campaign series labeled by campaign id.
+/// grep them); v3 adds per-campaign series labeled by campaign id,
+/// latency histograms (`*_ms` series with p50/p95/p99 buckets), and
+/// `worker_straggler` flags.
 fn status_metrics(s: &Shared, elapsed_ms: u64) -> MetricsReport {
     let mut reg = sfence_obs::Registry::new();
     let totals = s.campaigns.values().fold((0, 0, 0, 0), |acc, c| {
@@ -373,12 +407,43 @@ fn status_metrics(s: &Shared, elapsed_ms: u64) -> MetricsReport {
             rate(c.queue.done() as u64, age_ms),
         );
     }
+    reg.gauge("campaigns_known", &[], s.campaigns.len() as f64);
     for (key, stat) in &s.worker_stats {
         let labels = [("worker", key.as_str())];
         reg.counter("worker_jobs", &labels, stat.jobs);
         reg.counter("worker_executed", &labels, stat.executed);
         reg.counter("worker_cache_hits", &labels, stat.cache_hits);
         reg.gauge("worker_cells_per_sec", &labels, rate(stat.jobs, elapsed_ms));
+    }
+    // Latency histograms accumulated since startup, plus straggler
+    // flags derived from them: a worker whose per-cell p99 exceeds
+    // STRAGGLER_FACTOR × the fleet's median per-cell p50 is flagged.
+    reg.absorb(&s.hist);
+    let mut fleet_p50s: Vec<f64> = s
+        .worker_stats
+        .keys()
+        .filter_map(|key| s.hist.histogram_value("cell_wall_ms", &[("worker", key)]))
+        .filter(|h| h.count > 0)
+        .map(|h| h.p50())
+        .collect();
+    fleet_p50s.sort_by(|a, b| a.total_cmp(b));
+    let fleet_median = if fleet_p50s.is_empty() {
+        0.0
+    } else {
+        fleet_p50s[fleet_p50s.len() / 2]
+    };
+    for key in s.worker_stats.keys() {
+        let Some(h) = s.hist.histogram_value("cell_wall_ms", &[("worker", key)]) else {
+            continue;
+        };
+        let straggler = h.count >= STRAGGLER_MIN_SAMPLES
+            && fleet_median > 0.0
+            && h.p99() > STRAGGLER_FACTOR * fleet_median;
+        reg.gauge(
+            "worker_straggler",
+            &[("worker", key.as_str())],
+            if straggler { 1.0 } else { 0.0 },
+        );
     }
     reg.snapshot("coordinator")
 }
@@ -394,7 +459,13 @@ fn checkpoint_now(s: &mut Shared, opts: &ServerOpts, now_ms: u64) -> Result<(), 
     let Some(path) = &opts.checkpoint else {
         return Ok(());
     };
+    let t0 = Instant::now();
     checkpoint::save(path, &s.snapshot())?;
+    s.hist.observe(
+        "checkpoint_save_ms",
+        &[],
+        t0.elapsed().as_secs_f64() * 1000.0,
+    );
     s.dirty = false;
     s.last_checkpoint_ms = now_ms;
     Ok(())
@@ -403,15 +474,16 @@ fn checkpoint_now(s: &mut Shared, opts: &ServerOpts, now_ms: u64) -> Result<(), 
 /// Periodic snapshot: only when the state is dirty and the interval
 /// elapsed. A failed periodic snapshot must not kill live campaigns;
 /// the operator sees the complaint and the next interval retries.
-fn maybe_checkpoint(s: &mut Shared, opts: &ServerOpts, now_ms: u64) {
+fn maybe_checkpoint(s: &mut Shared, opts: &ServerOpts, now_ms: u64, log: &EventLog) {
     if opts.checkpoint.is_none() || !s.dirty {
         return;
     }
     if now_ms.saturating_sub(s.last_checkpoint_ms) < opts.checkpoint_every_ms {
         return;
     }
-    if let Err(e) = checkpoint_now(s, opts, now_ms) {
-        eprintln!("dist: checkpoint failed: {e}");
+    match checkpoint_now(s, opts, now_ms) {
+        Ok(()) => log.debug("checkpoint", &[]),
+        Err(e) => log.error("checkpoint_fail", &[("err", &e)]),
     }
 }
 
@@ -435,6 +507,21 @@ pub fn run_server(
     let start = Instant::now();
     let now_ms = || start.elapsed().as_millis() as u64;
 
+    // Telemetry: the caller's logger, or a stderr-only one whose
+    // verbosity follows `quiet` (preserving the pre-logger behavior
+    // of the ad-hoc eprintln sites this replaced).
+    let log: Arc<EventLog> = opts.log.clone().unwrap_or_else(|| {
+        Arc::new(EventLog::to_stderr(
+            "dist",
+            if opts.quiet {
+                None
+            } else {
+                Some(LogLevel::Info)
+            },
+        ))
+    });
+    let log = log.as_ref();
+
     let mut shared = Shared {
         next_campaign: 1,
         campaigns: BTreeMap::new(),
@@ -445,6 +532,7 @@ pub fn run_server(
         released: 0,
         rejected: 0,
         worker_stats: BTreeMap::new(),
+        hist: sfence_obs::Registry::new(),
         dirty: false,
         last_checkpoint_ms: 0,
     };
@@ -453,9 +541,9 @@ pub fn run_server(
     if let Some(path) = &opts.checkpoint {
         if let Some(loaded) = checkpoint::load(path)? {
             if loaded.fallback {
-                eprintln!(
-                    "dist: main checkpoint torn; resumed from {}.prev",
-                    path.display()
+                log.warn(
+                    "checkpoint_torn_fallback",
+                    &[("prev", &format!("{}.prev", path.display()))],
                 );
             }
             let snap = loaded.snapshot;
@@ -494,15 +582,15 @@ pub fn run_server(
                         c.job_count
                     ));
                 }
-                if !opts.quiet {
-                    eprintln!(
-                        "dist: resumed campaign c{} ({:?}) at {}/{} jobs",
-                        c.id,
-                        c.spec.experiment,
-                        queue.done(),
-                        queue.len()
-                    );
-                }
+                log.info(
+                    "resume",
+                    &[
+                        ("campaign", &format!("c{}", c.id)),
+                        ("experiment", &c.spec.experiment),
+                        ("done", &queue.done().to_string()),
+                        ("total", &queue.len().to_string()),
+                    ],
+                );
                 shared.scheduler.restore(c.id, c.priority.max(1), c.served);
                 shared.campaigns.insert(
                     c.id,
@@ -555,27 +643,52 @@ pub fn run_server(
             .map_err(|e| format!("initial checkpoint: {e}"))?;
     }
 
+    // Metrics history: a rotated JSONL time-series of status
+    // snapshots. Like the initial checkpoint, a daemon told to record
+    // history but unable to open the file fails fast.
+    let mut metrics_writer = match &opts.metrics_log {
+        Some(path) => Some(
+            RotatingWriter::open(path, opts.metrics_max_bytes, DEFAULT_LOG_MAX_FILES)
+                .map_err(|e| format!("metrics log {}: {e}", path.display()))?,
+        ),
+        None => None,
+    };
+    let mut last_metrics_ms: Option<u64> = None;
+
     let shared = Mutex::new(shared);
     let stop = AtomicBool::new(false);
 
     std::thread::scope(|scope| {
         let mut conn_id: u64 = 0;
         loop {
+            let mut metrics_line: Option<String> = None;
             {
                 let mut s = shared.lock().unwrap();
                 let expired = s.expire_all(now_ms());
-                if expired > 0 && !opts.quiet {
-                    eprintln!("dist: {expired} lease(s) expired, re-leasing");
+                if expired > 0 {
+                    log.info("re_lease", &[("count", &expired.to_string())]);
                 }
                 for id in s.evict_fetched(now_ms(), opts.retain_fetched_ms) {
-                    if !opts.quiet {
-                        eprintln!("dist: campaign c{id} evicted (fetched and retention elapsed)");
-                    }
+                    log.info("evict", &[("campaign", &format!("c{id}"))]);
                 }
-                maybe_checkpoint(&mut s, opts, now_ms());
+                maybe_checkpoint(&mut s, opts, now_ms(), log);
+                if metrics_writer.is_some()
+                    && last_metrics_ms.is_none_or(|at| {
+                        now_ms().saturating_sub(at) >= opts.metrics_interval_ms.max(1)
+                    })
+                {
+                    metrics_line = Some(status_metrics(&s, now_ms()).to_json().to_string_compact());
+                    last_metrics_ms = Some(now_ms());
+                }
                 if opts.exit_when_done && s.all_complete() {
                     stop.store(true, Ordering::SeqCst);
                     break;
+                }
+            }
+            if let (Some(w), Some(line)) = (metrics_writer.as_mut(), metrics_line) {
+                if let Err(e) = w.append_line(&line) {
+                    log.error("metrics_log_fail", &[("err", &e.to_string())]);
+                    metrics_writer = None;
                 }
             }
             if matches!(&opts.shutdown, Some(flag) if flag.load(Ordering::SeqCst)) {
@@ -586,13 +699,14 @@ pub fn run_server(
                 Ok((stream, peer)) => {
                     conn_id += 1;
                     let id = conn_id;
-                    if !opts.quiet {
-                        eprintln!("dist: connection {id} from {peer}");
-                    }
+                    log.debug(
+                        "conn_open",
+                        &[("conn", &id.to_string()), ("peer", &peer.to_string())],
+                    );
                     let shared = &shared;
                     let stop = &stop;
                     scope.spawn(move || {
-                        handle_conn(stream, id, shared, stop, registry, opts, &now_ms);
+                        handle_conn(stream, id, shared, stop, registry, opts, &now_ms, log);
                     });
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -612,7 +726,7 @@ pub fn run_server(
         let mut s = shared.lock().unwrap();
         if s.dirty {
             if let Err(e) = checkpoint_now(&mut s, opts, now_ms()) {
-                eprintln!("dist: final checkpoint failed: {e}");
+                log.error("checkpoint_fail", &[("phase", "final"), ("err", &e)]);
             }
         }
     }
@@ -744,6 +858,7 @@ fn read_msg(reader: &mut FrameReader<TcpStream>, stop: &AtomicBool) -> Result<Ms
     read_msg_within(reader, stop, 0)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn handle_conn(
     stream: TcpStream,
     conn_id: u64,
@@ -752,6 +867,7 @@ fn handle_conn(
     registry: Option<Registry>,
     opts: &ServerOpts,
     now_ms: &dyn Fn() -> u64,
+    log: &EventLog,
 ) {
     let _ = stream.set_nodelay(true);
     if stream
@@ -767,21 +883,23 @@ fn handle_conn(
     let mut reader = FrameReader::new(stream);
 
     // Reject a connection at its opening message: count it, tell the
-    // peer why, close. Used for auth failures and version mismatches
-    // alike, so a probing client can't distinguish "bad token" from
-    // any other refusal beyond the reason string we choose to send.
-    let reject =
-        |writer: &mut TcpStream, reader: &mut FrameReader<TcpStream>, reason: String, log: &str| {
-            let mut s = shared.lock().unwrap();
-            s.rejected += 1;
-            drop(s);
-            if !opts.quiet {
-                eprintln!("dist: rejecting connection {conn_id} ({log})");
-            }
-            if write_msg(writer, &Msg::Reject { reason }).is_ok() {
-                close_gracefully(writer, reader, Duration::from_secs(1));
-            }
-        };
+    // peer why, close. `event` distinguishes auth failures
+    // ("auth_reject") from every other refusal ("reject") in the
+    // structured log; the peer sees only the reason string we choose
+    // to send, so a probing client can't learn more from the wire.
+    let reject = |writer: &mut TcpStream,
+                  reader: &mut FrameReader<TcpStream>,
+                  reason: String,
+                  event: &str,
+                  why: &str| {
+        let mut s = shared.lock().unwrap();
+        s.rejected += 1;
+        drop(s);
+        log.warn(event, &[("conn", &conn_id.to_string()), ("why", why)]);
+        if write_msg(writer, &Msg::Reject { reason }).is_ok() {
+            close_gracefully(writer, reader, Duration::from_secs(1));
+        }
+    };
     let auth_ok = |token: &Option<String>| match &opts.token {
         None => true,
         Some(expected) => token_matches(expected, token.as_deref()),
@@ -805,12 +923,13 @@ fn handle_conn(
             let mut s = shared.lock().unwrap();
             s.rejected += 1;
             drop(s);
-            if !opts.quiet {
-                eprintln!(
-                    "dist: dropping connection {conn_id} (no opening message within {}ms)",
-                    opts.handshake_timeout_ms
-                );
-            }
+            log.warn(
+                "handshake_drop",
+                &[
+                    ("conn", &conn_id.to_string()),
+                    ("timeout_ms", &opts.handshake_timeout_ms.to_string()),
+                ],
+            );
             return;
         }
         Err(ReadStop::Dead(e)) => {
@@ -818,9 +937,10 @@ fn handle_conn(
                 let mut s = shared.lock().unwrap();
                 s.rejected += 1;
                 drop(s);
-                if !opts.quiet {
-                    eprintln!("dist: dropping connection {conn_id} ({why})");
-                }
+                log.warn(
+                    "conn_drop",
+                    &[("conn", &conn_id.to_string()), ("why", &why)],
+                );
             }
             return;
         }
@@ -835,7 +955,13 @@ fn handle_conn(
             token,
         } => {
             if !auth_ok(&token) {
-                reject(&mut writer, &mut reader, "bad token".into(), "bad token");
+                reject(
+                    &mut writer,
+                    &mut reader,
+                    "bad token".into(),
+                    "auth_reject",
+                    "bad token",
+                );
                 return;
             }
             if schema_version != SCHEMA_VERSION || protocol_version != PROTOCOL_VERSION {
@@ -847,6 +973,7 @@ fn handle_conn(
                          {protocol_version}, coordinator speaks schema {SCHEMA_VERSION} / \
                          protocol {PROTOCOL_VERSION}"
                     ),
+                    "reject",
                     "version mismatch",
                 );
                 return;
@@ -866,9 +993,7 @@ fn handle_conn(
                 let mut s = shared.lock().unwrap();
                 s.workers += 1;
             }
-            if !opts.quiet {
-                eprintln!("dist: worker {worker_key} ready");
-            }
+            log.info("worker_ready", &[("worker", &worker_key)]);
             worker_loop(
                 &worker_key,
                 &mut writer,
@@ -877,6 +1002,7 @@ fn handle_conn(
                 stop,
                 opts,
                 now_ms,
+                log,
             );
         }
 
@@ -887,7 +1013,13 @@ fn handle_conn(
             priority,
         } => {
             if !auth_ok(&token) {
-                reject(&mut writer, &mut reader, "bad token".into(), "bad token");
+                reject(
+                    &mut writer,
+                    &mut reader,
+                    "bad token".into(),
+                    "auth_reject",
+                    "bad token",
+                );
                 return;
             }
             let Some(registry) = registry else {
@@ -897,6 +1029,7 @@ fn handle_conn(
                     "this coordinator runs a single fixed campaign and does not accept \
                      submissions"
                         .into(),
+                    "reject",
                     "submit to one-shot coordinator",
                 );
                 return;
@@ -904,14 +1037,14 @@ fn handle_conn(
             let spec = match ExperimentSpec::from_json(&spec) {
                 Ok(spec) => spec,
                 Err(e) => {
-                    reject(&mut writer, &mut reader, e.clone(), &e);
+                    reject(&mut writer, &mut reader, e.clone(), "reject", &e);
                     return;
                 }
             };
             let experiment = match spec.resolve(registry) {
                 Ok(e) => e,
                 Err(e) => {
-                    reject(&mut writer, &mut reader, e.clone(), &e);
+                    reject(&mut writer, &mut reader, e.clone(), "reject", &e);
                     return;
                 }
             };
@@ -947,12 +1080,15 @@ fn handle_conn(
                 // reject — never ack an id a restart would forget.
                 match checkpoint_now(&mut s, opts, now_ms()) {
                     Ok(()) => {
-                        if !opts.quiet {
-                            eprintln!(
-                                "dist: campaign c{id} submitted ({} jobs, priority {priority})",
-                                job_count
-                            );
-                        }
+                        log.info(
+                            "submit",
+                            &[
+                                ("campaign", &format!("c{id}")),
+                                ("experiment", &s.campaigns[&id].spec.experiment),
+                                ("jobs", &job_count.to_string()),
+                                ("priority", &priority.to_string()),
+                            ],
+                        );
                         Msg::Submitted {
                             campaign: format!("c{id}"),
                             job_count: job_count as u64,
@@ -965,7 +1101,10 @@ fn handle_conn(
                         s.next_campaign = id;
                         s.dirty = was_dirty;
                         s.rejected += 1;
-                        eprintln!("dist: rejecting submit on connection {conn_id}: checkpoint failed: {e}");
+                        log.error(
+                            "submit_reject",
+                            &[("conn", &conn_id.to_string()), ("err", &e)],
+                        );
                         Msg::Reject {
                             reason: format!("coordinator cannot persist the campaign: {e}"),
                         }
@@ -980,7 +1119,13 @@ fn handle_conn(
         // --- Fetch flow ------------------------------------------
         Msg::Fetch { token, campaign } => {
             if !auth_ok(&token) {
-                reject(&mut writer, &mut reader, "bad token".into(), "bad token");
+                reject(
+                    &mut writer,
+                    &mut reader,
+                    "bad token".into(),
+                    "auth_reject",
+                    "bad token",
+                );
                 return;
             }
             let parsed_id = campaign
@@ -1022,6 +1167,7 @@ fn handle_conn(
                         &mut writer,
                         &mut reader,
                         format!("unknown campaign {campaign:?}"),
+                        "reject",
                         "unknown campaign",
                     );
                     return;
@@ -1046,6 +1192,7 @@ fn handle_conn(
                                 rows: chunk.to_vec(),
                                 executed: 0,
                                 cache_hits: 0,
+                                wall_ms: 0.0,
                             },
                         )
                         .is_ok();
@@ -1081,16 +1228,20 @@ fn handle_conn(
         // --- Probe flow ------------------------------------------
         Msg::StatusRequest { token } => {
             if !auth_ok(&token) {
-                reject(&mut writer, &mut reader, "bad token".into(), "bad token");
+                reject(
+                    &mut writer,
+                    &mut reader,
+                    "bad token".into(),
+                    "auth_reject",
+                    "bad token",
+                );
                 return;
             }
             let report = {
                 let s = shared.lock().unwrap();
                 status_metrics(&s, now_ms())
             };
-            if !opts.quiet {
-                eprintln!("dist: status probe from connection {conn_id}");
-            }
+            log.debug("status_probe", &[("conn", &conn_id.to_string())]);
             if write_msg(
                 &mut writer,
                 &Msg::Status {
@@ -1103,11 +1254,41 @@ fn handle_conn(
             }
         }
 
+        // --- Flight-recorder dump --------------------------------
+        Msg::DumpRequest { token } => {
+            if !auth_ok(&token) {
+                reject(
+                    &mut writer,
+                    &mut reader,
+                    "bad token".into(),
+                    "auth_reject",
+                    "bad token",
+                );
+                return;
+            }
+            let (events, dropped) = log.recent_with_dropped();
+            log.debug(
+                "dump_probe",
+                &[
+                    ("conn", &conn_id.to_string()),
+                    ("events", &events.len().to_string()),
+                ],
+            );
+            let reply = Msg::DumpReply {
+                events: Json::Arr(events.iter().map(|e| e.to_json()).collect()),
+                dropped,
+            };
+            if write_msg(&mut writer, &reply).is_ok() {
+                close_gracefully(&writer, &mut reader, Duration::from_secs(1));
+            }
+        }
+
         other => {
             reject(
                 &mut writer,
                 &mut reader,
-                format!("expected hello/submit/fetch/status_request, got {other:?}"),
+                format!("expected hello/submit/fetch/status_request/debug_dump, got {other:?}"),
+                "reject",
                 "bad opening message",
             );
         }
@@ -1117,6 +1298,7 @@ fn handle_conn(
 /// The post-handshake worker conversation: requests become leases
 /// picked by the fair-share scheduler, results land in their
 /// campaign's queue, heartbeats extend leases across every campaign.
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     worker_key: &str,
     writer: &mut TcpStream,
@@ -1125,6 +1307,7 @@ fn worker_loop(
     stop: &AtomicBool,
     opts: &ServerOpts,
     now_ms: &dyn Fn() -> u64,
+    log: &EventLog,
 ) {
     // Per-connection cleanup: drop the worker's leases back into the
     // pool (no-op if it held none) and account the disconnect.
@@ -1134,16 +1317,21 @@ fn worker_loop(
         if torn.is_some() {
             s.rejected += 1;
         }
-        if !opts.quiet {
-            match torn {
-                Some(why) => eprintln!(
-                    "dist: dropping worker {worker_key} ({why}); {released} lease(s) re-queued"
-                ),
-                None if released > 0 => {
-                    eprintln!("dist: worker {worker_key} gone; {released} lease(s) re-queued")
-                }
-                None => {}
-            }
+        drop(s);
+        match torn {
+            Some(why) => log.warn(
+                "worker_drop",
+                &[
+                    ("worker", worker_key),
+                    ("why", &why),
+                    ("released", &released.to_string()),
+                ],
+            ),
+            None if released > 0 => log.info(
+                "worker_drop",
+                &[("worker", worker_key), ("released", &released.to_string())],
+            ),
+            None => {}
         }
     };
 
@@ -1165,6 +1353,8 @@ fn worker_loop(
                 return;
             }
         };
+        let frame_t0 = Instant::now();
+        let mut frame_kind: Option<&'static str> = None;
         let reply = match msg {
             // A stopping server answers `done` instead of a lease. The
             // read-timeout path below can't be the only stop check: a
@@ -1172,6 +1362,7 @@ fn worker_loop(
             // idle window may never open.
             Msg::Request { .. } if stop.load(Ordering::SeqCst) => Some(Msg::Done),
             Msg::Request { batch } => {
+                frame_kind = Some("request");
                 let want = if batch == 0 {
                     opts.default_lease
                 } else {
@@ -1204,8 +1395,18 @@ fn worker_loop(
                                 job_count: c.job_count as u64,
                                 jobs: jobs.clone(),
                             };
+                            let cid = c.public_id();
                             s.scheduler.charge(id, jobs.len() as u64);
                             s.dirty = true;
+                            // Grant latency: how long the scheduler +
+                            // queue held this request frame.
+                            let grant_ms = frame_t0.elapsed().as_secs_f64() * 1000.0;
+                            s.hist
+                                .observe("lease_grant_ms", &[("campaign", &cid)], grant_ms);
+                            s.hist
+                                .observe("lease_grant_ms", &[("worker", worker_key)], grant_ms);
+                            drop(s);
+                            log.debug("lease", &[("worker", worker_key), ("campaign", &cid)]);
                             Some(msg)
                         }
                     }
@@ -1216,7 +1417,9 @@ fn worker_loop(
                 rows,
                 executed,
                 cache_hits,
+                wall_ms,
             } => {
+                frame_kind = Some("result");
                 let parsed_id = campaign
                     .strip_prefix('c')
                     .and_then(|rest| rest.parse::<u64>().ok());
@@ -1226,8 +1429,9 @@ fn worker_loop(
                     finish(Some(format!("result for unknown campaign {campaign:?}")));
                     return;
                 };
+                let rows_n = rows.len();
                 let stat = s.worker_stats.entry(worker_key.to_string()).or_default();
-                stat.jobs += rows.len() as u64;
+                stat.jobs += rows_n as u64;
                 stat.executed += executed;
                 stat.cache_hits += cache_hits;
                 let c = s.campaigns.get_mut(&id).expect("checked above");
@@ -1252,10 +1456,29 @@ fn worker_loop(
                 s.executed += executed;
                 s.cache_hits += cache_hits;
                 s.dirty = true;
-                maybe_checkpoint(&mut s, opts, now_ms());
+                // Per-cell wall time, worker-measured: spread the
+                // batch's wall clock evenly over its cells so the
+                // histograms weight by cell, not by batch.
+                if wall_ms > 0.0 && rows_n > 0 {
+                    let per_cell = wall_ms / rows_n as f64;
+                    for _ in 0..rows_n {
+                        s.hist
+                            .observe("cell_wall_ms", &[("campaign", &id_str)], per_cell);
+                        s.hist
+                            .observe("cell_wall_ms", &[("worker", worker_key)], per_cell);
+                    }
+                }
+                maybe_checkpoint(&mut s, opts, now_ms(), log);
                 drop(s);
-                if newly_complete && !opts.quiet {
-                    eprintln!("dist: campaign {id_str} complete ({done}/{total} jobs)");
+                if newly_complete {
+                    log.info(
+                        "complete",
+                        &[
+                            ("campaign", &id_str),
+                            ("done", &done.to_string()),
+                            ("total", &total.to_string()),
+                        ],
+                    );
                 }
                 None
             }
@@ -1280,6 +1503,16 @@ fn worker_loop(
                 return;
             }
         };
+        // Coordinator-side handling cost of the frame (lock waits,
+        // queue mutation, checkpoint), labeled by frame kind.
+        if let Some(kind) = frame_kind {
+            let mut s = shared.lock().unwrap();
+            s.hist.observe(
+                "frame_handle_ms",
+                &[("frame", kind)],
+                frame_t0.elapsed().as_secs_f64() * 1000.0,
+            );
+        }
         if let Some(reply) = reply {
             let done = reply == Msg::Done;
             if write_msg(writer, &reply).is_err() {

@@ -22,13 +22,14 @@ use crate::protocol::{
 };
 use crate::spec::{ExperimentSpec, Registry};
 use sfence_harness::{host_token, Experiment, ResultCache, RunOptions, SCHEMA_VERSION};
+use sfence_obs::log::{EventLog, LogLevel};
 use sfence_workloads::support::Prng;
 use std::collections::HashMap;
 use std::net::TcpStream;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Tunables of one [`work`] call.
 #[derive(Debug, Clone)]
@@ -70,6 +71,10 @@ pub struct WorkerOpts {
     /// replies only); 0 = keep asking forever. Lets a daemon-attached
     /// worker drain away once its campaigns finish.
     pub idle_exit_ms: u64,
+    /// Event logger for worker lifecycle events. `None` = the worker
+    /// builds a stderr-only logger whose verbosity follows `quiet` /
+    /// `progress`.
+    pub log: Option<Arc<EventLog>>,
 }
 
 impl Default for WorkerOpts {
@@ -89,6 +94,7 @@ impl Default for WorkerOpts {
             reconnect_base_ms: 250,
             reconnect_cap_ms: 5000,
             idle_exit_ms: 0,
+            log: None,
         }
     }
 }
@@ -156,6 +162,19 @@ pub fn work(addr: &str, registry: Registry, opts: &WorkerOpts) -> Result<WorkerS
         ),
         None => None,
     };
+    // The caller's logger, or a stderr-only one. `progress` keeps its
+    // pre-logger meaning of forcing lease lines through `quiet`.
+    let log: Arc<EventLog> = opts.log.clone().unwrap_or_else(|| {
+        Arc::new(EventLog::to_stderr(
+            "worker",
+            if opts.quiet && !opts.progress {
+                None
+            } else {
+                Some(LogLevel::Info)
+            },
+        ))
+    });
+    let log = log.as_ref();
     let mut summary = WorkerSummary::default();
     // Campaigns survive sessions: a worker that reconnects after a
     // coordinator restart already holds the resolved experiments,
@@ -179,19 +198,27 @@ pub fn work(addr: &str, registry: Registry, opts: &WorkerOpts) -> Result<WorkerS
             &mut campaigns,
             &mut cache,
             &mut attempt,
+            log,
         ) {
             Ok(end) => {
-                if !opts.quiet {
-                    match end {
-                        SessionEnd::Done => eprintln!(
-                            "worker {name}: done ({} jobs, {} executed, {} cache hits)",
-                            summary.jobs, summary.executed, summary.cache_hits
-                        ),
-                        SessionEnd::Idle => eprintln!(
-                            "worker {name}: no work for {}ms, exiting ({} jobs total)",
-                            opts.idle_exit_ms, summary.jobs
-                        ),
-                    }
+                match end {
+                    SessionEnd::Done => log.info(
+                        "worker_done",
+                        &[
+                            ("worker", &name),
+                            ("jobs", &summary.jobs.to_string()),
+                            ("executed", &summary.executed.to_string()),
+                            ("cache_hits", &summary.cache_hits.to_string()),
+                        ],
+                    ),
+                    SessionEnd::Idle => log.info(
+                        "idle_exit",
+                        &[
+                            ("worker", &name),
+                            ("idle_ms", &opts.idle_exit_ms.to_string()),
+                            ("jobs", &summary.jobs.to_string()),
+                        ],
+                    ),
                 }
                 return Ok(summary);
             }
@@ -207,12 +234,15 @@ pub fn work(addr: &str, registry: Registry, opts: &WorkerOpts) -> Result<WorkerS
                     .min(opts.reconnect_cap_ms.max(1));
                 let jitter = rng.next_u64() % (base / 4 + 1);
                 let delay = base + jitter;
-                if !opts.quiet {
-                    eprintln!(
-                        "worker {name}: lost coordinator ({}); retry {attempt}/{} in {delay}ms",
-                        e.msg, opts.reconnect_attempts
-                    );
-                }
+                log.warn(
+                    "reconnect",
+                    &[
+                        ("worker", &name),
+                        ("why", &e.msg),
+                        ("attempt", &format!("{attempt}/{}", opts.reconnect_attempts)),
+                        ("delay_ms", &delay.to_string()),
+                    ],
+                );
                 std::thread::sleep(Duration::from_millis(delay));
             }
             Err(e) => return Err(e.msg),
@@ -232,6 +262,7 @@ fn session(
     campaigns: &mut HashMap<String, (String, Experiment)>,
     cache: &mut Option<ResultCache>,
     attempt: &mut u32,
+    log: &EventLog,
 ) -> Result<SessionEnd, SessionError> {
     let stream = TcpStream::connect(addr)
         .map_err(|e| SessionError::retryable(format!("connect {addr}: {e}")))?;
@@ -291,9 +322,7 @@ fn session(
         // The service finished while we were connecting; nothing to
         // do is a clean exit, not a protocol error.
         Msg::Done => {
-            if !opts.quiet {
-                eprintln!("worker {name}: service already finished");
-            }
+            log.info("service_finished", &[("worker", name)]);
             return Ok(SessionEnd::Done);
         }
         other => {
@@ -376,12 +405,10 @@ fn session(
                     .get(&campaign)
                     .is_some_and(|(fp, _)| *fp != coord_fp)
                 {
-                    if !opts.quiet {
-                        eprintln!(
-                            "worker {name}: campaign {campaign} rebound to a different \
-                             experiment (coordinator restart?); re-resolving"
-                        );
-                    }
+                    log.warn(
+                        "campaign_rebound",
+                        &[("worker", name), ("campaign", &campaign)],
+                    );
                     campaigns.remove(&campaign);
                 }
                 // Resolve-and-verify once per campaign; later leases
@@ -415,12 +442,15 @@ fn session(
                         });
                         return stop_heartbeat(Err(SessionError::fatal(why)));
                     }
-                    if !opts.quiet {
-                        eprintln!(
-                            "worker {name}: campaign {campaign} = {:?} ({job_count} jobs)",
-                            spec.experiment
-                        );
-                    }
+                    log.info(
+                        "campaign_resolve",
+                        &[
+                            ("worker", name),
+                            ("campaign", &campaign),
+                            ("experiment", &spec.experiment),
+                            ("jobs", &job_count.to_string()),
+                        ],
+                    );
                     campaigns.insert(campaign.clone(), (fp, experiment));
                 }
                 let (_, experiment) = campaigns.get(&campaign).expect("inserted above");
@@ -443,30 +473,43 @@ fn session(
                     run_opts = run_opts.cache(cache);
                 }
                 executing.store(true, Ordering::SeqCst);
+                let t0 = Instant::now();
                 let outcome = experiment.run_with(run_opts);
+                let wall_ms = t0.elapsed().as_secs_f64() * 1000.0;
                 summary.jobs += outcome.rows.len() as u64;
                 summary.executed += outcome.stats.executed as u64;
                 summary.cache_hits += outcome.stats.cache_hits as u64;
-                if !opts.quiet || opts.progress {
-                    eprintln!(
-                        "worker {name}: {campaign} lease of {} job(s): {} executed, {} cache \
-                         hits ({} jobs total)",
-                        jobs.len(),
-                        outcome.stats.executed,
-                        outcome.stats.cache_hits,
-                        summary.jobs
-                    );
-                }
+                log.info(
+                    "lease_done",
+                    &[
+                        ("worker", name),
+                        ("campaign", &campaign),
+                        ("jobs", &jobs.len().to_string()),
+                        ("executed", &outcome.stats.executed.to_string()),
+                        ("cache_hits", &outcome.stats.cache_hits.to_string()),
+                        ("total_jobs", &summary.jobs.to_string()),
+                        ("wall_ms", &format!("{wall_ms:.1}")),
+                    ],
+                );
                 // A huge lease's rows could exceed the frame limit as
                 // one message; results are independent, so ship them
-                // in bounded chunks (the accounting rides the first).
+                // in bounded chunks (the accounting rides the first;
+                // the measured wall clock is split pro-rata so the
+                // coordinator's per-cell spread stays exact).
                 let mut first = true;
                 let mut rows = outcome.rows;
+                let lease_rows = rows.len();
                 while !rows.is_empty() || first {
                     let rest = rows.split_off(rows.len().min(RESULT_CHUNK_ROWS));
+                    let chunk = std::mem::replace(&mut rows, rest);
+                    let chunk_wall = if lease_rows > 0 {
+                        wall_ms * chunk.len() as f64 / lease_rows as f64
+                    } else {
+                        0.0
+                    };
                     let msg = Msg::Result {
                         campaign: campaign.clone(),
-                        rows: std::mem::replace(&mut rows, rest),
+                        rows: chunk,
                         executed: if first {
                             outcome.stats.executed as u64
                         } else {
@@ -477,6 +520,7 @@ fn session(
                         } else {
                             0
                         },
+                        wall_ms: chunk_wall,
                     };
                     first = false;
                     if let Err(e) = send(&msg) {

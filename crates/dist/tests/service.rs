@@ -202,6 +202,7 @@ fn killed_coordinator_resumes_from_checkpoint_byte_identical() {
                     rows: outcome.rows,
                     executed: outcome.stats.executed as u64,
                     cache_hits: 0,
+                    wall_ms: 0.0,
                 },
             )
             .unwrap();
@@ -316,6 +317,7 @@ fn batched_leases_respect_request_and_cap_and_merge_identically() {
                     rows: outcome.rows,
                     executed: outcome.stats.executed as u64,
                     cache_hits: 0,
+                    wall_ms: 0.0,
                 },
             )
             .unwrap();

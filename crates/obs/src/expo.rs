@@ -1,0 +1,225 @@
+//! Prometheus-style text exposition of a [`MetricsReport`].
+//!
+//! Hand-rolled (std-only) rendering of the exposition format v0.0.4:
+//! `# TYPE` headers, `name{label="value"} number` sample lines,
+//! histograms as cumulative `_bucket{le="..."}` series plus `_sum`
+//! and `_count`. The input report is already sorted by
+//! `(name, labels)`, so the output is deterministic and series of one
+//! name are contiguous under a single `# TYPE` header.
+
+use crate::metrics::{bucket_bound, MetricValue, MetricsReport, HIST_BUCKETS};
+
+/// Render `report` as Prometheus text exposition. `namespace` is
+/// prefixed to every metric name (pass `""` for none); a trailing
+/// `_` is added when absent.
+pub fn prometheus_text(report: &MetricsReport, namespace: &str) -> String {
+    let ns = if namespace.is_empty() || namespace.ends_with('_') {
+        namespace.to_string()
+    } else {
+        format!("{namespace}_")
+    };
+    let mut out = String::new();
+    let mut prev_name: Option<&str> = None;
+    for m in &report.metrics {
+        let name = format!("{ns}{}", sanitize_name(&m.name));
+        if prev_name != Some(m.name.as_str()) {
+            out.push_str(&format!("# TYPE {name} {}\n", m.value.type_name()));
+            prev_name = Some(m.name.as_str());
+        }
+        match &m.value {
+            MetricValue::Counter(c) => {
+                out.push_str(&format!("{name}{} {c}\n", label_set(&m.labels, None)));
+            }
+            MetricValue::Gauge(g) => {
+                out.push_str(&format!(
+                    "{name}{} {}\n",
+                    label_set(&m.labels, None),
+                    num(*g)
+                ));
+            }
+            MetricValue::Histogram(h) => {
+                let mut cum = 0u64;
+                for i in 0..HIST_BUCKETS {
+                    cum += h.buckets[i];
+                    // Collapse empty interior buckets: emit a bucket
+                    // line only when it adds mass or is the +Inf cap.
+                    if h.buckets[i] == 0 && i + 1 < HIST_BUCKETS {
+                        continue;
+                    }
+                    let le = if bucket_bound(i).is_infinite() {
+                        "+Inf".to_string()
+                    } else {
+                        num(bucket_bound(i))
+                    };
+                    out.push_str(&format!(
+                        "{name}_bucket{} {cum}\n",
+                        label_set(&m.labels, Some(("le", &le)))
+                    ));
+                }
+                out.push_str(&format!(
+                    "{name}_sum{} {}\n",
+                    label_set(&m.labels, None),
+                    num(h.sum)
+                ));
+                out.push_str(&format!(
+                    "{name}_count{} {}\n",
+                    label_set(&m.labels, None),
+                    h.count
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Metric names must match `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+fn sanitize_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+fn sanitize_label_key(key: &str) -> String {
+    let mut out: String = key
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Escape a label value per the exposition format.
+fn escape_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// `{k="v",...}` (empty string when there are no labels), with an
+/// optional extra pair appended (the histogram `le` bound).
+fn label_set(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    if labels.is_empty() && extra.is_none() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "{}=\"{}\"",
+            sanitize_label_key(k),
+            escape_value(v)
+        ));
+    }
+    if let Some((k, v)) = extra {
+        if !first {
+            out.push(',');
+        }
+        out.push_str(&format!("{k}=\"{}\"", escape_value(v)));
+    }
+    out.push('}');
+    out
+}
+
+/// Shortest faithful decimal for a sample value.
+fn num(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    #[test]
+    fn counters_and_gauges_render_with_type_headers() {
+        let mut reg = Registry::new();
+        reg.counter("cells_executed", &[("worker", "w#1")], 42);
+        reg.gauge("queue_pending", &[], 3.0);
+        let text = prometheus_text(&reg.snapshot("t"), "sfence");
+        assert_eq!(
+            text,
+            "# TYPE sfence_cells_executed counter\n\
+             sfence_cells_executed{worker=\"w#1\"} 42\n\
+             # TYPE sfence_queue_pending gauge\n\
+             sfence_queue_pending 3\n"
+        );
+    }
+
+    #[test]
+    fn histogram_renders_cumulative_buckets_sum_count() {
+        let mut reg = Registry::new();
+        reg.observe("lease_ms", &[("campaign", "c1")], 1.0);
+        reg.observe("lease_ms", &[("campaign", "c1")], 1.0);
+        reg.observe("lease_ms", &[("campaign", "c1")], 4.0);
+        let text = prometheus_text(&reg.snapshot("t"), "");
+        assert!(text.starts_with("# TYPE lease_ms histogram\n"), "{text}");
+        assert!(
+            text.contains("lease_ms_bucket{campaign=\"c1\",le=\"1\"} 2\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("lease_ms_bucket{campaign=\"c1\",le=\"4\"} 3\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("lease_ms_bucket{campaign=\"c1\",le=\"+Inf\"} 3\n"),
+            "{text}"
+        );
+        assert!(text.contains("lease_ms_sum{campaign=\"c1\"} 6\n"), "{text}");
+        assert!(
+            text.contains("lease_ms_count{campaign=\"c1\"} 3\n"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn one_type_header_covers_all_series_of_a_name() {
+        let mut reg = Registry::new();
+        reg.gauge("done", &[("campaign", "c1")], 1.0);
+        reg.gauge("done", &[("campaign", "c2")], 2.0);
+        let text = prometheus_text(&reg.snapshot("t"), "");
+        assert_eq!(text.matches("# TYPE done gauge").count(), 1, "{text}");
+    }
+
+    #[test]
+    fn names_and_values_are_escaped() {
+        let mut reg = Registry::new();
+        reg.counter("cells/sec", &[("exp", "a\"b\\c")], 1);
+        let text = prometheus_text(&reg.snapshot("t"), "");
+        assert!(text.contains("cells_sec{exp=\"a\\\"b\\\\c\"} 1"), "{text}");
+    }
+}

@@ -21,6 +21,14 @@
 //!   cells/sec, ETA) built on the metrics registry, for long sweeps.
 //! - [`bridge`] — adapters from the harness's [`RunReport`] and sweep
 //!   [`RunStats`](sfence_harness::RunStats) into registry metrics.
+//! - [`log`] — a leveled, structured JSONL event logger for
+//!   long-lived services: schema-versioned records with monotonic
+//!   sequence numbers, size-based rotation, and per-line flushing so
+//!   a crash never leaves a torn tail.
+//! - [`ring`] — a bounded in-memory flight recorder of recent events,
+//!   serializable for `debug_dump` frames and panic hooks.
+//! - [`expo`] — hand-rolled Prometheus-style text exposition of a
+//!   [`MetricsReport`], for external scrapers.
 //!
 //! ## Overhead contract
 //!
@@ -32,16 +40,22 @@
 //! here disabled and must not notice the difference.
 
 pub mod bridge;
+pub mod expo;
+pub mod log;
 pub mod metrics;
 pub mod prof;
 pub mod progress;
+pub mod ring;
 pub mod trace;
 
 pub use bridge::{machine_metrics, run_report_metrics, run_stats_metrics};
+pub use expo::prometheus_text;
+pub use log::{install_panic_dump, Event, EventLog, LogLevel, LOG_SCHEMA_VERSION};
 pub use metrics::{
     HistogramSnapshot, Metric, MetricValue, MetricsReport, Registry, METRICS_SCHEMA_VERSION,
 };
 pub use progress::ProgressMeter;
+pub use ring::EventRing;
 pub use trace::{chrome_trace, write_chrome_trace};
 
 // Re-exported so callers of the trace API need not depend on

@@ -13,16 +13,48 @@ use sfence_harness::Json;
 /// Version tag stamped into every serialized [`MetricsReport`]. Bump
 /// on any incompatible change to the report shape or to the meaning
 /// of a published metric name.
-pub const METRICS_SCHEMA_VERSION: u64 = 1;
+///
+/// v2: histograms carry log-scale bucket counts (`buckets`) so
+/// readers can recover p50/p95/p99 without the raw samples.
+pub const METRICS_SCHEMA_VERSION: u64 = 2;
 
-/// Summary of a distribution: enough to report count/sum/mean and the
-/// observed range without storing samples.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+/// Number of log-scale histogram buckets. Bucket `i` counts
+/// observations `v <= bucket_bound(i)`; the last bucket is unbounded.
+pub const HIST_BUCKETS: usize = 32;
+
+/// Upper bound of bucket `i`: powers of two from 2^-10 (~1µs when the
+/// unit is ms) through 2^20 (~17min in ms). The final bucket is +Inf.
+pub fn bucket_bound(i: usize) -> f64 {
+    if i + 1 >= HIST_BUCKETS {
+        f64::INFINITY
+    } else {
+        (2.0f64).powi(i as i32 - 10)
+    }
+}
+
+/// Summary of a distribution: count/sum/mean, the observed range, and
+/// log-scale bucket counts for approximate quantiles — no sample
+/// storage, so a histogram series is fixed-size no matter how many
+/// observations it absorbs.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HistogramSnapshot {
     pub count: u64,
     pub sum: f64,
     pub min: f64,
     pub max: f64,
+    pub buckets: [u64; HIST_BUCKETS],
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0.0,
+            min: 0.0,
+            max: 0.0,
+            buckets: [0; HIST_BUCKETS],
+        }
+    }
 }
 
 impl HistogramSnapshot {
@@ -36,6 +68,29 @@ impl HistogramSnapshot {
         }
         self.count += 1;
         self.sum += v;
+        let idx = (0..HIST_BUCKETS)
+            .find(|&i| v <= bucket_bound(i))
+            .unwrap_or(HIST_BUCKETS - 1);
+        self.buckets[idx] += 1;
+    }
+
+    /// Fold another snapshot into this one (what the registry does
+    /// when the same series is observed from two sources).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+        self.sum += other.sum;
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
     }
 
     pub fn mean(&self) -> f64 {
@@ -45,10 +100,46 @@ impl HistogramSnapshot {
             self.sum / self.count as f64
         }
     }
+
+    /// Approximate quantile (`0.0..=1.0`) from the bucket counts: the
+    /// upper bound of the bucket holding the q-th observation, clamped
+    /// to the observed `[min, max]` range so degenerate distributions
+    /// report exact values and the unbounded bucket reports `max`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            cum += b;
+            if cum >= target {
+                return bucket_bound(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
 }
 
 /// A metric's value: monotonically accumulated count, point-in-time
 /// level, or distribution summary.
+///
+/// The histogram variant carries its fixed bucket array inline
+/// (~300 bytes); registries hold at most a few hundred metrics, so
+/// the size skew is cheaper than an indirection on every observe.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum MetricValue {
     Counter(u64),
@@ -165,6 +256,18 @@ impl Registry {
         })
     }
 
+    /// Read back a histogram snapshot (`None` if absent).
+    pub fn histogram_value(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+    ) -> Option<HistogramSnapshot> {
+        self.find(name, labels).and_then(|m| match &m.value {
+            MetricValue::Histogram(h) => Some(*h),
+            _ => None,
+        })
+    }
+
     fn find(&self, name: &str, labels: &[(&str, &str)]) -> Option<&Metric> {
         let mut labels: Vec<(String, String)> = labels
             .iter()
@@ -174,6 +277,37 @@ impl Registry {
         self.metrics
             .iter()
             .find(|m| m.name == name && m.labels == labels)
+    }
+
+    /// Fold every series of `other` into this registry under the
+    /// usual accumulation rules (counters add, gauges overwrite,
+    /// histograms merge). Lets a component keep long-lived histogram
+    /// series in a side registry and splice them into each snapshot
+    /// it publishes.
+    pub fn absorb(&mut self, other: &Registry) {
+        for m in &other.metrics {
+            let labels: Vec<(&str, &str)> = m
+                .labels
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.as_str()))
+                .collect();
+            match &m.value {
+                MetricValue::Counter(c) => self.counter(&m.name, &labels, *c),
+                MetricValue::Gauge(g) => self.gauge(&m.name, &labels, *g),
+                MetricValue::Histogram(h) => {
+                    let slot =
+                        self.series(&m.name, &labels, MetricValue::Histogram(Default::default()));
+                    match &mut slot.value {
+                        MetricValue::Histogram(mine) => mine.merge(h),
+                        other => panic!(
+                            "metric {:?} is a {}, not a histogram",
+                            m.name,
+                            other.type_name()
+                        ),
+                    }
+                }
+            }
+        }
     }
 
     pub fn is_empty(&self) -> bool {
@@ -299,11 +433,14 @@ impl MetricsReport {
                 MetricValue::Counter(c) => out.push_str(&format!(" {c}\n")),
                 MetricValue::Gauge(g) => out.push_str(&format!(" {g:.3}\n")),
                 MetricValue::Histogram(h) => out.push_str(&format!(
-                    " count={} mean={:.3} min={:.3} max={:.3}\n",
+                    " count={} mean={:.3} min={:.3} max={:.3} p50={:.3} p95={:.3} p99={:.3}\n",
                     h.count,
                     h.mean(),
                     h.min,
-                    h.max
+                    h.max,
+                    h.p50(),
+                    h.p95(),
+                    h.p99(),
                 )),
             }
         }
@@ -327,7 +464,11 @@ fn metric_to_json(m: &Metric) -> Json {
             .field("count", h.count)
             .field("sum", h.sum)
             .field("min", h.min)
-            .field("max", h.max),
+            .field("max", h.max)
+            .field(
+                "buckets",
+                Json::Arr(h.buckets.iter().map(|&b| Json::UInt(b)).collect()),
+            ),
     }
 }
 
@@ -363,24 +504,43 @@ fn metric_from_json(json: &Json) -> Result<Metric, String> {
                 .and_then(Json::as_f64)
                 .ok_or_else(|| format!("gauge {name:?} missing value"))?,
         ),
-        Some("histogram") => MetricValue::Histogram(HistogramSnapshot {
-            count: json
-                .get("count")
-                .and_then(Json::as_u64)
-                .ok_or_else(|| format!("histogram {name:?} missing count"))?,
-            sum: json
-                .get("sum")
-                .and_then(Json::as_f64)
-                .ok_or_else(|| format!("histogram {name:?} missing sum"))?,
-            min: json
-                .get("min")
-                .and_then(Json::as_f64)
-                .ok_or_else(|| format!("histogram {name:?} missing min"))?,
-            max: json
-                .get("max")
-                .and_then(Json::as_f64)
-                .ok_or_else(|| format!("histogram {name:?} missing max"))?,
-        }),
+        Some("histogram") => {
+            let raw = json
+                .get("buckets")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| format!("histogram {name:?} missing buckets"))?;
+            if raw.len() != HIST_BUCKETS {
+                return Err(format!(
+                    "histogram {name:?}: {} buckets (expected {HIST_BUCKETS})",
+                    raw.len()
+                ));
+            }
+            let mut buckets = [0u64; HIST_BUCKETS];
+            for (slot, b) in buckets.iter_mut().zip(raw.iter()) {
+                *slot = b
+                    .as_u64()
+                    .ok_or_else(|| format!("histogram {name:?}: non-integer bucket"))?;
+            }
+            MetricValue::Histogram(HistogramSnapshot {
+                count: json
+                    .get("count")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("histogram {name:?} missing count"))?,
+                sum: json
+                    .get("sum")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("histogram {name:?} missing sum"))?,
+                min: json
+                    .get("min")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("histogram {name:?} missing min"))?,
+                max: json
+                    .get("max")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("histogram {name:?} missing max"))?,
+                buckets,
+            })
+        }
         other => return Err(format!("metric {name:?}: unknown type {other:?}")),
     };
     Ok(Metric {
@@ -434,6 +594,64 @@ mod tests {
                 assert_eq!(h.mean(), 2.0);
                 assert_eq!((h.min, h.max), (1.0, 3.0));
             }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quantiles_from_buckets_are_order_of_magnitude_right() {
+        let mut h = HistogramSnapshot::default();
+        // 98 fast observations around 1ms, 2 slow ones at ~1000ms.
+        for _ in 0..98 {
+            h.observe(1.0);
+        }
+        h.observe(1000.0);
+        h.observe(1000.0);
+        assert_eq!(h.count, 100);
+        assert_eq!(h.p50(), 1.0, "median lands in the 1ms bucket");
+        assert_eq!(h.p95(), 1.0);
+        // p99 must land in the slow tail: bucket bound above 1000
+        // clamped to the observed max.
+        assert_eq!(h.p99(), 1000.0);
+        // Degenerate distribution reports exact values at every q.
+        let mut flat = HistogramSnapshot::default();
+        for _ in 0..10 {
+            flat.observe(3.5);
+        }
+        assert_eq!((flat.p50(), flat.p99()), (3.5, 3.5));
+        assert_eq!(HistogramSnapshot::default().p50(), 0.0);
+    }
+
+    #[test]
+    fn histogram_merge_accumulates_buckets() {
+        let mut a = HistogramSnapshot::default();
+        a.observe(1.0);
+        a.observe(2.0);
+        let mut b = HistogramSnapshot::default();
+        b.observe(64.0);
+        a.merge(&b);
+        assert_eq!(a.count, 3);
+        assert_eq!((a.min, a.max), (1.0, 64.0));
+        assert_eq!(a.buckets.iter().sum::<u64>(), 3);
+        // Merging into an empty snapshot copies, not zero-min.
+        let mut empty = HistogramSnapshot::default();
+        empty.merge(&b);
+        assert_eq!((empty.min, empty.max), (64.0, 64.0));
+    }
+
+    #[test]
+    fn absorb_folds_a_side_registry_in() {
+        let mut live = Registry::new();
+        live.observe("lease_ms", &[("campaign", "c1")], 2.0);
+        live.counter("frames", &[], 7);
+        let mut report = Registry::new();
+        report.counter("frames", &[], 1);
+        report.gauge("up", &[], 1.0);
+        report.absorb(&live);
+        assert_eq!(report.counter_value("frames", &[]), 8);
+        let snap = report.snapshot("t");
+        match &snap.get("lease_ms", &[("campaign", "c1")]).unwrap().value {
+            MetricValue::Histogram(h) => assert_eq!(h.count, 1),
             other => panic!("expected histogram, got {other:?}"),
         }
     }

@@ -34,6 +34,12 @@ pub struct ProgressMeter {
 
 impl ProgressMeter {
     pub fn new(label: &str, total: usize) -> ProgressMeter {
+        ProgressMeter::new_at(label, total, Instant::now())
+    }
+
+    /// Construction with an explicit start instant, so tests can
+    /// drive the rate/ETA math with synthetic clocks.
+    fn new_at(label: &str, total: usize, start: Instant) -> ProgressMeter {
         let mut reg = Registry::new();
         reg.gauge("cells_total", &[], total as f64);
         reg.gauge("cells_done", &[], 0.0);
@@ -41,7 +47,7 @@ impl ProgressMeter {
         ProgressMeter {
             label: label.to_string(),
             total,
-            start: Instant::now(),
+            start,
             inner: Mutex::new(Inner {
                 reg,
                 last_print: None,
@@ -52,7 +58,14 @@ impl ProgressMeter {
     /// Record that `done` units are now complete and print a line if
     /// the throttle allows (always prints on completion).
     pub fn update(&self, done: usize) {
-        let now = Instant::now();
+        if let Some(line) = self.update_at(done, Instant::now()) {
+            eprintln!("{line}");
+        }
+    }
+
+    /// The clock-injected core of [`update`](Self::update): returns
+    /// the line to print, or `None` when the throttle suppresses it.
+    fn update_at(&self, done: usize, now: Instant) -> Option<String> {
         let elapsed = now.duration_since(self.start).as_secs_f64();
         let rate = if elapsed > 0.0 {
             done as f64 / elapsed
@@ -67,10 +80,10 @@ impl ProgressMeter {
             Some(at) => now.duration_since(at) >= PRINT_EVERY,
         };
         if !(due || done >= self.total) {
-            return;
+            return None;
         }
         inner.last_print = Some(now);
-        eprintln!("{}", render_line(&self.label, &inner.reg));
+        Some(render_line(&self.label, &inner.reg))
     }
 
     /// Export the meter's current values.
@@ -128,5 +141,61 @@ mod tests {
         reg.gauge("cells_per_sec", &[], 2.5);
         let line = render_line("fig13", &reg);
         assert_eq!(line, "[fig13] 5/10 cells, 2.5 cells/s, ETA 2s");
+    }
+
+    #[test]
+    fn throttle_window_suppresses_lines_between_prints() {
+        let t0 = Instant::now();
+        let meter = ProgressMeter::new_at("t", 100, t0);
+        assert!(
+            meter.update_at(1, t0 + Duration::from_millis(1)).is_some(),
+            "first update always prints"
+        );
+        assert!(
+            meter
+                .update_at(2, t0 + Duration::from_millis(200))
+                .is_none(),
+            "inside the {PRINT_EVERY:?} window"
+        );
+        assert!(
+            meter
+                .update_at(3, t0 + Duration::from_millis(700))
+                .is_some(),
+            "window elapsed since the last print"
+        );
+        assert!(
+            meter
+                .update_at(4, t0 + Duration::from_millis(800))
+                .is_none(),
+            "window restarts at each print"
+        );
+    }
+
+    #[test]
+    fn rate_and_eta_math_from_a_synthetic_clock() {
+        let t0 = Instant::now();
+        let meter = ProgressMeter::new_at("fig13", 10, t0);
+        // 4 cells in 2s → 2 cells/s → 6 remaining → ETA 3s.
+        let line = meter.update_at(4, t0 + Duration::from_secs(2)).unwrap();
+        assert_eq!(line, "[fig13] 4/10 cells, 2.0 cells/s, ETA 3s");
+        let snap = meter.snapshot();
+        assert_eq!(
+            snap.get("cells_per_sec", &[]).map(|m| &m.value).cloned(),
+            Some(crate::metrics::MetricValue::Gauge(2.0))
+        );
+    }
+
+    #[test]
+    fn final_flush_prints_through_the_throttle() {
+        let t0 = Instant::now();
+        let meter = ProgressMeter::new_at("t", 10, t0);
+        assert!(meter.update_at(1, t0 + Duration::from_millis(1)).is_some());
+        // Completion lands inside the throttle window but must print,
+        // and renders the terminal "done" ETA.
+        let line = meter
+            .update_at(10, t0 + Duration::from_millis(100))
+            .expect("final line always flushes");
+        assert!(line.ends_with("ETA done"), "{line}");
+        assert!(line.starts_with("[t] 10/10 cells"), "{line}");
     }
 }

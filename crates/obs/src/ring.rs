@@ -1,0 +1,104 @@
+//! Bounded in-memory flight recorder: the last N structured events,
+//! kept regardless of what the log sinks are doing.
+//!
+//! A long-lived daemon cannot afford an unbounded event history, and
+//! the on-disk log may be disabled or rotated away — the ring is the
+//! always-on "what just happened" buffer that a `debug_dump` frame or
+//! a panic hook can serialize for post-mortem debugging.
+
+use crate::log::Event;
+use std::collections::VecDeque;
+
+/// Default capacity of a flight recorder: enough to cover the last
+/// few minutes of a busy daemon without holding real memory.
+pub const DEFAULT_RING_CAP: usize = 1024;
+
+/// Fixed-capacity ring of recent [`Event`]s; pushing beyond capacity
+/// drops the oldest entry.
+#[derive(Debug, Clone)]
+pub struct EventRing {
+    cap: usize,
+    buf: VecDeque<Event>,
+    /// Total number of events ever pushed (so a dump can say how many
+    /// were dropped before its window).
+    total: u64,
+}
+
+impl EventRing {
+    pub fn new(cap: usize) -> EventRing {
+        EventRing {
+            cap: cap.max(1),
+            buf: VecDeque::with_capacity(cap.clamp(1, DEFAULT_RING_CAP)),
+            total: 0,
+        }
+    }
+
+    pub fn push(&mut self, ev: Event) {
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(ev);
+        self.total += 1;
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events ever pushed, including ones the ring has since dropped.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Oldest-to-newest copy of the retained window.
+    pub fn to_vec(&self) -> Vec<Event> {
+        self.buf.iter().cloned().collect()
+    }
+}
+
+impl Default for EventRing {
+    fn default() -> EventRing {
+        EventRing::new(DEFAULT_RING_CAP)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::LogLevel;
+
+    fn ev(seq: u64) -> Event {
+        Event {
+            seq,
+            t_ms: seq,
+            level: LogLevel::Info,
+            event: "tick".to_string(),
+            fields: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn ring_keeps_the_newest_cap_events_in_order() {
+        let mut ring = EventRing::new(3);
+        for seq in 0..5 {
+            ring.push(ev(seq));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.total(), 5);
+        let seqs: Vec<u64> = ring.to_vec().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, [2, 3, 4], "oldest dropped, order preserved");
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let mut ring = EventRing::new(0);
+        ring.push(ev(1));
+        ring.push(ev(2));
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.to_vec()[0].seq, 2);
+    }
+}
